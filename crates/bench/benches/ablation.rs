@@ -1,0 +1,67 @@
+//! Runtime-cost ablation: how the design variants (slot policy, sampling
+//! mode, distance metric, offline-peer handling) affect simulation
+//! wall-clock cost. Quality differences are measured by the
+//! `ablation_quality` binary; this bench isolates the compute cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_core::config::{DistanceMetric, OverlayConfig, SlotPolicy};
+use veil_core::simulation::Simulation;
+use veil_graph::generators;
+use veil_sim::churn::ChurnConfig;
+
+fn run_variant(cfg: OverlayConfig) -> u64 {
+    let mut rng = StdRng::seed_from_u64(11);
+    let trust = generators::social_graph(200, 3, &mut rng).unwrap();
+    let churn = ChurnConfig::from_availability(0.5, 30.0);
+    let mut sim = Simulation::new(trust, cfg, churn, 11).unwrap();
+    sim.run_until(20.0);
+    sim.pseudonyms_minted()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let base = OverlayConfig::default();
+    let variants: Vec<(&str, OverlayConfig)> = vec![
+        ("paper", base.clone()),
+        (
+            "uniform_slots",
+            OverlayConfig {
+                slot_policy: SlotPolicy::Uniform,
+                ..base.clone()
+            },
+        ),
+        (
+            "recency_ring",
+            OverlayConfig {
+                minwise_sampling: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "xor_metric",
+            OverlayConfig {
+                distance_metric: DistanceMetric::Xor,
+                ..base.clone()
+            },
+        ),
+        (
+            "blind_peer_selection",
+            OverlayConfig {
+                skip_offline_peers: false,
+                ..base
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation/runtime");
+    group.sample_size(10);
+    for (name, cfg) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| run_variant(cfg.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks of the graph substrate: generators, the f-sampler, and the
+//! robustness metrics that dominate experiment wall-clock time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_graph::sample::sample_trust_graph;
+use veil_graph::{generators, metrics, Graph};
+
+fn social(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::social_graph(n, 3, &mut rng).unwrap()
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/generate");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::new("holme_kim", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| generators::holme_kim(n, 3, 0.9, &mut rng).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| generators::erdos_renyi_gnm(n, 3 * n, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/f_sample");
+    group.sample_size(20);
+    let source = social(50_000, 3);
+    for f in [0.0, 0.5, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, &f| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| sample_trust_graph(&source, 1000, f, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/metrics");
+    group.sample_size(10);
+    let g = social(1000, 5);
+    let online: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+    group.bench_function("components_masked", |b| {
+        b.iter(|| metrics::component_labels_masked(&g, Some(&online)))
+    });
+    group.bench_function("fraction_disconnected", |b| {
+        b.iter(|| metrics::fraction_disconnected(&g, &online))
+    });
+    group.bench_function("normalized_avg_path_length", |b| {
+        b.iter(|| metrics::normalized_avg_path_length(&g, Some(&online)))
+    });
+    group.bench_function("degree_histogram", |b| {
+        b.iter(|| metrics::degree_histogram(&g, Some(&online)))
+    });
+    group.bench_function("average_clustering", |b| {
+        b.iter(|| metrics::average_clustering(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_sampler, bench_metrics);
+criterion_main!(benches);

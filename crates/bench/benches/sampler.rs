@@ -1,0 +1,85 @@
+//! Microbenchmarks of the Brahms-style min-wise sampler: offer throughput
+//! as a function of slot count, plus purge cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_core::config::DistanceMetric;
+use veil_core::pseudonym::{Pseudonym, PseudonymService};
+use veil_core::sampler::Sampler;
+use veil_sim::SimTime;
+
+fn pseudonyms(n: usize, lifetime: Option<f64>) -> Vec<Pseudonym> {
+    let mut svc = PseudonymService::new(7);
+    (0..n)
+        .map(|i| svc.mint(i as u32, SimTime::ZERO, lifetime))
+        .collect()
+}
+
+fn bench_offer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/offer");
+    let batch = pseudonyms(1000, None);
+    for slots in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(slots), &slots, |b, &slots| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut sampler = Sampler::new(slots, DistanceMetric::Absolute, true, &mut rng);
+            let mut idx = 0usize;
+            b.iter(|| {
+                sampler.offer(batch[idx % batch.len()], SimTime::ZERO);
+                idx += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_offer_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler/metric");
+    let batch = pseudonyms(1000, None);
+    for (name, metric) in [
+        ("absolute", DistanceMetric::Absolute),
+        ("xor", DistanceMetric::Xor),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &metric, |b, &metric| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut sampler = Sampler::new(50, metric, true, &mut rng);
+            let mut idx = 0usize;
+            b.iter(|| {
+                sampler.offer(batch[idx % batch.len()], SimTime::ZERO);
+                idx += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_purge(c: &mut Criterion) {
+    c.bench_function("sampler/purge_expired", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sampler = Sampler::new(50, DistanceMetric::Absolute, true, &mut rng);
+        for p in pseudonyms(200, Some(1000.0)) {
+            sampler.offer(p, SimTime::ZERO);
+        }
+        b.iter(|| sampler.purge_expired(SimTime::new(1.0)));
+    });
+}
+
+fn bench_links(c: &mut Criterion) {
+    c.bench_function("sampler/links_snapshot", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sampler = Sampler::new(50, DistanceMetric::Absolute, true, &mut rng);
+        for p in pseudonyms(500, None) {
+            sampler.offer(p, SimTime::ZERO);
+        }
+        b.iter(|| sampler.links());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_offer,
+    bench_offer_metrics,
+    bench_purge,
+    bench_links
+);
+criterion_main!(benches);

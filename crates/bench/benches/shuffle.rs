@@ -1,0 +1,72 @@
+//! Microbenchmarks of the shuffle exchange: cost of one full shuffle as a
+//! function of the shuffle length ℓ and the cache size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_core::config::OverlayConfig;
+use veil_core::node::Node;
+use veil_core::protocol::execute_shuffle;
+use veil_core::pseudonym::PseudonymService;
+use veil_sim::SimTime;
+
+fn warmed_node(
+    id: u32,
+    cfg: &OverlayConfig,
+    svc: &mut PseudonymService,
+    rng: &mut StdRng,
+    fill: usize,
+) -> Node {
+    let mut node = Node::new(id, vec![], cfg, rng);
+    node.renew_pseudonym(svc, SimTime::ZERO, cfg.pseudonym_lifetime);
+    for i in 0..fill {
+        let p = svc.mint(1000 + i as u32, SimTime::ZERO, cfg.pseudonym_lifetime);
+        node.cache.insert(p, SimTime::ZERO);
+        node.sampler.offer(p, SimTime::ZERO);
+    }
+    node
+}
+
+fn bench_shuffle_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle/length");
+    for l in [10usize, 40, 100] {
+        let cfg = OverlayConfig {
+            shuffle_length: l,
+            cache_size: 400,
+            ..OverlayConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(l), &cfg, |b, cfg| {
+            let mut svc = PseudonymService::new(1);
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut a = warmed_node(0, cfg, &mut svc, &mut rng, 300);
+            let mut d = warmed_node(1, cfg, &mut svc, &mut rng, 300);
+            b.iter(|| {
+                execute_shuffle(&mut a, &mut d, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle/cache_size");
+    for size in [100usize, 400, 1600] {
+        let cfg = OverlayConfig {
+            cache_size: size,
+            ..OverlayConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(size), &cfg, |b, cfg| {
+            let mut svc = PseudonymService::new(2);
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut a = warmed_node(0, cfg, &mut svc, &mut rng, size * 3 / 4);
+            let mut d = warmed_node(1, cfg, &mut svc, &mut rng, size * 3 / 4);
+            b.iter(|| {
+                execute_shuffle(&mut a, &mut d, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle_length, bench_cache_size);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Benchmarks of the simulation substrate: event-engine throughput, churn
+//! sampling, and end-to-end simulated shuffle periods per second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_core::config::OverlayConfig;
+use veil_core::simulation::Simulation;
+use veil_graph::generators;
+use veil_sim::churn::{ChurnConfig, ChurnProcess};
+use veil_sim::dist::{DurationDist, Exponential, Pareto};
+use veil_sim::engine::Engine;
+use veil_sim::time::SimTime;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/engine");
+    group.bench_function("schedule_pop_cycle", |b| {
+        let mut engine: Engine<u32> = Engine::new();
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 0.001;
+            engine.schedule_at(SimTime::new(t), 1);
+            engine.pop()
+        });
+    });
+    group.bench_function("burst_1000", |b| {
+        b.iter(|| {
+            let mut engine: Engine<u32> = Engine::new();
+            for i in 0..1000u32 {
+                engine.schedule_at(SimTime::new((i % 97) as f64), i);
+            }
+            while engine.pop().is_some() {}
+            engine.processed()
+        });
+    });
+    group.finish();
+}
+
+fn bench_churn_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/churn");
+    let exp = Exponential::new(30.0);
+    let pareto = Pareto::with_mean(2.5, 30.0);
+    group.bench_function("exponential_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| exp.sample(&mut rng));
+    });
+    group.bench_function("pareto_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| pareto.sample(&mut rng));
+    });
+    group.bench_function("process_transition", |b| {
+        let cfg = ChurnConfig::from_availability(0.5, 30.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut p, _) = ChurnProcess::new(&cfg, &mut rng);
+        b.iter(|| p.transition(&mut rng));
+    });
+    group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/simulated_periods");
+    group.sample_size(10);
+    for n in [100usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let mut rng = StdRng::seed_from_u64(4);
+                    let trust = generators::social_graph(n, 3, &mut rng).unwrap();
+                    let churn = ChurnConfig::from_availability(0.5, 30.0);
+                    Simulation::new(trust, OverlayConfig::default(), churn, 4).unwrap()
+                },
+                |mut sim| {
+                    sim.run_until(10.0);
+                    sim
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_churn_sampling,
+    bench_simulation_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. degree-aware vs uniform sampler-slot budgets,
+//! 2. Brahms-style min-wise sampling vs a most-recent ring buffer,
+//! 3. the absolute-difference vs XOR distance metric,
+//! 4. deliverability-aware vs blind shuffle-partner selection,
+//! 5. the adaptive shuffle-stop extension (Section V-B's observation),
+//! 6. the adaptive per-node pseudonym-lifetime extension (Section III-C's
+//!    future-work suggestion).
+//!
+//! Each variant runs the Figure 3 workload at a demanding availability and
+//! reports connectivity, path length and the degree spread of the overlay.
+
+use veil_bench::{f3, paper_params, render_table, write_json};
+use veil_core::config::{DistanceMetric, OverlayConfig, SlotPolicy};
+use veil_core::experiment::{availability_sweep, build_trust_graph, ExperimentParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AblationRow {
+    variant: String,
+    alpha: f64,
+    overlay_disconnected: f64,
+    overlay_npl: f64,
+}
+
+fn variant(name: &str, overlay: OverlayConfig) -> (String, ExperimentParams) {
+    let params = ExperimentParams {
+        overlay,
+        ..paper_params()
+    };
+    (name.to_string(), params)
+}
+
+fn main() {
+    let base = paper_params().overlay;
+    let variants = vec![
+        variant("paper (degree-aware, min-wise, abs)", base.clone()),
+        variant(
+            "uniform slots",
+            OverlayConfig {
+                slot_policy: SlotPolicy::Uniform,
+                ..base.clone()
+            },
+        ),
+        variant(
+            "no min-wise sampling (recency ring)",
+            OverlayConfig {
+                minwise_sampling: false,
+                ..base.clone()
+            },
+        ),
+        variant(
+            "xor distance metric",
+            OverlayConfig {
+                distance_metric: DistanceMetric::Xor,
+                ..base.clone()
+            },
+        ),
+        variant(
+            "blind peer selection",
+            OverlayConfig {
+                skip_offline_peers: false,
+                ..base.clone()
+            },
+        ),
+        variant(
+            "adaptive shuffle stop (k=10)",
+            OverlayConfig {
+                stop_after_stable_periods: Some(10),
+                ..base.clone()
+            },
+        ),
+        variant(
+            "adaptive lifetime (3x own Toff)",
+            OverlayConfig {
+                lifetime_policy: veil_core::config::LifetimePolicy::Adaptive {
+                    multiplier: 3.0,
+                    floor: 10.0,
+                },
+                ..base
+            },
+        ),
+    ];
+
+    let trust = build_trust_graph(&paper_params()).expect("trust graph");
+    let alphas = [0.25, 0.5];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for (name, params) in &variants {
+        let sweep = availability_sweep(&trust, params, &alphas, true).expect("sweep");
+        for point in sweep {
+            rows.push(vec![
+                name.clone(),
+                f3(point.alpha),
+                f3(point.overlay_disconnected),
+                f3(point.overlay_npl),
+            ]);
+            json.push(AblationRow {
+                variant: name.clone(),
+                alpha: point.alpha,
+                overlay_disconnected: point.overlay_disconnected,
+                overlay_npl: point.overlay_npl,
+            });
+        }
+    }
+    println!("\nAblation: overlay quality by design variant");
+    println!(
+        "{}",
+        render_table(&["variant", "alpha", "disconnected", "norm. path len"], &rows)
+    );
+    write_json("ablation_quality", &json);
+}

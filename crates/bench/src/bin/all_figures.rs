@@ -1,0 +1,34 @@
+//! Runs every figure binary's experiment in sequence, producing the full
+//! set of tables on stdout and JSON under `target/figures/`.
+//!
+//! Respects `VEIL_SCALE` (see the crate docs) so a smoke run finishes in
+//! seconds: `VEIL_SCALE=10 cargo run --release -p veil-bench --bin
+//! all_figures`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "fig3_connectivity",
+        "fig4_path_length",
+        "fig5_degree_dist",
+        "fig6_messages",
+        "fig7_lifetime",
+        "fig8_convergence",
+        "fig9_churn_overhead",
+        "ablation_quality",
+        "sensitivity",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin directory");
+    for bin in bins {
+        let path = dir.join(bin);
+        eprintln!("== running {bin} ==");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    eprintln!("all figures regenerated; JSON in target/figures/");
+}

@@ -1,0 +1,34 @@
+//! Figure 4: normalized average path length vs availability, for trust
+//! graphs sampled with f = 1.0 and f = 0.5, the overlay, and an ER
+//! reference graph.
+
+use veil_bench::{f3, paper_params, render_table, write_json, ALPHAS};
+use veil_core::experiment::{availability_sweep, build_trust_graph_with_f};
+
+fn main() {
+    let params = paper_params();
+    let mut results = Vec::new();
+    for f in [1.0, 0.5] {
+        let trust = build_trust_graph_with_f(&params, f).expect("trust graph");
+        let sweep =
+            availability_sweep(&trust, &params, &ALPHAS, true).expect("availability sweep");
+        let rows: Vec<Vec<String>> = sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    f3(p.alpha),
+                    f3(p.trust_npl),
+                    f3(p.overlay_npl),
+                    f3(p.random_npl),
+                ]
+            })
+            .collect();
+        println!("\nFigure 4 (f = {f}): normalized average path length");
+        println!(
+            "{}",
+            render_table(&["alpha", "trust graph", "overlay", "random graph"], &rows)
+        );
+        results.push((f, sweep));
+    }
+    write_json("fig4_path_length", &results);
+}

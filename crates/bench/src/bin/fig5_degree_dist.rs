@@ -1,0 +1,45 @@
+//! Figure 5: degree distribution among online nodes at α = 0.5, for trust
+//! graphs sampled with f = 1.0 and f = 0.5, the overlay, and an ER
+//! reference graph. Printed as (degree, node count) pairs per series.
+
+use veil_bench::{paper_params, render_table, write_json};
+use veil_core::experiment::{build_trust_graph_with_f, degree_distributions};
+use veil_metrics::Histogram;
+
+fn bucketed(h: &Histogram, width: usize) -> Vec<(usize, u64)> {
+    let mut buckets: Vec<(usize, u64)> = Vec::new();
+    for (value, count) in h.iter() {
+        let b = value / width * width;
+        match buckets.last_mut() {
+            Some((lb, c)) if *lb == b => *c += count,
+            _ => buckets.push((b, count)),
+        }
+    }
+    buckets
+}
+
+fn main() {
+    let params = paper_params();
+    let alpha = 0.5;
+    let mut results = Vec::new();
+    for f in [1.0, 0.5] {
+        let trust = build_trust_graph_with_f(&params, f).expect("trust graph");
+        let d = degree_distributions(&trust, &params, alpha).expect("degree distributions");
+        println!("\nFigure 5 (f = {f}, alpha = {alpha}): degree distribution (5-wide bins)");
+        for (name, h) in [("trust graph", &d.trust), ("overlay", &d.overlay), ("random graph", &d.random)]
+        {
+            let rows: Vec<Vec<String>> = bucketed(h, 5)
+                .into_iter()
+                .map(|(deg, count)| vec![format!("{deg}-{}", deg + 4), count.to_string()])
+                .collect();
+            println!(
+                "{name}: mean degree {:.1}, max {}",
+                h.mean(),
+                h.max_value().unwrap_or(0)
+            );
+            println!("{}", render_table(&["degree", "nodes"], &rows));
+        }
+        results.push((f, d));
+    }
+    write_json("fig5_degree_dist", &results);
+}

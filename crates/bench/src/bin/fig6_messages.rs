@@ -1,0 +1,47 @@
+//! Figure 6: average messages sent per shuffle period per node (ranked by
+//! trust-graph degree) and maximum overlay out-degree, at α = 0.5, for
+//! f = 1.0 and f = 0.5.
+
+use veil_bench::{f3, paper_params, render_table, scaled_horizon, write_json};
+use veil_core::experiment::{build_trust_graph_with_f, message_load};
+
+fn main() {
+    let params = paper_params();
+    let alpha = 0.5;
+    let measure = scaled_horizon(200.0, 40.0);
+    let mut results = Vec::new();
+    for f in [1.0, 0.5] {
+        let trust = build_trust_graph_with_f(&params, f).expect("trust graph");
+        let rows = message_load(&trust, &params, alpha, measure, 5.0).expect("message load");
+        // Print a decimated view: every node would be 1000 lines.
+        let shown: Vec<Vec<String>> = rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let r = i + 1;
+                r <= 10 || (r <= 100 && r % 10 == 0) || r % 100 == 0
+            })
+            .map(|(_, r)| {
+                vec![
+                    r.rank.to_string(),
+                    r.trust_degree.to_string(),
+                    r.max_out_degree.to_string(),
+                    f3(r.messages_per_period),
+                ]
+            })
+            .collect();
+        let mean: f64 =
+            rows.iter().map(|r| r.messages_per_period).sum::<f64>() / rows.len() as f64;
+        println!("\nFigure 6 (f = {f}, alpha = {alpha}): message load by trust-degree rank");
+        println!("mean messages per shuffle period per node: {mean:.2} (paper: 2)");
+        println!(
+            "{}",
+            render_table(
+                &["rank", "trust deg", "max out-deg", "msgs/sp"],
+                &shown
+            )
+        );
+        results.push((f, rows));
+    }
+    write_json("fig6_messages", &results);
+}

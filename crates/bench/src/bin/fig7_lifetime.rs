@@ -1,0 +1,32 @@
+//! Figure 7: fraction of disconnected online nodes vs availability for
+//! pseudonym-lifetime ratios r ∈ {1, 3, 9, ∞}, against the trust graph
+//! and an ER reference.
+
+use veil_bench::{f3, paper_params, ratio_label, render_table, write_json, ALPHAS, RATIOS};
+use veil_core::experiment::{build_trust_graph, lifetime_sweep};
+
+fn main() {
+    let params = paper_params();
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let sweeps = lifetime_sweep(&trust, &params, &ALPHAS, &RATIOS).expect("lifetime sweep");
+
+    // One row per alpha: trust, r=1, r=3, r=9, r=inf, random.
+    let mut rows = Vec::new();
+    for (i, &alpha) in ALPHAS.iter().enumerate() {
+        let mut row = vec![f3(alpha), f3(sweeps[0].1[i].trust_disconnected)];
+        for (_, sweep) in &sweeps {
+            row.push(f3(sweep[i].overlay_disconnected));
+        }
+        row.push(f3(sweeps[0].1[i].random_disconnected));
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("alpha".to_string())
+        .chain(std::iter::once("trust".to_string()))
+        .chain(RATIOS.iter().map(|&r| format!("r={}", ratio_label(r))))
+        .chain(std::iter::once("random".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("\nFigure 7: fraction of disconnected online nodes by pseudonym lifetime");
+    println!("{}", render_table(&header_refs, &rows));
+    write_json("fig7_lifetime", &sweeps);
+}

@@ -1,0 +1,51 @@
+//! Figure 8: connectivity over time at α = 0.25 — the trust graph versus
+//! overlays with lifetime ratios r = 3 and r = 9, from a cold start to
+//! 1000 shuffle periods.
+
+use veil_bench::{f3, paper_params, ratio_label, render_table, scaled_horizon, write_json};
+use veil_core::experiment::{build_trust_graph, connectivity_over_time};
+
+fn main() {
+    let params = paper_params();
+    let alpha = 0.25;
+    let horizon = scaled_horizon(1000.0, 100.0);
+    let interval = (horizon / 200.0).max(1.0);
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let ratios = [Some(3.0), Some(9.0)];
+    let series = connectivity_over_time(&trust, &params, alpha, &ratios, horizon, interval)
+        .expect("convergence series");
+
+    let mut rows = Vec::new();
+    for (i, (t, trust_frac)) in series.trust.iter().enumerate() {
+        if i % 4 != 0 {
+            continue; // decimate the printed table
+        }
+        let mut row = vec![format!("{t:.0}"), f3(trust_frac)];
+        for (_, ts) in &series.overlays {
+            row.push(f3(ts.as_slice()[i].1));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = ["time (sp)".to_string(), "trust".to_string()]
+        .into_iter()
+        .chain(
+            series
+                .overlays
+                .iter()
+                .map(|(r, _)| format!("overlay r={}", ratio_label(*r))),
+        )
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("\nFigure 8 (alpha = {alpha}): fraction of disconnected nodes over time");
+    println!("{}", render_table(&header_refs, &rows));
+    for (r, ts) in &series.overlays {
+        match ts.settling_time(0.01) {
+            Some(t) => println!(
+                "overlay r={} settles below 1% disconnected at t = {t:.0} sp",
+                ratio_label(*r)
+            ),
+            None => println!("overlay r={} did not settle below 1%", ratio_label(*r)),
+        }
+    }
+    write_json("fig8_convergence", &series);
+}

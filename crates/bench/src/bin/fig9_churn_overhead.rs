@@ -1,0 +1,42 @@
+//! Figure 9: pseudonym links replaced per node per shuffle period over
+//! time at α = 0.25, for lifetime ratios r ∈ {3, 9, ∞}, to 10000 shuffle
+//! periods.
+
+use veil_bench::{f3, paper_params, ratio_label, render_table, scaled_horizon, write_json};
+use veil_core::experiment::{build_trust_graph, replacement_rate_over_time};
+
+fn main() {
+    let params = paper_params();
+    let alpha = 0.25;
+    let horizon = scaled_horizon(10_000.0, 200.0);
+    let interval = (horizon / 200.0).max(1.0);
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let ratios = [Some(3.0), Some(9.0), None];
+    let series = replacement_rate_over_time(&trust, &params, alpha, &ratios, horizon, interval)
+        .expect("replacement series");
+
+    let len = series[0].1.len();
+    let mut rows = Vec::new();
+    for i in (0..len).step_by(8) {
+        let (t, _) = series[0].1.as_slice()[i];
+        let mut row = vec![format!("{t:.0}")];
+        for (_, ts) in &series {
+            row.push(f3(ts.as_slice()[i].1));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("time (sp)".to_string())
+        .chain(series.iter().map(|(r, _)| format!("r={}", ratio_label(*r))))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("\nFigure 9 (alpha = {alpha}): links replaced per node per shuffle period");
+    println!("{}", render_table(&header_refs, &rows));
+    for (r, ts) in &series {
+        let tail = ts.tail_mean(20).unwrap_or(0.0);
+        println!(
+            "r={}: steady-state replacement rate ~ {tail:.2} links/node/sp",
+            ratio_label(*r)
+        );
+    }
+    write_json("fig9_churn_overhead", &series);
+}

@@ -1,0 +1,44 @@
+//! Table I: default values for system parameters.
+
+use veil_bench::render_table;
+use veil_core::experiment::ExperimentParams;
+
+fn main() {
+    let p = ExperimentParams::default();
+    let rows = vec![
+        vec![
+            "Number of nodes in trust graph".to_string(),
+            p.nodes.to_string(),
+        ],
+        vec![
+            "Trust-graph sampling parameter (f)".to_string(),
+            format!("{}", p.trust_f),
+        ],
+        vec![
+            "Mean offline time in shuffling periods (Toff)".to_string(),
+            format!("{} sp", p.mean_offline),
+        ],
+        vec![
+            "Pseudonym lifetime".to_string(),
+            format!(
+                "{} sp (= {} x Toff)",
+                p.lifetime().expect("default lifetime is finite"),
+                p.lifetime_ratio.expect("default ratio is finite")
+            ),
+        ],
+        vec![
+            "Size of pseudonym cache".to_string(),
+            p.overlay.cache_size.to_string(),
+        ],
+        vec![
+            "Pseudonyms exchanged during a shuffle (l)".to_string(),
+            p.overlay.shuffle_length.to_string(),
+        ],
+        vec![
+            "Target number of overlay links per node".to_string(),
+            p.overlay.target_links.to_string(),
+        ],
+    ];
+    println!("Table I: Default values for system parameters");
+    println!("{}", render_table(&["Parameter", "Default"], &rows));
+}

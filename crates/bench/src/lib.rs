@@ -1,0 +1,162 @@
+//! Experiment harness shared by the `fig*` binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index). This library provides the common plumbing:
+//! paper-scale default parameters, an environment-driven scale knob for
+//! smoke runs, plain-text table rendering, and JSON result export.
+//!
+//! # Scale knob
+//!
+//! Set `VEIL_SCALE=n` to divide the experiment size by `n` (nodes, warm-up
+//! time, horizons). `VEIL_SCALE=1` (default) reproduces the paper's
+//! configuration; `VEIL_SCALE=10` finishes in seconds for CI smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use veil_core::experiment::ExperimentParams;
+
+/// The availability grid the paper sweeps (Figures 3, 4 and 7).
+pub const ALPHAS: [f64; 8] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+/// The pseudonym-lifetime ratios of Figures 7–9 (`None` = `r = ∞`).
+pub const RATIOS: [Option<f64>; 4] = [Some(1.0), Some(3.0), Some(9.0), None];
+
+/// Reads the `VEIL_SCALE` divisor (default 1).
+pub fn scale() -> usize {
+    std::env::var("VEIL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// Paper-scale experiment parameters divided by the `VEIL_SCALE` knob.
+pub fn paper_params() -> ExperimentParams {
+    let s = scale();
+    let base = ExperimentParams::default();
+    if s == 1 {
+        base
+    } else {
+        base.scaled_down(s)
+    }
+}
+
+/// Divides a time horizon by the scale knob, with a floor.
+pub fn scaled_horizon(full: f64, min: f64) -> f64 {
+    (full / scale() as f64).max(min)
+}
+
+/// Renders a plain-text table with right-aligned numeric columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&line(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a lifetime ratio for display (`inf` for `None`).
+pub fn ratio_label(r: Option<f64>) -> String {
+    match r {
+        Some(v) if v.fract() == 0.0 => format!("{}", v as i64),
+        Some(v) => format!("{v}"),
+        None => "inf".to_string(),
+    }
+}
+
+/// Directory where figure outputs are written (`target/figures`).
+pub fn output_dir() -> PathBuf {
+    let dir = Path::new("target").join("figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+/// Serializes `value` as pretty JSON into `target/figures/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = output_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphas_cover_paper_range() {
+        assert_eq!(ALPHAS.len(), 8);
+        assert_eq!(ALPHAS[0], 0.125);
+        assert_eq!(ALPHAS[7], 1.0);
+        for w in ALPHAS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn ratios_match_figure_seven() {
+        assert_eq!(RATIOS, [Some(1.0), Some(3.0), Some(9.0), None]);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["alpha", "value"],
+            &[
+                vec!["0.5".into(), "1".into()],
+                vec!["1".into(), "12.345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("alpha"));
+        assert!(lines[2].ends_with("1"));
+    }
+
+    #[test]
+    fn ratio_labels() {
+        assert_eq!(ratio_label(Some(3.0)), "3");
+        assert_eq!(ratio_label(None), "inf");
+    }
+
+    #[test]
+    fn scaled_horizon_has_floor() {
+        assert_eq!(scaled_horizon(1000.0, 50.0), 1000.0 / scale() as f64);
+        assert!(scaled_horizon(10.0, 50.0) >= 50.0 / scale() as f64 || scaled_horizon(10.0, 50.0) == 50.0);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

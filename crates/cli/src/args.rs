@@ -1,0 +1,228 @@
+//! Minimal argument parser: positional arguments plus `--key value` flags
+//! and boolean `--key` switches. Kept dependency-free on purpose.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: positionals in order, flags as key → value
+/// (`"true"` for bare switches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing and typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A flag was given twice.
+    DuplicateFlag(String),
+    /// A required flag is absent.
+    MissingFlag(String),
+    /// A flag's value failed to parse as the requested type.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Raw value supplied.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+    /// Unknown flag for this subcommand.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::DuplicateFlag(k) => write!(f, "flag --{k} given more than once"),
+            ArgsError::MissingFlag(k) => write!(f, "required flag --{k} is missing"),
+            ArgsError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag --{flag}: expected {expected}, got {value:?}"),
+            ArgsError::UnknownFlag(k) => write!(f, "unknown flag --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// A token starting with `--` opens a flag; if the next token does not
+    /// start with `--`, it becomes the value, otherwise the flag is a bare
+    /// boolean switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a flag repeats.
+    pub fn parse<I, S>(raw: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = raw.into_iter().map(Into::into).collect();
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                let name = name.to_string();
+                let value = match tokens.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => "true".to_string(),
+                };
+                if out.flags.insert(name.clone(), value).is_some() {
+                    return Err(ArgsError::DuplicateFlag(name));
+                }
+            } else {
+                out.positionals.push(tok.clone());
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The positional at `idx`, if present.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positionals.get(idx).map(String::as_str)
+    }
+
+    /// Raw flag value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Whether a bare switch or flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Typed flag access with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] if present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                flag: name.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Typed access to a required flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::MissingFlag`] or [`ArgsError::BadValue`].
+    pub fn require<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgsError> {
+        match self.flags.get(name) {
+            None => Err(ArgsError::MissingFlag(name.to_string())),
+            Some(v) => v.parse().map_err(|_| ArgsError::BadValue {
+                flag: name.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (catches typos early).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::UnknownFlag`] for the first unknown flag.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgsError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgsError::UnknownFlag(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let args = Args::parse(["generate", "--nodes", "100", "--verbose"]).unwrap();
+        assert_eq!(args.positionals(), &["generate".to_string()]);
+        assert_eq!(args.positional(0), Some("generate"));
+        assert_eq!(args.flag("nodes"), Some("100"));
+        assert!(args.has("verbose"));
+        assert_eq!(args.flag("verbose"), Some("true"));
+        assert!(!args.has("quiet"));
+    }
+
+    #[test]
+    fn rejects_duplicate_flags() {
+        let err = Args::parse(["--a", "1", "--a", "2"]).unwrap_err();
+        assert_eq!(err, ArgsError::DuplicateFlag("a".into()));
+    }
+
+    #[test]
+    fn typed_access() {
+        let args = Args::parse(["--n", "42", "--f", "0.5"]).unwrap();
+        assert_eq!(args.require::<usize>("n", "integer").unwrap(), 42);
+        assert_eq!(args.get_or::<f64>("f", 1.0, "float").unwrap(), 0.5);
+        assert_eq!(args.get_or::<f64>("missing", 7.0, "float").unwrap(), 7.0);
+        assert!(args.require::<usize>("missing", "integer").is_err());
+    }
+
+    #[test]
+    fn bad_value_reports_type() {
+        let args = Args::parse(["--n", "notanumber"]).unwrap();
+        let err = args.require::<usize>("n", "integer").unwrap_err();
+        assert!(matches!(err, ArgsError::BadValue { .. }));
+        assert!(err.to_string().contains("integer"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_a_switch() {
+        let args = Args::parse(["--dry-run", "--nodes", "5"]).unwrap();
+        assert!(args.has("dry-run"));
+        assert_eq!(args.flag("nodes"), Some("5"));
+    }
+
+    #[test]
+    fn check_known_catches_typos() {
+        let args = Args::parse(["--nodes", "5", "--sede", "1"]).unwrap();
+        let err = args.check_known(&["nodes", "seed"]).unwrap_err();
+        assert_eq!(err, ArgsError::UnknownFlag("sede".into()));
+        let ok = Args::parse(["--nodes", "5"]).unwrap();
+        ok.check_known(&["nodes", "seed"]).unwrap();
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // `-1` does not start with `--`, so it is a value.
+        let args = Args::parse(["--offset", "-1"]).unwrap();
+        assert_eq!(args.require::<i64>("offset", "integer").unwrap(), -1);
+    }
+}

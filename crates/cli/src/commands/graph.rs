@@ -1,0 +1,128 @@
+//! `veil graph ...` — generate, inspect and sample trust graphs.
+
+use super::CmdResult;
+use crate::args::Args;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufWriter;
+use veil_graph::generators::{self, CommunityParams};
+use veil_graph::sample::sample_trust_graph;
+use veil_graph::{io, metrics, Graph};
+use veil_sim::rng::{derive_rng, Stream};
+
+fn load(path: &str) -> Result<Graph, Box<dyn std::error::Error>> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(io::read_edge_list(file)?)
+}
+
+fn store(graph: &Graph, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    io::write_edge_list(graph, BufWriter::new(file))?;
+    Ok(())
+}
+
+/// `veil graph generate --model M --nodes N [--seed S] [--degree D] [--out F]`
+pub fn generate(args: &Args) -> CmdResult {
+    args.check_known(&["model", "nodes", "seed", "degree", "out"])?;
+    let model: String = args.require("model", "model name")?;
+    let nodes: usize = args.require("nodes", "integer")?;
+    let seed: u64 = args.get_or("seed", 42, "integer")?;
+    let degree: usize = args.get_or("degree", 3, "integer")?;
+    let mut rng = derive_rng(seed, Stream::Topology);
+    let graph = match model.as_str() {
+        "ba" => generators::barabasi_albert(nodes, degree, &mut rng)?,
+        "er" => generators::erdos_renyi_gnm(nodes, nodes * degree, &mut rng)?,
+        "ws" => generators::watts_strogatz(nodes, degree.max(2) / 2 * 2, 0.1, &mut rng)?,
+        "hk" => generators::holme_kim(nodes, degree, 0.9, &mut rng)?,
+        "social" => generators::social_graph(nodes, degree, &mut rng)?,
+        "community" => generators::community_social(nodes, CommunityParams::default(), &mut rng)?,
+        other => return Err(format!("unknown model {other:?} (try ba|er|ws|hk|social|community)").into()),
+    };
+    let mut out = format!(
+        "generated {model} graph: {} nodes, {} edges, avg degree {:.2}",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.average_degree()
+    );
+    if let Some(path) = args.flag("out") {
+        store(&graph, path)?;
+        write!(out, "\nwritten to {path}")?;
+    } else {
+        let mut buf = Vec::new();
+        io::write_edge_list(&graph, &mut buf)?;
+        write!(out, "\n{}", String::from_utf8_lossy(&buf))?;
+    }
+    Ok(out)
+}
+
+/// `veil graph stats <FILE>`
+pub fn stats(args: &Args) -> CmdResult {
+    args.check_known(&[])?;
+    let path = args
+        .positional(2)
+        .ok_or("graph stats needs a file argument")?;
+    let g = load(path)?;
+    let degrees = g.degrees();
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let components = metrics::component_sizes_masked(&g, None);
+    let mut out = String::new();
+    writeln!(out, "file:              {path}")?;
+    writeln!(out, "nodes:             {}", g.node_count())?;
+    writeln!(out, "edges:             {}", g.edge_count())?;
+    writeln!(out, "avg degree:        {:.2}", g.average_degree())?;
+    writeln!(out, "max degree:        {max_degree}")?;
+    writeln!(out, "components:        {}", components.len())?;
+    writeln!(
+        out,
+        "largest component: {}",
+        components.first().copied().unwrap_or(0)
+    )?;
+    writeln!(out, "clustering:        {:.4}", metrics::average_clustering(&g))?;
+    writeln!(
+        out,
+        "assortativity:     {:.4}",
+        metrics::degree_assortativity(&g)
+    )?;
+    writeln!(out, "degeneracy:        {}", metrics::degeneracy(&g))?;
+    writeln!(
+        out,
+        "articulation pts:  {}",
+        metrics::articulation_points(&g).len()
+    )?;
+    writeln!(out, "bridges:           {}", metrics::bridges(&g).len())?;
+    if g.node_count() <= 2000 {
+        writeln!(out, "diameter (LCC):    {}", metrics::diameter(&g))?;
+        writeln!(
+            out,
+            "avg path len (LCC): {:.3}",
+            metrics::average_path_length(&g, None)
+        )?;
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `veil graph sample <FILE> --target N [--f F] [--seed S] [--out F]`
+pub fn sample(args: &Args) -> CmdResult {
+    args.check_known(&["target", "f", "seed", "out"])?;
+    let path = args
+        .positional(2)
+        .ok_or("graph sample needs a file argument")?;
+    let target: usize = args.require("target", "integer")?;
+    let f: f64 = args.get_or("f", 0.5, "float in [0,1]")?;
+    let seed: u64 = args.get_or("seed", 42, "integer")?;
+    let source = load(path)?;
+    let mut rng = derive_rng(seed, Stream::Topology);
+    let sampled = sample_trust_graph(&source, target, f, &mut rng)?;
+    let mut out = format!(
+        "sampled {} of {} nodes with f = {f}: {} edges, avg degree {:.2}",
+        sampled.graph.node_count(),
+        source.node_count(),
+        sampled.graph.edge_count(),
+        sampled.graph.average_degree()
+    );
+    if let Some(dest) = args.flag("out") {
+        store(&sampled.graph, dest)?;
+        write!(out, "\nwritten to {dest}")?;
+    }
+    Ok(out)
+}

@@ -1,0 +1,8 @@
+//! Subcommand implementations. Each returns the text to print.
+
+pub mod attack;
+pub mod graph;
+pub mod simulate;
+
+/// Convenience alias for command results.
+pub type CmdResult = Result<String, Box<dyn std::error::Error>>;

@@ -1,0 +1,154 @@
+//! `veil simulate` — run the overlay-maintenance protocol under churn and
+//! report connectivity over time.
+
+use super::CmdResult;
+use crate::args::Args;
+use serde::Serialize;
+use std::fmt::Write as _;
+use veil_core::experiment::{build_simulation, build_trust_graph, ExperimentParams};
+use veil_core::metrics::{snapshot, Collector};
+use veil_graph::metrics as gm;
+
+#[derive(Serialize)]
+struct JsonOutput {
+    config: ExperimentParams,
+    alpha: f64,
+    series: Vec<(f64, f64, f64)>, // (time, overlay_disconnected, trust_disconnected)
+    #[serde(rename = "final")]
+    final_snapshot: veil_core::metrics::OverlaySnapshot,
+    normalized_path_length: f64,
+}
+
+/// Parses `--blackout T,DURATION,FRACTION`.
+fn parse_blackout(raw: &str) -> Result<(f64, f64, f64), String> {
+    let parts: Vec<&str> = raw.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "--blackout expects T,DURATION,FRACTION, got {raw:?}"
+        ));
+    }
+    let parse = |s: &str, what: &str| -> Result<f64, String> {
+        s.trim()
+            .parse::<f64>()
+            .map_err(|e| format!("--blackout {what}: {e}"))
+    };
+    let t = parse(parts[0], "start time")?;
+    let duration = parse(parts[1], "duration")?;
+    let fraction = parse(parts[2], "fraction")?;
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err("blackout fraction must be in [0, 1]".into());
+    }
+    Ok((t, duration, fraction))
+}
+
+/// `veil simulate --nodes N [--alpha A] [--horizon T] [--seed S]
+/// [--lifetime-ratio R|inf] [--snapshot-every X]
+/// [--blackout T,DURATION,FRACTION] [--json]`
+pub fn run(args: &Args) -> CmdResult {
+    args.check_known(&[
+        "nodes",
+        "alpha",
+        "horizon",
+        "seed",
+        "lifetime-ratio",
+        "snapshot-every",
+        "blackout",
+        "json",
+    ])?;
+    let nodes: usize = args.require("nodes", "integer")?;
+    let alpha: f64 = args.get_or("alpha", 0.5, "float in (0,1]")?;
+    let horizon: f64 = args.get_or("horizon", 200.0, "float")?;
+    let seed: u64 = args.get_or("seed", 42, "integer")?;
+    let interval: f64 = args.get_or("snapshot-every", (horizon / 20.0).max(1.0), "float")?;
+    let lifetime_ratio = match args.flag("lifetime-ratio") {
+        None => Some(3.0),
+        Some("inf") => None,
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|e| format!("--lifetime-ratio: {e}"))?,
+        ),
+    };
+    let blackout = args.flag("blackout").map(parse_blackout).transpose()?;
+
+    let params = ExperimentParams {
+        nodes,
+        seed,
+        lifetime_ratio,
+        warmup: horizon,
+        source_multiplier: 20,
+        ..ExperimentParams::default()
+    };
+    let trust = build_trust_graph(&params)?;
+    let mut sim = build_simulation(trust, &params, alpha)?;
+    let mut collector = Collector::new(interval);
+    let mut blackout_note = String::new();
+    if let Some((t, duration, fraction)) = blackout {
+        let t = t.min(horizon);
+        collector.run(&mut sim, t);
+        let victims: Vec<usize> = (0..sim.node_count())
+            .take((fraction * sim.node_count() as f64) as usize)
+            .collect();
+        sim.inject_blackout(&victims, duration);
+        writeln!(
+            blackout_note,
+            "blackout: {} nodes offline at t = {t} for {duration} periods",
+            victims.len()
+        )?;
+        collector.run(&mut sim, horizon);
+    } else {
+        collector.run(&mut sim, horizon);
+    }
+
+    let final_snapshot = snapshot(&sim);
+    let npl = {
+        let online = sim.online_mask();
+        gm::normalized_avg_path_length(&sim.overlay_graph(), Some(&online))
+    };
+
+    if args.has("json") {
+        let series: Vec<(f64, f64, f64)> = collector
+            .connectivity()
+            .iter()
+            .zip(collector.connectivity_trust().iter())
+            .map(|((t, o), (_, tr))| (t, o, tr))
+            .collect();
+        let out = JsonOutput {
+            config: params,
+            alpha,
+            series,
+            final_snapshot,
+            normalized_path_length: npl,
+        };
+        return Ok(serde_json::to_string_pretty(&out)?);
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "overlay simulation: {nodes} nodes, alpha = {alpha}, horizon = {horizon} sp, seed = {seed}"
+    )?;
+    out.push_str(&blackout_note);
+    writeln!(out, "\n{:>10}  {:>18}  {:>18}", "time (sp)", "overlay disconnected", "trust disconnected")?;
+    for ((t, o), (_, tr)) in collector
+        .connectivity()
+        .iter()
+        .zip(collector.connectivity_trust().iter())
+    {
+        writeln!(out, "{t:>10.1}  {o:>18.3}  {tr:>18.3}")?;
+    }
+    writeln!(out)?;
+    writeln!(out, "final online nodes:        {}", final_snapshot.online_nodes)?;
+    writeln!(
+        out,
+        "final overlay disconnected: {:.3}",
+        final_snapshot.fraction_disconnected
+    )?;
+    writeln!(
+        out,
+        "final trust disconnected:   {:.3}",
+        final_snapshot.fraction_disconnected_trust
+    )?;
+    writeln!(out, "pseudonym links:           {}", final_snapshot.pseudonym_links)?;
+    writeln!(out, "normalized path length:    {npl:.3}")?;
+    Ok(out.trim_end().to_string())
+}

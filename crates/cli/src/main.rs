@@ -1,0 +1,208 @@
+//! `veil` — command-line front end for the overlay simulator.
+//!
+//! ```text
+//! veil graph generate --model social --nodes 1000 --seed 7 --out trust.txt
+//! veil graph stats trust.txt
+//! veil graph sample trust.txt --target 200 --f 0.5 --seed 7 --out sampled.txt
+//! veil simulate --nodes 300 --alpha 0.5 --horizon 200 --seed 7
+//! veil attack --nodes 200 --seed 7
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "veil — robust privacy-preserving overlays over social graphs
+
+USAGE:
+    veil <command> [args]
+
+COMMANDS:
+    graph generate   generate a synthetic social graph
+                     --model <ba|er|ws|hk|social|community> --nodes N
+                     [--seed S] [--degree D] [--out FILE]
+    graph stats      print structural metrics of an edge-list file
+                     <FILE>
+    graph sample     invitation-model f-sample of an edge-list file
+                     <FILE> --target N [--f F] [--seed S] [--out FILE]
+    simulate         run the overlay protocol under churn
+                     --nodes N [--alpha A] [--horizon T] [--seed S]
+                     [--lifetime-ratio R|inf] [--snapshot-every X]
+                     [--blackout T,DURATION,FRACTION] [--json]
+    attack           run the Section III-E threat models
+                     --nodes N [--seed S]
+    help             show this message
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(&raw) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches a raw command line to the matching command; returns the text
+/// to print. Extracted from `main` so tests can drive it directly.
+fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw.iter().cloned())?;
+    if args.positionals().len() > 3 {
+        return Err(format!("too many arguments: {:?}", args.positionals()).into());
+    }
+    match (args.positional(0), args.positional(1)) {
+        (Some("graph"), Some("generate")) => commands::graph::generate(&args),
+        (Some("graph"), Some("stats")) => commands::graph::stats(&args),
+        (Some("graph"), Some("sample")) => commands::graph::sample(&args),
+        (Some("simulate"), _) => commands::simulate::run(&args),
+        (Some("attack"), _) => commands::attack::run(&args),
+        (Some("help"), _) | (None, _) => Ok(USAGE.to_string()),
+        (Some(other), _) => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let raw: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        run(&raw).map_err(|e| e.to_string())
+    }
+
+    #[test]
+    fn help_and_empty_print_usage() {
+        assert!(run_line(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_line(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run_line(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn generate_and_stats_round_trip() {
+        let dir = std::env::temp_dir().join("veil-cli-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let path_str = path.to_str().unwrap();
+        let out = run_line(&[
+            "graph", "generate", "--model", "social", "--nodes", "120", "--seed", "3", "--out",
+            path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("120"));
+        let stats = run_line(&["graph", "stats", path_str]).unwrap();
+        assert!(stats.contains("nodes"));
+        assert!(stats.contains("120"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sample_requires_target() {
+        let dir = std::env::temp_dir().join("veil-cli-test-sample");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let path_str = path.to_str().unwrap();
+        run_line(&[
+            "graph", "generate", "--model", "social", "--nodes", "150", "--out", path_str,
+        ])
+        .unwrap();
+        let err = run_line(&["graph", "sample", path_str]).unwrap_err();
+        assert!(err.contains("target"));
+        let ok = run_line(&[
+            "graph", "sample", path_str, "--target", "50", "--f", "0.5",
+        ])
+        .unwrap();
+        assert!(ok.contains("50"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        let out = run_line(&[
+            "simulate", "--nodes", "60", "--alpha", "0.5", "--horizon", "30", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(out.contains("disconnected"));
+        assert!(out.contains("overlay"));
+    }
+
+    #[test]
+    fn simulate_json_output_parses() {
+        let out = run_line(&[
+            "simulate", "--nodes", "50", "--horizon", "20", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert!(v.get("final").is_some());
+    }
+
+    #[test]
+    fn simulate_with_blackout() {
+        let out = run_line(&[
+            "simulate", "--nodes", "60", "--alpha", "1.0", "--horizon", "40", "--blackout",
+            "20,5,0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("blackout"));
+    }
+
+    #[test]
+    fn attack_smoke() {
+        let out = run_line(&["attack", "--nodes", "80", "--seed", "2"]).unwrap();
+        assert!(out.contains("observer"));
+        assert!(out.contains("articulation"));
+    }
+
+    #[test]
+    fn every_model_generates() {
+        for model in ["ba", "er", "ws", "hk", "social", "community"] {
+            let nodes = if model == "community" { "200" } else { "60" };
+            let out = run_line(&[
+                "graph", "generate", "--model", model, "--nodes", nodes, "--seed", "9",
+            ])
+            .unwrap_or_else(|e| panic!("model {model}: {e}"));
+            assert!(out.contains(model), "output should echo the model name");
+            assert!(out.contains("edges"));
+        }
+    }
+
+    #[test]
+    fn stats_reports_missing_file() {
+        let err = run_line(&["graph", "stats", "/nonexistent/veil.txt"]).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+
+    #[test]
+    fn too_many_positionals_rejected() {
+        let err = run_line(&["graph", "stats", "a", "b", "c"]).unwrap_err();
+        assert!(err.contains("too many"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_model() {
+        let err = run_line(&["graph", "generate", "--model", "mystery", "--nodes", "50"])
+            .unwrap_err();
+        assert!(err.contains("mystery"));
+    }
+
+    #[test]
+    fn generate_rejects_unknown_flag() {
+        let err = run_line(&[
+            "graph", "generate", "--model", "er", "--nodes", "50", "--sede", "1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("sede"));
+    }
+}

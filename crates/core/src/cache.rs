@@ -1,0 +1,324 @@
+//! The Cyclon-style pseudonym cache (Section III-D1).
+//!
+//! Each node maintains a bounded cache of pseudonyms received in gossip
+//! exchanges. On each shuffle a node offers a random subset of its cache
+//! (plus its own pseudonym) and absorbs the peer's offer, with "a cache
+//! replacement policy similar to that employed in \[CYCLON\]": when the cache
+//! overflows, the entries that were just offered to the peer are evicted
+//! first, then random victims.
+
+use crate::pseudonym::{Pseudonym, PseudonymId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+use veil_sim::SimTime;
+
+/// Bounded pseudonym cache with Cyclon-like replacement.
+///
+/// # Examples
+///
+/// ```
+/// use veil_core::cache::Cache;
+/// use veil_core::pseudonym::PseudonymService;
+/// use veil_sim::SimTime;
+///
+/// let mut svc = PseudonymService::new(1);
+/// let mut cache = Cache::new(2);
+/// let a = svc.mint(1, SimTime::ZERO, None);
+/// cache.insert(a, SimTime::ZERO);
+/// assert_eq!(cache.len(), 1);
+/// assert!(cache.contains(a.id()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    capacity: usize,
+    entries: Vec<Pseudonym>,
+    index: HashMap<PseudonymId, usize>,
+}
+
+impl Cache {
+    /// Creates an empty cache holding at most `capacity` pseudonyms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of cached pseudonyms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether a pseudonym with this id is cached.
+    pub fn contains(&self, id: PseudonymId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Iterates over the cached pseudonyms in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pseudonym> {
+        self.entries.iter()
+    }
+
+    fn remove_at(&mut self, pos: usize) -> Pseudonym {
+        let removed = self.entries.swap_remove(pos);
+        self.index.remove(&removed.id());
+        if pos < self.entries.len() {
+            let moved = self.entries[pos].id();
+            self.index.insert(moved, pos);
+        }
+        removed
+    }
+
+    /// Removes the pseudonym with the given id, if present.
+    pub fn remove(&mut self, id: PseudonymId) -> Option<Pseudonym> {
+        let pos = self.index.get(&id).copied()?;
+        Some(self.remove_at(pos))
+    }
+
+    /// Drops every pseudonym that has expired by `now`; returns how many.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        let mut pos = 0;
+        while pos < self.entries.len() {
+            if !self.entries[pos].is_valid(now) {
+                self.remove_at(pos);
+                removed += 1;
+            } else {
+                pos += 1;
+            }
+        }
+        removed
+    }
+
+    /// Inserts a single pseudonym if it is valid and not already present.
+    ///
+    /// Returns `false` (without evicting) when the cache is full; bulk
+    /// insertion with eviction goes through [`Cache::absorb`].
+    pub fn insert(&mut self, p: Pseudonym, now: SimTime) -> bool {
+        if !p.is_valid(now) || self.contains(p.id()) || self.entries.len() >= self.capacity {
+            return false;
+        }
+        self.index.insert(p.id(), self.entries.len());
+        self.entries.push(p);
+        true
+    }
+
+    /// Selects up to `count` distinct cached pseudonyms uniformly at random
+    /// — the node's offer in a shuffle (its own pseudonym is appended by the
+    /// protocol, not stored here).
+    pub fn select_offer<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Pseudonym> {
+        let mut picks: Vec<usize> = (0..self.entries.len()).collect();
+        picks.shuffle(rng);
+        picks
+            .into_iter()
+            .take(count)
+            .map(|i| self.entries[i])
+            .collect()
+    }
+
+    /// Absorbs the peer's offer: inserts every valid, novel pseudonym,
+    /// evicting — when full — first the entries in `just_sent` (Cyclon
+    /// policy), then random victims.
+    ///
+    /// `own` is the receiving node's current pseudonym id, which is never
+    /// cached ("with the exception of its own pseudonym, if present").
+    /// Returns the number of newly inserted entries.
+    pub fn absorb<R: Rng + ?Sized>(
+        &mut self,
+        received: &[Pseudonym],
+        just_sent: &[PseudonymId],
+        own: Option<PseudonymId>,
+        now: SimTime,
+        rng: &mut R,
+    ) -> usize {
+        self.purge_expired(now);
+        let mut inserted = 0;
+        let mut sent_pool: Vec<PseudonymId> = just_sent.to_vec();
+        for &p in received {
+            if Some(p.id()) == own || !p.is_valid(now) || self.contains(p.id()) {
+                continue;
+            }
+            if self.entries.len() >= self.capacity {
+                // Prefer evicting what we just offered to the peer: the peer
+                // now holds those entries, so overall cache diversity grows.
+                let evicted = loop {
+                    match sent_pool.pop() {
+                        Some(victim) if self.contains(victim) => {
+                            self.remove(victim);
+                            break true;
+                        }
+                        Some(_) => continue,
+                        None => break false,
+                    }
+                };
+                if !evicted {
+                    let victim = rng.gen_range(0..self.entries.len());
+                    self.remove_at(victim);
+                }
+            }
+            self.index.insert(p.id(), self.entries.len());
+            self.entries.push(p);
+            inserted += 1;
+        }
+        inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudonym::PseudonymService;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (PseudonymService, StdRng) {
+        (PseudonymService::new(1), StdRng::seed_from_u64(2))
+    }
+
+    fn mint_n(svc: &mut PseudonymService, n: usize, lifetime: Option<f64>) -> Vec<Pseudonym> {
+        (0..n)
+            .map(|i| svc.mint(i as u32, SimTime::ZERO, lifetime))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        Cache::new(0);
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let (mut svc, _) = setup();
+        let mut cache = Cache::new(4);
+        let p = svc.mint(1, SimTime::ZERO, None);
+        assert!(cache.insert(p, SimTime::ZERO));
+        assert!(!cache.insert(p, SimTime::ZERO));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_rejects_expired() {
+        let (mut svc, _) = setup();
+        let mut cache = Cache::new(4);
+        let p = svc.mint(1, SimTime::ZERO, Some(5.0));
+        assert!(!cache.insert(p, SimTime::new(5.0)));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn purge_expired_removes_only_stale() {
+        let (mut svc, _) = setup();
+        let mut cache = Cache::new(10);
+        let short = svc.mint(1, SimTime::ZERO, Some(5.0));
+        let long = svc.mint(2, SimTime::ZERO, Some(50.0));
+        let eternal = svc.mint(3, SimTime::ZERO, None);
+        for p in [short, long, eternal] {
+            cache.insert(p, SimTime::ZERO);
+        }
+        assert_eq!(cache.purge_expired(SimTime::new(10.0)), 1);
+        assert!(!cache.contains(short.id()));
+        assert!(cache.contains(long.id()));
+        assert!(cache.contains(eternal.id()));
+    }
+
+    #[test]
+    fn select_offer_is_distinct_and_bounded() {
+        let (mut svc, mut rng) = setup();
+        let mut cache = Cache::new(20);
+        for p in mint_n(&mut svc, 10, None) {
+            cache.insert(p, SimTime::ZERO);
+        }
+        let offer = cache.select_offer(4, &mut rng);
+        assert_eq!(offer.len(), 4);
+        let mut ids: Vec<_> = offer.iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+        // Asking for more than available returns everything.
+        assert_eq!(cache.select_offer(100, &mut rng).len(), 10);
+    }
+
+    #[test]
+    fn absorb_skips_own_pseudonym() {
+        let (mut svc, mut rng) = setup();
+        let mut cache = Cache::new(10);
+        let own = svc.mint(0, SimTime::ZERO, None);
+        let other = svc.mint(1, SimTime::ZERO, None);
+        let n = cache.absorb(&[own, other], &[], Some(own.id()), SimTime::ZERO, &mut rng);
+        assert_eq!(n, 1);
+        assert!(!cache.contains(own.id()));
+        assert!(cache.contains(other.id()));
+    }
+
+    #[test]
+    fn absorb_prefers_evicting_sent_entries() {
+        let (mut svc, mut rng) = setup();
+        let mut cache = Cache::new(3);
+        let residents = mint_n(&mut svc, 3, None);
+        for &p in &residents {
+            cache.insert(p, SimTime::ZERO);
+        }
+        let sent = residents[0].id();
+        let incoming = svc.mint(9, SimTime::ZERO, None);
+        cache.absorb(&[incoming], &[sent], None, SimTime::ZERO, &mut rng);
+        assert!(cache.contains(incoming.id()));
+        assert!(!cache.contains(sent), "sent entry should be the victim");
+        assert!(cache.contains(residents[1].id()));
+        assert!(cache.contains(residents[2].id()));
+    }
+
+    #[test]
+    fn absorb_falls_back_to_random_eviction() {
+        let (mut svc, mut rng) = setup();
+        let mut cache = Cache::new(2);
+        for p in mint_n(&mut svc, 2, None) {
+            cache.insert(p, SimTime::ZERO);
+        }
+        let incoming = svc.mint(9, SimTime::ZERO, None);
+        cache.absorb(&[incoming], &[], None, SimTime::ZERO, &mut rng);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(incoming.id()));
+    }
+
+    #[test]
+    fn absorb_never_exceeds_capacity() {
+        let (mut svc, mut rng) = setup();
+        let mut cache = Cache::new(5);
+        let batch = mint_n(&mut svc, 50, None);
+        cache.absorb(&batch, &[], None, SimTime::ZERO, &mut rng);
+        assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn remove_fixes_internal_index() {
+        let (mut svc, _) = setup();
+        let mut cache = Cache::new(5);
+        let ps = mint_n(&mut svc, 3, None);
+        for &p in &ps {
+            cache.insert(p, SimTime::ZERO);
+        }
+        cache.remove(ps[0].id());
+        // swap_remove moved the last entry into slot 0; it must stay findable.
+        assert!(cache.contains(ps[2].id()));
+        assert!(cache.remove(ps[2].id()).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for overlay configuration and simulation setup.
+
+use std::fmt;
+
+/// Errors raised while configuring or constructing an overlay simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration field had an invalid value.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The trust graph is unusable (e.g. empty).
+    InvalidTrustGraph {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field `{field}`: {reason}")
+            }
+            CoreError::InvalidTrustGraph { reason } => {
+                write!(f, "invalid trust graph: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = CoreError::InvalidConfig {
+            field: "cache_size",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("cache_size"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,303 @@
+//! Per-node protocol state: trusted links, cache, sampler, own pseudonym.
+
+use crate::cache::Cache;
+use crate::config::OverlayConfig;
+use crate::pseudonym::{Pseudonym, PseudonymService};
+use rand::Rng;
+use veil_sim::SimTime;
+
+/// One end of an overlay link, from the owning node's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkTarget {
+    /// A trusted link to a trust-graph neighbour, addressed by node ID
+    /// (both ends know each other's identity).
+    Trusted(u32),
+    /// A pseudonym link, addressed by pseudonym (neither end learns the
+    /// other's identity).
+    Pseudonym(Pseudonym),
+}
+
+impl LinkTarget {
+    /// Resolves the link to the destination node index.
+    ///
+    /// For pseudonym links this models the pseudonym service performing the
+    /// delivery; the sending node itself never learns the result.
+    pub fn resolve(&self) -> u32 {
+        match self {
+            LinkTarget::Trusted(n) => *n,
+            LinkTarget::Pseudonym(p) => p.owner(),
+        }
+    }
+
+    /// Whether this is a trusted link.
+    pub fn is_trusted(&self) -> bool {
+        matches!(self, LinkTarget::Trusted(_))
+    }
+}
+
+/// Message and activity statistics of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeStats {
+    /// Shuffle requests sent (one per shuffle period while online, when the
+    /// node has at least one link).
+    pub requests_sent: u64,
+    /// Shuffle responses sent (one per delivered incoming request).
+    pub responses_sent: u64,
+    /// Shuffle requests that could not be delivered (peer offline).
+    pub requests_lost: u64,
+    /// Shuffle rounds skipped by the adaptive stability detector
+    /// (`stop_after_stable_periods`).
+    pub shuffles_suppressed: u64,
+    /// Accumulated time spent online, in shuffle periods.
+    pub online_time: f64,
+}
+
+impl NodeStats {
+    /// Total messages sent (requests + responses).
+    pub fn messages_sent(&self) -> u64 {
+        self.requests_sent + self.responses_sent
+    }
+
+    /// Average messages sent per shuffle period of online time
+    /// (the quantity plotted in Figure 6). `0.0` if never online.
+    pub fn messages_per_period(&self) -> f64 {
+        if self.online_time <= 0.0 {
+            0.0
+        } else {
+            self.messages_sent() as f64 / self.online_time
+        }
+    }
+}
+
+/// The complete protocol state of one participant.
+///
+/// Composes the trusted neighbour list (from the trust graph), the Cyclon
+/// cache, the Brahms sampler, and the node's own current pseudonym. State
+/// survives offline periods: "when a node rejoins the system, it retains
+/// the state data that it had prior to the failure" (Section II-D).
+#[derive(Debug)]
+pub struct Node {
+    /// The node's index in the trust graph.
+    pub id: u32,
+    trusted: Vec<u32>,
+    /// Pseudonym cache (gossip working set).
+    pub cache: Cache,
+    /// Min-wise sampler deciding which pseudonyms become links.
+    pub sampler: crate::sampler::Sampler,
+    own: Option<Pseudonym>,
+    /// Activity statistics.
+    pub stats: NodeStats,
+}
+
+impl Node {
+    /// Creates the node's initial state from the overlay configuration and
+    /// its trusted neighbour list.
+    ///
+    /// The sampler's slot count follows the configured [`SlotPolicy`]:
+    /// by default `max(min_slots, target_links − |trusted|)`, so hubs rely
+    /// on their trusted links.
+    ///
+    /// [`SlotPolicy`]: crate::config::SlotPolicy
+    pub fn new<R: Rng + ?Sized>(
+        id: u32,
+        trusted: Vec<u32>,
+        cfg: &OverlayConfig,
+        rng: &mut R,
+    ) -> Self {
+        let slots = cfg.slots_for_degree(trusted.len());
+        Self {
+            id,
+            trusted,
+            cache: Cache::new(cfg.cache_size),
+            sampler: crate::sampler::Sampler::new(
+                slots,
+                cfg.distance_metric,
+                cfg.minwise_sampling,
+                rng,
+            ),
+            own: None,
+            stats: NodeStats::default(),
+        }
+    }
+
+    /// The node's trust-graph neighbours.
+    pub fn trusted(&self) -> &[u32] {
+        &self.trusted
+    }
+
+    /// The node's current pseudonym, if one has been created and not
+    /// expired by `now`.
+    pub fn own_pseudonym(&self, now: SimTime) -> Option<Pseudonym> {
+        self.own.filter(|p| p.is_valid(now))
+    }
+
+    /// Whether the node needs a fresh pseudonym at `now`.
+    pub fn needs_pseudonym(&self, now: SimTime) -> bool {
+        self.own_pseudonym(now).is_none()
+    }
+
+    /// Mints and installs a fresh pseudonym ("every node creates a
+    /// pseudonym to represent itself when it starts" and again whenever the
+    /// previous one expires).
+    pub fn renew_pseudonym(
+        &mut self,
+        svc: &mut PseudonymService,
+        now: SimTime,
+        lifetime: Option<f64>,
+    ) -> Pseudonym {
+        let p = svc.mint(self.id, now, lifetime);
+        self.own = Some(p);
+        p
+    }
+
+    /// Drops expired pseudonyms from the cache and sampler; returns the
+    /// number of pseudonym *links* removed (the expiry side of Figure 9).
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        self.cache.purge_expired(now);
+        self.sampler.purge_expired(now)
+    }
+
+    /// The node's overlay links: trusted links plus the sampled pseudonym
+    /// links valid at `now` (`n.links` in the paper).
+    pub fn links(&self, now: SimTime) -> Vec<LinkTarget> {
+        let mut out: Vec<LinkTarget> = self
+            .trusted
+            .iter()
+            .map(|&t| LinkTarget::Trusted(t))
+            .collect();
+        out.extend(
+            self.sampler
+                .links()
+                .into_iter()
+                .filter(|p| p.is_valid(now))
+                .map(LinkTarget::Pseudonym),
+        );
+        out
+    }
+
+    /// Picks one link uniformly at random ("periodically, n selects a link
+    /// from n.links uniformly at random"); `None` when the node has no
+    /// links at all.
+    pub fn pick_link<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> Option<LinkTarget> {
+        let links = self.links(now);
+        if links.is_empty() {
+            None
+        } else {
+            Some(links[rng.gen_range(0..links.len())])
+        }
+    }
+
+    /// Current overlay out-degree: trusted links plus distinct pseudonym
+    /// links.
+    pub fn out_degree(&self, now: SimTime) -> usize {
+        self.links(now).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_node(id: u32, trusted: Vec<u32>) -> Node {
+        let cfg = OverlayConfig::default();
+        let mut rng = StdRng::seed_from_u64(id as u64 + 100);
+        Node::new(id, trusted, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn slot_budget_respects_trust_degree() {
+        let lone = make_node(0, vec![]);
+        assert_eq!(lone.sampler.slot_count(), 50);
+        let social = make_node(1, (0..20).collect());
+        assert_eq!(social.sampler.slot_count(), 30);
+        let hub = make_node(2, (0..80).collect());
+        assert_eq!(hub.sampler.slot_count(), 0);
+    }
+
+    #[test]
+    fn pseudonym_lifecycle() {
+        let mut node = make_node(0, vec![]);
+        let mut svc = PseudonymService::new(1);
+        assert!(node.needs_pseudonym(SimTime::ZERO));
+        let p = node.renew_pseudonym(&mut svc, SimTime::ZERO, Some(10.0));
+        assert_eq!(node.own_pseudonym(SimTime::ZERO), Some(p));
+        assert!(!node.needs_pseudonym(SimTime::new(9.0)));
+        assert!(node.needs_pseudonym(SimTime::new(10.0)));
+        let p2 = node.renew_pseudonym(&mut svc, SimTime::new(10.0), Some(10.0));
+        assert_ne!(p.id(), p2.id());
+    }
+
+    #[test]
+    fn links_merge_trusted_and_sampled() {
+        let mut node = make_node(0, vec![7, 9]);
+        let mut svc = PseudonymService::new(2);
+        let p = svc.mint(3, SimTime::ZERO, None);
+        node.sampler.offer(p, SimTime::ZERO);
+        let links = node.links(SimTime::ZERO);
+        assert_eq!(links.len(), 3);
+        assert!(links.contains(&LinkTarget::Trusted(7)));
+        assert!(links.contains(&LinkTarget::Trusted(9)));
+        assert!(links.iter().any(|l| l.resolve() == 3 && !l.is_trusted()));
+        assert_eq!(node.out_degree(SimTime::ZERO), 3);
+    }
+
+    #[test]
+    fn expired_pseudonym_links_excluded() {
+        let mut node = make_node(0, vec![]);
+        let mut svc = PseudonymService::new(3);
+        let p = svc.mint(3, SimTime::ZERO, Some(5.0));
+        node.sampler.offer(p, SimTime::ZERO);
+        assert_eq!(node.links(SimTime::new(4.0)).len(), 1);
+        assert_eq!(node.links(SimTime::new(5.0)).len(), 0);
+    }
+
+    #[test]
+    fn purge_counts_link_removals() {
+        let mut node = make_node(0, vec![]);
+        let mut svc = PseudonymService::new(4);
+        let p = svc.mint(3, SimTime::ZERO, Some(5.0));
+        node.sampler.offer(p, SimTime::ZERO);
+        node.cache.insert(p, SimTime::ZERO);
+        assert_eq!(node.purge_expired(SimTime::new(6.0)), 1);
+        assert!(node.cache.is_empty());
+        assert_eq!(node.sampler.link_count(), 0);
+    }
+
+    #[test]
+    fn pick_link_none_when_isolated() {
+        let node = make_node(0, vec![]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(node.pick_link(SimTime::ZERO, &mut rng).is_none());
+    }
+
+    #[test]
+    fn pick_link_uniform_over_links() {
+        let node = make_node(0, vec![1, 2, 3, 4]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 5];
+        for _ in 0..4000 {
+            if let Some(LinkTarget::Trusted(t)) = node.pick_link(SimTime::ZERO, &mut rng) {
+                counts[t as usize] += 1;
+            }
+        }
+        for &c in &counts[1..] {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn stats_message_rates() {
+        let stats = NodeStats {
+            requests_sent: 10,
+            responses_sent: 8,
+            requests_lost: 2,
+            shuffles_suppressed: 0,
+            online_time: 9.0,
+        };
+        assert_eq!(stats.messages_sent(), 18);
+        assert!((stats.messages_per_period() - 2.0).abs() < 1e-12);
+        assert_eq!(NodeStats::default().messages_per_period(), 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The shuffle exchange (Section III-D1).
+//!
+//! Periodically each node selects one of its overlay links uniformly at
+//! random and runs a shuffle with the peer: both sides send an encrypted
+//! set of up to ℓ pseudonyms — their own plus up to ℓ−1 from their cache.
+//! Received pseudonyms enter the cache (Cyclon replacement) and *all* of
+//! them — cached or not — are offered to the min-wise sampler.
+//!
+//! The functions here are pure protocol logic over [`Node`] state; the
+//! event-driven orchestration (timers, churn, delivery) lives in
+//! [`crate::simulation`].
+
+use crate::node::Node;
+use crate::pseudonym::{Pseudonym, PseudonymId};
+use rand::Rng;
+use veil_sim::SimTime;
+
+/// The pseudonym set one side contributes to a shuffle.
+#[derive(Debug, Clone)]
+pub struct Offer {
+    /// Pseudonyms sent over the link (own pseudonym first, then cache
+    /// picks), at most ℓ entries.
+    pub entries: Vec<Pseudonym>,
+    /// Ids of the cache entries included — the Cyclon eviction candidates
+    /// on this side once the peer's offer arrives.
+    pub sent_from_cache: Vec<PseudonymId>,
+}
+
+/// Builds a node's offer: its own pseudonym (when valid) plus up to
+/// `shuffle_length − 1` random cache entries.
+///
+/// Expired cache entries are purged first so they are never gossiped.
+pub fn build_offer<R: Rng + ?Sized>(
+    node: &mut Node,
+    shuffle_length: usize,
+    now: SimTime,
+    rng: &mut R,
+) -> Offer {
+    node.cache.purge_expired(now);
+    let own = node.own_pseudonym(now);
+    let budget = shuffle_length.saturating_sub(usize::from(own.is_some()));
+    let picks = node.cache.select_offer(budget, rng);
+    let sent_from_cache = picks.iter().map(|p| p.id()).collect();
+    let mut entries = Vec::with_capacity(picks.len() + 1);
+    if let Some(p) = own {
+        entries.push(p);
+    }
+    entries.extend(picks);
+    Offer {
+        entries,
+        sent_from_cache,
+    }
+}
+
+/// Applies a received offer to a node: absorbs the entries into the cache
+/// (evicting just-sent entries first) and offers every received pseudonym —
+/// whether cached or not — to the sampler.
+///
+/// Returns the number of pseudonyms that changed the node's sampler.
+pub fn receive_offer<R: Rng + ?Sized>(
+    node: &mut Node,
+    received: &[Pseudonym],
+    just_sent: &[PseudonymId],
+    now: SimTime,
+    rng: &mut R,
+) -> usize {
+    let own_id = node.own_pseudonym(now).map(|p| p.id());
+    node.cache.absorb(received, just_sent, own_id, now, rng);
+    node.sampler.purge_expired(now);
+    let mut sampled = 0;
+    for &p in received {
+        // A node recognizes every pseudonym it minted itself — including
+        // previous, still-valid instances — and never self-links. This is
+        // legitimate local knowledge, not an identity leak.
+        if p.owner() == node.id {
+            continue;
+        }
+        if node.sampler.offer(p, now) {
+            sampled += 1;
+        }
+    }
+    sampled
+}
+
+/// Runs one complete shuffle between an initiator and a responder.
+///
+/// Models the paper's exchange over an ideal privacy-preserving link: the
+/// initiator's offer is delivered, the responder builds and returns its own
+/// offer, and both sides apply what they received. The caller must have
+/// verified that both nodes are online.
+pub fn execute_shuffle<R: Rng + ?Sized>(
+    initiator: &mut Node,
+    responder: &mut Node,
+    shuffle_length: usize,
+    now: SimTime,
+    rng: &mut R,
+) {
+    let request = build_offer(initiator, shuffle_length, now, rng);
+    let response = build_offer(responder, shuffle_length, now, rng);
+    receive_offer(
+        responder,
+        &request.entries,
+        &response.sent_from_cache,
+        now,
+        rng,
+    );
+    receive_offer(
+        initiator,
+        &response.entries,
+        &request.sent_from_cache,
+        now,
+        rng,
+    );
+    initiator.stats.requests_sent += 1;
+    responder.stats.responses_sent += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OverlayConfig;
+    use crate::pseudonym::PseudonymService;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> OverlayConfig {
+        OverlayConfig {
+            cache_size: 10,
+            shuffle_length: 4,
+            target_links: 8,
+            ..OverlayConfig::default()
+        }
+    }
+
+    fn node_with_pseudonym(
+        id: u32,
+        cfg: &OverlayConfig,
+        svc: &mut PseudonymService,
+        rng: &mut StdRng,
+    ) -> Node {
+        let mut n = Node::new(id, vec![], cfg, rng);
+        n.renew_pseudonym(svc, SimTime::ZERO, cfg.pseudonym_lifetime);
+        n
+    }
+
+    #[test]
+    fn offer_contains_own_pseudonym_first() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut node = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        let own = node.own_pseudonym(SimTime::ZERO).unwrap();
+        let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+        assert_eq!(offer.entries[0], own);
+        assert!(offer.sent_from_cache.is_empty(), "cache was empty");
+    }
+
+    #[test]
+    fn offer_respects_length_limit() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut node = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        for i in 1..=9 {
+            let p = svc.mint(i, SimTime::ZERO, None);
+            node.cache.insert(p, SimTime::ZERO);
+        }
+        let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+        assert_eq!(offer.entries.len(), 4, "own + 3 cache entries");
+        assert_eq!(offer.sent_from_cache.len(), 3);
+    }
+
+    #[test]
+    fn offer_without_own_pseudonym_uses_full_budget() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut node = Node::new(0, vec![], &cfg, &mut rng);
+        for i in 1..=9 {
+            node.cache.insert(svc.mint(i, SimTime::ZERO, None), SimTime::ZERO);
+        }
+        let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+        assert_eq!(offer.entries.len(), 4);
+        assert_eq!(offer.sent_from_cache.len(), 4);
+    }
+
+    #[test]
+    fn expired_entries_never_gossiped() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut node = Node::new(0, vec![], &cfg, &mut rng);
+        node.cache
+            .insert(svc.mint(1, SimTime::ZERO, Some(5.0)), SimTime::ZERO);
+        let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::new(6.0), &mut rng);
+        assert!(offer.entries.is_empty());
+    }
+
+    #[test]
+    fn receive_populates_cache_and_sampler() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut node = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        let incoming: Vec<Pseudonym> =
+            (1..=3).map(|i| svc.mint(i, SimTime::ZERO, None)).collect();
+        let changed = receive_offer(&mut node, &incoming, &[], SimTime::ZERO, &mut rng);
+        assert!(changed > 0);
+        assert_eq!(node.cache.len(), 3);
+        // Each slot keeps the minimum-distance pseudonym; a received
+        // pseudonym that wins no slot does not become a link.
+        let links = node.sampler.link_count();
+        assert!((1..=3).contains(&links), "link count {links}");
+    }
+
+    #[test]
+    fn receive_ignores_own_pseudonym() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(6);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut node = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        let own = node.own_pseudonym(SimTime::ZERO).unwrap();
+        receive_offer(&mut node, &[own], &[], SimTime::ZERO, &mut rng);
+        assert!(node.cache.is_empty());
+        assert_eq!(node.sampler.link_count(), 0);
+    }
+
+    #[test]
+    fn shuffle_exchanges_pseudonyms_both_ways() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(7);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        let mut b = node_with_pseudonym(1, &cfg, &mut svc, &mut rng);
+        let pa = a.own_pseudonym(SimTime::ZERO).unwrap();
+        let pb = b.own_pseudonym(SimTime::ZERO).unwrap();
+        execute_shuffle(&mut a, &mut b, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+        assert!(a.cache.contains(pb.id()), "a learned b's pseudonym");
+        assert!(b.cache.contains(pa.id()), "b learned a's pseudonym");
+        assert!(a.sampler.contains(pb.id()));
+        assert!(b.sampler.contains(pa.id()));
+        assert_eq!(a.stats.requests_sent, 1);
+        assert_eq!(b.stats.responses_sent, 1);
+        assert_eq!(a.stats.responses_sent, 0);
+    }
+
+    #[test]
+    fn repeated_shuffles_spread_third_party_pseudonyms() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(8);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut a = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        let mut b = node_with_pseudonym(1, &cfg, &mut svc, &mut rng);
+        // a knows a third party's pseudonym.
+        let third = svc.mint(2, SimTime::ZERO, None);
+        a.cache.insert(third, SimTime::ZERO);
+        let mut learned = false;
+        for _ in 0..20 {
+            execute_shuffle(&mut a, &mut b, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+            if b.cache.contains(third.id()) {
+                learned = true;
+                break;
+            }
+        }
+        assert!(learned, "third-party pseudonym should eventually spread");
+    }
+}

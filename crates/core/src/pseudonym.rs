@@ -1,0 +1,234 @@
+//! Pseudonyms and the (ideal) pseudonym service.
+//!
+//! A pseudonym `P(n)` is "an address that any other node `m` can use in
+//! conjunction with the pseudonym service to build a link to `n` such that
+//! `n`'s ID is not disclosed to `m` and vice versa" (Section III-A). The
+//! sampling protocol additionally assumes "each pseudonym is a random p-bit
+//! sequence".
+//!
+//! In a deployment the service is realized on top of a mix network (Tor
+//! hidden services, I2P eepsites, or an anonymity-fronted storage service —
+//! Section III-B). The paper's evaluation assumes an *ideal* service:
+//! links are reliable and low-latency whenever both endpoints are online.
+//! [`PseudonymService`] here plays exactly that role: it mints pseudonyms
+//! and — as simulation-level ground truth — remembers their owners so the
+//! simulator can route messages. Protocol logic never inspects the owner;
+//! see [`Pseudonym::owner`] for the visibility contract.
+
+use crate::config::DistanceMetric;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use veil_sim::rng::{derive_rng, Stream};
+use veil_sim::SimTime;
+
+/// Unique identifier of one minted pseudonym instance.
+///
+/// Renewing a pseudonym produces a new instance with a fresh id and fresh
+/// random bits; the old instance stays distinct until it expires.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PseudonymId(pub u64);
+
+impl std::fmt::Display for PseudonymId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A pseudonym: a random 128-bit address with an expiry time.
+///
+/// `Pseudonym` is the datum gossiped through the shuffle protocol and
+/// compared against sampler reference values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pseudonym {
+    id: PseudonymId,
+    bits: u128,
+    expires: Option<SimTime>,
+    owner: u32,
+}
+
+impl Pseudonym {
+    /// The unique instance id.
+    pub fn id(&self) -> PseudonymId {
+        self.id
+    }
+
+    /// The random p-bit value (p = 128) used for sampler distances.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// Expiry instant; `None` for non-expiring pseudonyms (`r = ∞`).
+    pub fn expires(&self) -> Option<SimTime> {
+        self.expires
+    }
+
+    /// Whether the pseudonym is still valid at `now`.
+    ///
+    /// Expiry is exclusive: a pseudonym whose expiry equals `now` is no
+    /// longer valid.
+    pub fn is_valid(&self, now: SimTime) -> bool {
+        self.expires.map_or(true, |e| now < e)
+    }
+
+    /// The owning node — **simulation-level ground truth only**.
+    ///
+    /// A real pseudonym reveals nothing about its owner; the simulator uses
+    /// this to model the pseudonym service resolving the address when a
+    /// message is sent. Protocol decision logic (caching, sampling, peer
+    /// selection) must not read it, and the privacy attack models in
+    /// `veil-privacy` treat it as the hidden variable an adversary tries to
+    /// infer.
+    pub fn owner(&self) -> u32 {
+        self.owner
+    }
+
+    /// Distance between this pseudonym and a reference value under the
+    /// given metric. Smaller is better for the min-wise sampler.
+    pub fn distance_to(&self, reference: u128, metric: DistanceMetric) -> u128 {
+        match metric {
+            DistanceMetric::Absolute => self.bits.abs_diff(reference),
+            DistanceMetric::Xor => self.bits ^ reference,
+        }
+    }
+}
+
+/// Mints pseudonyms with deterministic per-owner randomness.
+///
+/// One service instance exists per simulation; its counter makes every
+/// minted pseudonym unique.
+///
+/// # Examples
+///
+/// ```
+/// use veil_core::pseudonym::PseudonymService;
+/// use veil_sim::SimTime;
+///
+/// let mut svc = PseudonymService::new(7);
+/// let p = svc.mint(3, SimTime::ZERO, Some(90.0));
+/// assert!(p.is_valid(SimTime::new(89.9)));
+/// assert!(!p.is_valid(SimTime::new(90.0)));
+/// ```
+#[derive(Debug)]
+pub struct PseudonymService {
+    master_seed: u64,
+    next_id: u64,
+    minted: u64,
+}
+
+impl PseudonymService {
+    /// Creates a service deriving all pseudonym bits from `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            next_id: 0,
+            minted: 0,
+        }
+    }
+
+    /// Mints a fresh pseudonym for `owner` at time `now` with the given
+    /// lifetime in shuffle periods (`None` = never expires).
+    pub fn mint(&mut self, owner: u32, now: SimTime, lifetime: Option<f64>) -> Pseudonym {
+        let id = PseudonymId(self.next_id);
+        self.next_id += 1;
+        self.minted += 1;
+        // Bits are drawn from a stream keyed by the instance id, so the
+        // sequence is reproducible and independent across instances.
+        let mut rng = derive_rng(self.master_seed ^ id.0, Stream::Pseudonym(owner));
+        Pseudonym {
+            id,
+            bits: rng.gen(),
+            expires: lifetime.map(|l| now + l),
+            owner,
+        }
+    }
+
+    /// Total number of pseudonyms minted so far.
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_pseudonyms_are_unique() {
+        let mut svc = PseudonymService::new(1);
+        let a = svc.mint(0, SimTime::ZERO, Some(10.0));
+        let b = svc.mint(0, SimTime::ZERO, Some(10.0));
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.bits(), b.bits());
+        assert_eq!(svc.minted(), 2);
+    }
+
+    #[test]
+    fn expiry_semantics() {
+        let mut svc = PseudonymService::new(2);
+        let p = svc.mint(5, SimTime::new(10.0), Some(30.0));
+        assert_eq!(p.expires(), Some(SimTime::new(40.0)));
+        assert!(p.is_valid(SimTime::new(10.0)));
+        assert!(p.is_valid(SimTime::new(39.999)));
+        assert!(!p.is_valid(SimTime::new(40.0)));
+        assert!(!p.is_valid(SimTime::new(100.0)));
+    }
+
+    #[test]
+    fn infinite_lifetime_never_expires() {
+        let mut svc = PseudonymService::new(3);
+        let p = svc.mint(5, SimTime::ZERO, None);
+        assert_eq!(p.expires(), None);
+        assert!(p.is_valid(SimTime::new(1e9)));
+    }
+
+    #[test]
+    fn owner_is_recorded() {
+        let mut svc = PseudonymService::new(4);
+        assert_eq!(svc.mint(17, SimTime::ZERO, None).owner(), 17);
+    }
+
+    #[test]
+    fn absolute_distance() {
+        let mut svc = PseudonymService::new(5);
+        let p = svc.mint(0, SimTime::ZERO, None);
+        assert_eq!(p.distance_to(p.bits(), DistanceMetric::Absolute), 0);
+        assert_eq!(
+            p.distance_to(p.bits().wrapping_add(5), DistanceMetric::Absolute),
+            5
+        );
+    }
+
+    #[test]
+    fn xor_distance() {
+        let mut svc = PseudonymService::new(6);
+        let p = svc.mint(0, SimTime::ZERO, None);
+        assert_eq!(p.distance_to(p.bits(), DistanceMetric::Xor), 0);
+        assert_eq!(p.distance_to(p.bits() ^ 0b1010, DistanceMetric::Xor), 0b1010);
+    }
+
+    #[test]
+    fn same_seed_same_bits() {
+        let mut a = PseudonymService::new(9);
+        let mut b = PseudonymService::new(9);
+        assert_eq!(
+            a.mint(1, SimTime::ZERO, None).bits(),
+            b.mint(1, SimTime::ZERO, None).bits()
+        );
+    }
+
+    #[test]
+    fn bits_spread_over_range() {
+        // 200 pseudonyms should not cluster in one quarter of the range.
+        let mut svc = PseudonymService::new(10);
+        let mut quarters = [0u32; 4];
+        for i in 0..200 {
+            let p = svc.mint(i, SimTime::ZERO, None);
+            quarters[(p.bits() >> 126) as usize] += 1;
+        }
+        for &q in &quarters {
+            assert!(q > 20, "quarter counts {quarters:?}");
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! The Brahms-style min-wise pseudonym sampler (Section III-D2).
+//!
+//! Each node keeps a list `L` of `S` slots. Each slot holds a pair
+//! `(P, R)`: `R` is a fixed random reference value chosen at start-up and
+//! never changed; `P` is the sampled pseudonym (possibly empty). A received
+//! pseudonym `P'` replaces `P` when
+//!
+//! 1. the slot is empty, or
+//! 2. `P'` is numerically closer to `R` than `P`, or
+//! 3. `P'` is as close to `R` as `P` but expires later.
+//!
+//! Because each slot retains the minimum-distance pseudonym ever offered to
+//! it, the set of kept pseudonyms "will always be a random sample of all
+//! the pseudonyms `n` has received ... regardless of how frequently any
+//! pseudonym is received" — the property (from Brahms) that defeats
+//! frequency-biased gossip.
+
+use crate::config::DistanceMetric;
+use crate::pseudonym::{Pseudonym, PseudonymId};
+use rand::Rng;
+use std::collections::HashMap;
+use veil_sim::SimTime;
+
+/// One sampler slot: a fixed reference value plus the current minimum.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    reference: u128,
+    entry: Option<Pseudonym>,
+}
+
+/// The per-node pseudonym sampler.
+///
+/// Tracks, besides the slots themselves, the *link set* — the distinct
+/// pseudonyms present in at least one slot — and cumulative counters of
+/// link additions and removals, which drive the paper's link-replacement
+/// metric (Figure 9).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use veil_core::config::DistanceMetric;
+/// use veil_core::pseudonym::PseudonymService;
+/// use veil_core::sampler::Sampler;
+/// use veil_sim::SimTime;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut sampler = Sampler::new(8, DistanceMetric::Absolute, true, &mut rng);
+/// let mut svc = PseudonymService::new(1);
+/// let p = svc.mint(3, SimTime::ZERO, None);
+/// sampler.offer(p, SimTime::ZERO);
+/// assert_eq!(sampler.link_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    metric: DistanceMetric,
+    minwise: bool,
+    slots: Vec<Slot>,
+    refcount: HashMap<PseudonymId, u32>,
+    next_ring: usize,
+    additions: u64,
+    removals: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler with `slot_count` slots whose reference values are
+    /// drawn from `rng` ("the reference values are never removed or changed
+    /// afterwards").
+    ///
+    /// `minwise = false` disables rule 2/3 and instead fills slots
+    /// round-robin with the most recently received pseudonyms — the
+    /// ablation baseline showing why Brahms-style sampling matters.
+    pub fn new<R: Rng + ?Sized>(
+        slot_count: usize,
+        metric: DistanceMetric,
+        minwise: bool,
+        rng: &mut R,
+    ) -> Self {
+        let slots = (0..slot_count)
+            .map(|_| Slot {
+                reference: rng.gen(),
+                entry: None,
+            })
+            .collect();
+        Self {
+            metric,
+            minwise,
+            slots,
+            refcount: HashMap::new(),
+            next_ring: 0,
+            additions: 0,
+            removals: 0,
+        }
+    }
+
+    /// Number of slots `S`.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of distinct pseudonyms currently sampled (the pseudonym-link
+    /// count; at most `slot_count`).
+    pub fn link_count(&self) -> usize {
+        self.refcount.len()
+    }
+
+    /// Whether the pseudonym with this id occupies at least one slot.
+    pub fn contains(&self, id: PseudonymId) -> bool {
+        self.refcount.contains_key(&id)
+    }
+
+    /// The distinct sampled pseudonyms — the node's pseudonym links.
+    pub fn links(&self) -> Vec<Pseudonym> {
+        let mut seen = HashMap::with_capacity(self.refcount.len());
+        for slot in &self.slots {
+            if let Some(p) = slot.entry {
+                seen.entry(p.id()).or_insert(p);
+            }
+        }
+        let mut out: Vec<Pseudonym> = seen.into_values().collect();
+        out.sort_unstable_by_key(|p| p.id());
+        out
+    }
+
+    /// Cumulative count of pseudonyms that entered the link set.
+    pub fn additions(&self) -> u64 {
+        self.additions
+    }
+
+    /// Cumulative count of pseudonyms that left the link set — through
+    /// displacement by closer pseudonyms or through expiry. This is the
+    /// paper's "links replaced" quantity.
+    pub fn removals(&self) -> u64 {
+        self.removals
+    }
+
+    fn retain_entry(&mut self, p: Pseudonym) {
+        let count = self.refcount.entry(p.id()).or_insert(0);
+        if *count == 0 {
+            self.additions += 1;
+        }
+        *count += 1;
+    }
+
+    fn release_entry(&mut self, p: Pseudonym) {
+        let count = self
+            .refcount
+            .get_mut(&p.id())
+            .expect("released pseudonym must be referenced");
+        *count -= 1;
+        if *count == 0 {
+            self.refcount.remove(&p.id());
+            self.removals += 1;
+        }
+    }
+
+    fn set_slot(&mut self, idx: usize, p: Pseudonym) {
+        if let Some(old) = self.slots[idx].entry {
+            if old.id() == p.id() {
+                return;
+            }
+            self.release_entry(old);
+        }
+        self.slots[idx].entry = Some(p);
+        self.retain_entry(p);
+    }
+
+    /// Offers a received pseudonym to every slot, applying the paper's
+    /// three replacement rules. Returns `true` if any slot changed.
+    ///
+    /// Expired pseudonyms are ignored. The caller (the protocol layer)
+    /// filters out the node's own pseudonym.
+    pub fn offer(&mut self, p: Pseudonym, now: SimTime) -> bool {
+        if !p.is_valid(now) || self.slots.is_empty() {
+            return false;
+        }
+        if !self.minwise {
+            // Ablation: round-robin recency buffer.
+            if self.contains(p.id()) {
+                return false;
+            }
+            let idx = self.next_ring % self.slots.len();
+            self.next_ring = self.next_ring.wrapping_add(1);
+            self.set_slot(idx, p);
+            return true;
+        }
+        let mut changed = false;
+        for idx in 0..self.slots.len() {
+            let slot = self.slots[idx];
+            let replace = match slot.entry {
+                None => true,
+                Some(current) => {
+                    if current.id() == p.id() {
+                        false
+                    } else {
+                        let d_new = p.distance_to(slot.reference, self.metric);
+                        let d_old = current.distance_to(slot.reference, self.metric);
+                        d_new < d_old
+                            || (d_new == d_old && expires_later(p.expires(), current.expires()))
+                    }
+                }
+            };
+            if replace {
+                self.set_slot(idx, p);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Clears every slot whose pseudonym has expired by `now`
+    /// ("pseudonyms are automatically removed from `n.L` when they expire,
+    /// and their corresponding slots become empty").
+    ///
+    /// Returns the number of distinct pseudonyms removed from the link set.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.removals;
+        for idx in 0..self.slots.len() {
+            if let Some(p) = self.slots[idx].entry {
+                if !p.is_valid(now) {
+                    self.slots[idx].entry = None;
+                    self.release_entry(p);
+                }
+            }
+        }
+        (self.removals - before) as usize
+    }
+
+    /// Number of currently empty slots.
+    pub fn empty_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.entry.is_none()).count()
+    }
+}
+
+/// `a` expires strictly later than `b` (where `None` means never).
+fn expires_later(a: Option<SimTime>, b: Option<SimTime>) -> bool {
+    match (a, b) {
+        (None, None) => false,
+        (None, Some(_)) => true,
+        (Some(_), None) => false,
+        (Some(x), Some(y)) => x > y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pseudonym::PseudonymService;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sampler(slots: usize, seed: u64) -> Sampler {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sampler::new(slots, DistanceMetric::Absolute, true, &mut rng)
+    }
+
+    #[test]
+    fn empty_sampler_has_no_links() {
+        let s = sampler(4, 1);
+        assert_eq!(s.slot_count(), 4);
+        assert_eq!(s.link_count(), 0);
+        assert_eq!(s.empty_slots(), 4);
+        assert!(s.links().is_empty());
+    }
+
+    #[test]
+    fn zero_slot_sampler_rejects_everything() {
+        let mut s = sampler(0, 1);
+        let mut svc = PseudonymService::new(1);
+        let p = svc.mint(0, SimTime::ZERO, None);
+        assert!(!s.offer(p, SimTime::ZERO));
+        assert_eq!(s.link_count(), 0);
+    }
+
+    #[test]
+    fn first_offer_fills_all_slots() {
+        let mut s = sampler(4, 2);
+        let mut svc = PseudonymService::new(2);
+        let p = svc.mint(0, SimTime::ZERO, None);
+        assert!(s.offer(p, SimTime::ZERO));
+        assert_eq!(s.empty_slots(), 0);
+        assert_eq!(s.link_count(), 1, "one distinct pseudonym in 4 slots");
+        assert_eq!(s.additions(), 1);
+    }
+
+    #[test]
+    fn closer_pseudonym_displaces() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = Sampler::new(1, DistanceMetric::Absolute, true, &mut rng);
+        let reference = s.slots[0].reference;
+        let mut svc = PseudonymService::new(3);
+        // Mint until we find two pseudonyms with known distance ordering.
+        let mut far = svc.mint(0, SimTime::ZERO, None);
+        let mut near = svc.mint(1, SimTime::ZERO, None);
+        if near.distance_to(reference, DistanceMetric::Absolute)
+            > far.distance_to(reference, DistanceMetric::Absolute)
+        {
+            std::mem::swap(&mut far, &mut near);
+        }
+        s.offer(far, SimTime::ZERO);
+        assert!(s.contains(far.id()));
+        s.offer(near, SimTime::ZERO);
+        assert!(s.contains(near.id()));
+        assert!(!s.contains(far.id()));
+        assert_eq!(s.removals(), 1);
+        // The farther one can never displace the nearer one back.
+        assert!(!s.offer(far, SimTime::ZERO));
+    }
+
+    #[test]
+    fn kept_pseudonym_is_global_minimum() {
+        // Property: after offering many pseudonyms, each slot holds the
+        // minimum-distance one among all offered.
+        let mut s = sampler(6, 4);
+        let mut svc = PseudonymService::new(4);
+        let offered: Vec<Pseudonym> = (0..200)
+            .map(|i| svc.mint(i, SimTime::ZERO, None))
+            .collect();
+        for &p in &offered {
+            s.offer(p, SimTime::ZERO);
+        }
+        for slot in &s.slots {
+            let kept = slot.entry.expect("slot filled");
+            let kept_d = kept.distance_to(slot.reference, DistanceMetric::Absolute);
+            let min_d = offered
+                .iter()
+                .map(|p| p.distance_to(slot.reference, DistanceMetric::Absolute))
+                .min()
+                .unwrap();
+            assert_eq!(kept_d, min_d);
+        }
+    }
+
+    #[test]
+    fn equal_distance_prefers_later_expiry() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = Sampler::new(1, DistanceMetric::Absolute, true, &mut rng);
+        let mut svc = PseudonymService::new(5);
+        let a = svc.mint(0, SimTime::ZERO, Some(10.0));
+        // Force an equal-distance comparison by reusing the same bits: the
+        // only way in practice is a == b in bits, so craft via same distance
+        // to a reference of a's own bits. Instead, test tie-break directly.
+        assert!(super::expires_later(None, Some(SimTime::new(5.0))));
+        assert!(super::expires_later(
+            Some(SimTime::new(9.0)),
+            Some(SimTime::new(5.0))
+        ));
+        assert!(!super::expires_later(Some(SimTime::new(5.0)), None));
+        assert!(!super::expires_later(None, None));
+        // Same pseudonym re-offered: no change, no double count.
+        s.offer(a, SimTime::ZERO);
+        assert!(!s.offer(a, SimTime::ZERO));
+        assert_eq!(s.additions(), 1);
+    }
+
+    #[test]
+    fn expired_offer_is_ignored() {
+        let mut s = sampler(2, 6);
+        let mut svc = PseudonymService::new(6);
+        let p = svc.mint(0, SimTime::ZERO, Some(5.0));
+        assert!(!s.offer(p, SimTime::new(5.0)));
+        assert_eq!(s.link_count(), 0);
+    }
+
+    #[test]
+    fn purge_expired_clears_slots_and_counts_removals() {
+        let mut s = sampler(4, 7);
+        let mut svc = PseudonymService::new(7);
+        let p = svc.mint(0, SimTime::ZERO, Some(5.0));
+        s.offer(p, SimTime::ZERO);
+        assert_eq!(s.link_count(), 1);
+        let removed = s.purge_expired(SimTime::new(6.0));
+        assert_eq!(removed, 1, "one distinct pseudonym expired");
+        assert_eq!(s.link_count(), 0);
+        assert_eq!(s.empty_slots(), 4);
+        assert_eq!(s.removals(), 1);
+        // Idempotent.
+        assert_eq!(s.purge_expired(SimTime::new(7.0)), 0);
+    }
+
+    #[test]
+    fn links_are_distinct() {
+        let mut s = sampler(8, 8);
+        let mut svc = PseudonymService::new(8);
+        for i in 0..3 {
+            s.offer(svc.mint(i, SimTime::ZERO, None), SimTime::ZERO);
+        }
+        let links = s.links();
+        let mut ids: Vec<_> = links.iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), links.len());
+        assert!(links.len() <= 3);
+    }
+
+    #[test]
+    fn recency_mode_keeps_latest() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = Sampler::new(2, DistanceMetric::Absolute, false, &mut rng);
+        let mut svc = PseudonymService::new(9);
+        let ps: Vec<Pseudonym> = (0..5).map(|i| svc.mint(i, SimTime::ZERO, None)).collect();
+        for &p in &ps {
+            s.offer(p, SimTime::ZERO);
+        }
+        // Ring of 2 slots: only the last two survive.
+        assert!(s.contains(ps[3].id()));
+        assert!(s.contains(ps[4].id()));
+        assert!(!s.contains(ps[0].id()));
+        // Duplicates ignored.
+        assert!(!s.offer(ps[4], SimTime::ZERO));
+    }
+
+    #[test]
+    fn xor_metric_also_samples_minimum() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut s = Sampler::new(3, DistanceMetric::Xor, true, &mut rng);
+        let refs: Vec<u128> = s.slots.iter().map(|sl| sl.reference).collect();
+        let mut svc = PseudonymService::new(10);
+        let offered: Vec<Pseudonym> = (0..100)
+            .map(|i| svc.mint(i, SimTime::ZERO, None))
+            .collect();
+        for &p in &offered {
+            s.offer(p, SimTime::ZERO);
+        }
+        for (slot, &r) in s.slots.iter().zip(&refs) {
+            let kept = slot.entry.unwrap();
+            let min = offered.iter().map(|p| p.bits() ^ r).min().unwrap();
+            assert_eq!(kept.bits() ^ r, min);
+        }
+    }
+
+    #[test]
+    fn refcount_tracks_multi_slot_occupancy() {
+        // A pseudonym filling all slots then displaced from one still links.
+        let mut s = sampler(3, 11);
+        let mut svc = PseudonymService::new(11);
+        let first = svc.mint(0, SimTime::ZERO, None);
+        s.offer(first, SimTime::ZERO);
+        assert_eq!(s.link_count(), 1);
+        // Offer many more; first may lose some slots but the link set is
+        // consistent: every slot entry appears in links().
+        for i in 1..50 {
+            s.offer(svc.mint(i, SimTime::ZERO, None), SimTime::ZERO);
+        }
+        let links = s.links();
+        assert_eq!(links.len(), s.link_count());
+        for slot in &s.slots {
+            let p = slot.entry.unwrap();
+            assert!(links.iter().any(|l| l.id() == p.id()));
+        }
+        assert_eq!(s.additions() - s.removals(), s.link_count() as u64);
+    }
+}

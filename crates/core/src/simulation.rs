@@ -1,0 +1,1250 @@
+//! Event-driven simulation of the overlay-maintenance protocol.
+//!
+//! Binds the per-node protocol state ([`crate::node`]) to the discrete-event
+//! engine and churn model of `veil-sim`, reproducing the paper's custom
+//! event-based simulator (Section IV): time is measured in shuffle periods,
+//! but events occur at arbitrary instants — every node's shuffle timer runs
+//! at a random phase offset, and churn transitions are exponential.
+//!
+//! The anonymity and pseudonym services are *ideal*, as in the paper's
+//! setup: a message over an overlay link is delivered instantly iff both
+//! endpoints are online.
+
+use crate::config::{LifetimePolicy, OverlayConfig};
+use crate::error::CoreError;
+use crate::node::{LinkTarget, Node, NodeStats};
+use crate::protocol;
+use crate::pseudonym::PseudonymService;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use veil_graph::Graph;
+use veil_sim::churn::{ChurnConfig, ChurnProcess};
+use veil_sim::engine::Engine;
+use veil_sim::rng::{derive_rng, Stream};
+use veil_sim::SimTime;
+
+/// Events driving the overlay simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    /// A node's shuffle timer fired.
+    Shuffle(u32),
+    /// A node's churn process transitions (online ↔ offline). Stale
+    /// generations (superseded by failure injection) are ignored.
+    Churn {
+        /// The transitioning node.
+        node: u32,
+        /// Generation stamp; must match the node's current generation.
+        generation: u32,
+    },
+    /// An injected blackout ends and the node reconnects.
+    BlackoutEnd {
+        /// The recovering node.
+        node: u32,
+        /// Generation stamp of the blackout.
+        generation: u32,
+    },
+    /// A shuffle request arrives after the configured link latency.
+    DeliverRequest(Box<Delivery>),
+    /// A shuffle response arrives after the configured link latency.
+    DeliverResponse(Box<Delivery>),
+}
+
+/// An in-flight shuffle message (only used when `link_latency > 0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Delivery {
+    from: u32,
+    to: u32,
+    offer: Vec<crate::pseudonym::Pseudonym>,
+    /// Cache entries the *initiator* offered — carried through the round
+    /// trip so the Cyclon eviction preference applies when the response
+    /// finally arrives.
+    initiator_sent: Vec<crate::pseudonym::PseudonymId>,
+    trusted_link: bool,
+}
+
+/// Classification of a logged protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A shuffle request from the initiator.
+    Request,
+    /// The matching shuffle response.
+    Response,
+    /// A request that could not be delivered (peer offline; only occurs
+    /// with `skip_offline_peers = false`).
+    RequestLost,
+}
+
+/// One protocol message, as an external observer positioned on the
+/// communication infrastructure would record it (endpoints and timing; the
+/// payload is encrypted). Used by the traffic-analysis experiments in
+/// `veil-privacy`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Send instant.
+    pub time: SimTime,
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node (the pseudonym service's resolution; an observer sees
+    /// only the anonymity-service entry point, but ground truth is logged
+    /// for evaluating inference attacks).
+    pub to: u32,
+    /// Request or response.
+    pub kind: MessageKind,
+    /// Whether the message travelled over a trusted link.
+    pub trusted_link: bool,
+}
+
+/// A running overlay simulation over a fixed trust graph.
+///
+/// # Examples
+///
+/// ```
+/// use veil_core::config::OverlayConfig;
+/// use veil_core::simulation::Simulation;
+/// use veil_graph::generators;
+/// use veil_sim::churn::ChurnConfig;
+/// use veil_sim::rng::{derive_rng, Stream};
+///
+/// # fn main() -> Result<(), veil_core::error::CoreError> {
+/// let mut rng = derive_rng(1, Stream::Topology);
+/// let trust = generators::social_graph(50, 3, &mut rng).unwrap();
+/// let churn = ChurnConfig::from_availability(1.0, 30.0);
+/// let mut sim = Simulation::new(trust, OverlayConfig::default(), churn, 1)?;
+/// sim.run_until(10.0);
+/// assert_eq!(sim.online_count(), 50);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulation {
+    trust: Graph,
+    cfg: OverlayConfig,
+    churn_cfg: ChurnConfig,
+    engine: Engine<Event>,
+    nodes: Vec<Node>,
+    churn: Vec<ChurnProcess>,
+    online_since: Vec<Option<SimTime>>,
+    offline_since: Vec<Option<SimTime>>,
+    churn_generation: Vec<u32>,
+    ewma_offline: Vec<Option<f64>>,
+    stable_ticks: Vec<u32>,
+    last_sampler_activity: Vec<u64>,
+    node_rngs: Vec<StdRng>,
+    churn_rngs: Vec<StdRng>,
+    svc: PseudonymService,
+    current_time: SimTime,
+    message_log: Option<Vec<MessageRecord>>,
+}
+
+impl Simulation {
+    /// Builds a simulation: one protocol node per trust-graph vertex, churn
+    /// processes initialized per `churn_cfg`, and — for nodes online at
+    /// time zero — pseudonyms created simultaneously at the start (the
+    /// paper's start-up condition).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration fails validation or the trust
+    /// graph is empty.
+    pub fn new(
+        trust: Graph,
+        cfg: OverlayConfig,
+        churn_cfg: ChurnConfig,
+        master_seed: u64,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let n = trust.node_count();
+        if n == 0 {
+            return Err(CoreError::InvalidTrustGraph {
+                reason: "trust graph has no nodes".into(),
+            });
+        }
+        let mut engine = Engine::new();
+        let mut nodes = Vec::with_capacity(n);
+        let mut churn = Vec::with_capacity(n);
+        let mut online_since = Vec::with_capacity(n);
+        let mut offline_since = Vec::with_capacity(n);
+        let mut node_rngs = Vec::with_capacity(n);
+        let mut churn_rngs = Vec::with_capacity(n);
+        let mut svc = PseudonymService::new(master_seed);
+        let mut sched_rng = derive_rng(master_seed, Stream::Scheduler);
+
+        for v in 0..n {
+            let trusted: Vec<u32> = trust.neighbors(v).to_vec();
+            let mut proto_rng = derive_rng(master_seed, Stream::Protocol(v as u32));
+            let mut churn_rng = derive_rng(master_seed, Stream::Churn(v as u32));
+            let mut node = Node::new(v as u32, trusted, &cfg, &mut proto_rng);
+            let (process, first_transition) = ChurnProcess::new(&churn_cfg, &mut churn_rng);
+            if process.is_online() {
+                // All initially online nodes mint pseudonyms at t = 0,
+                // which produces the synchronized-expiry transient the
+                // paper observes in Figure 9. (The adaptive lifetime policy
+                // has no availability observations yet and falls back to
+                // the global lifetime here.)
+                node.renew_pseudonym(&mut svc, SimTime::ZERO, cfg.pseudonym_lifetime);
+                online_since.push(Some(SimTime::ZERO));
+                offline_since.push(None);
+            } else {
+                online_since.push(None);
+                offline_since.push(Some(SimTime::ZERO));
+            }
+            if let Some(delay) = first_transition {
+                engine.schedule_at(
+                    SimTime::new(delay),
+                    Event::Churn {
+                        node: v as u32,
+                        generation: 0,
+                    },
+                );
+            }
+            // Shuffle timers are desynchronised with a random phase in
+            // [0, 1) shuffle periods; they keep firing while the node is
+            // offline (the handler no-ops), matching the "rejoining node
+            // resumes where it left off" semantics.
+            let phase: f64 = sched_rng.gen_range(0.0..1.0);
+            engine.schedule_at(SimTime::new(phase), Event::Shuffle(v as u32));
+            nodes.push(node);
+            churn.push(process);
+            node_rngs.push(proto_rng);
+            churn_rngs.push(churn_rng);
+        }
+
+        Ok(Self {
+            trust,
+            cfg,
+            churn_cfg,
+            engine,
+            nodes,
+            churn,
+            online_since,
+            offline_since,
+            churn_generation: vec![0; n],
+            ewma_offline: vec![None; n],
+            stable_ticks: vec![0; n],
+            last_sampler_activity: vec![0; n],
+            node_rngs,
+            churn_rngs,
+            svc,
+            current_time: SimTime::ZERO,
+            message_log: None,
+        })
+    }
+
+    /// Starts recording every protocol message into an in-memory log
+    /// (cleared of any previous contents). Used by the traffic-analysis
+    /// experiments; off by default because long runs generate millions of
+    /// messages.
+    pub fn enable_message_log(&mut self) {
+        self.message_log = Some(Vec::new());
+    }
+
+    /// Stops recording and discards the log.
+    pub fn disable_message_log(&mut self) {
+        self.message_log = None;
+    }
+
+    /// The recorded messages, if logging is enabled.
+    pub fn message_log(&self) -> Option<&[MessageRecord]> {
+        self.message_log.as_deref()
+    }
+
+    /// Drains the recorded messages, keeping logging enabled.
+    pub fn take_message_log(&mut self) -> Vec<MessageRecord> {
+        match &mut self.message_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    fn log_message(&mut self, record: MessageRecord) {
+        if let Some(log) = &mut self.message_log {
+            log.push(record);
+        }
+    }
+
+    /// The lifetime node `v` would give a pseudonym minted right now, per
+    /// the configured [`LifetimePolicy`].
+    fn lifetime_for(&self, v: usize) -> Option<f64> {
+        match self.cfg.lifetime_policy {
+            LifetimePolicy::Global => self.cfg.pseudonym_lifetime,
+            LifetimePolicy::Adaptive { multiplier, floor } => match self.ewma_offline[v] {
+                Some(mean) => Some((multiplier * mean).max(floor)),
+                None => self.cfg.pseudonym_lifetime,
+            },
+        }
+    }
+
+    /// The trust graph the overlay was bootstrapped from.
+    pub fn trust_graph(&self) -> &Graph {
+        &self.trust
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.cfg
+    }
+
+    /// The churn configuration.
+    pub fn churn_config(&self) -> &ChurnConfig {
+        &self.churn_cfg
+    }
+
+    /// Number of participants.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.current_time
+    }
+
+    /// Whether node `v` is currently online.
+    pub fn is_online(&self, v: usize) -> bool {
+        self.churn[v].is_online()
+    }
+
+    /// Number of currently online nodes.
+    pub fn online_count(&self) -> usize {
+        self.churn.iter().filter(|c| c.is_online()).count()
+    }
+
+    /// Online mask indexed by node.
+    pub fn online_mask(&self) -> Vec<bool> {
+        self.churn.iter().map(|c| c.is_online()).collect()
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, v: usize) -> &Node {
+        &self.nodes[v]
+    }
+
+    /// Mutable access to a node's protocol state.
+    ///
+    /// This is an instrumentation hook for the attack experiments in
+    /// `veil-privacy` (e.g. an internal observer seeding a marked pseudonym
+    /// into its own cache); it is not part of the protocol surface.
+    pub fn node_mut(&mut self, v: usize) -> &mut Node {
+        &mut self.nodes[v]
+    }
+
+    /// Mints a pseudonym owned by `owner` at the current time with the
+    /// configured lifetime — used by attack experiments where an internal
+    /// observer crafts a traceable pseudonym.
+    pub fn mint_pseudonym(&mut self, owner: u32) -> crate::pseudonym::Pseudonym {
+        let lifetime = self.cfg.pseudonym_lifetime;
+        self.svc.mint(owner, self.current_time, lifetime)
+    }
+
+    /// Message/activity statistics of node `v`, with online time accounted
+    /// up to the current instant.
+    pub fn node_stats(&self, v: usize) -> NodeStats {
+        let mut stats = self.nodes[v].stats;
+        if let Some(since) = self.online_since[v] {
+            stats.online_time += self.current_time.since(since);
+        }
+        stats
+    }
+
+    /// Total pseudonyms minted so far.
+    pub fn pseudonyms_minted(&self) -> u64 {
+        self.svc.minted()
+    }
+
+    /// Cumulative pseudonym-link removals summed over all nodes — the raw
+    /// counter behind the link-replacement metric of Figure 9.
+    pub fn total_link_removals(&self) -> u64 {
+        self.nodes.iter().map(|n| n.sampler.removals()).sum()
+    }
+
+    /// Advances the simulation until simulated time `t` (in shuffle
+    /// periods).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the current time.
+    pub fn run_until(&mut self, t: f64) {
+        let horizon = SimTime::new(t);
+        assert!(
+            horizon >= self.current_time,
+            "cannot run backwards: {horizon} < {}",
+            self.current_time
+        );
+        while let Some((now, event)) = self.engine.pop_before(horizon) {
+            self.handle(now, event);
+        }
+        self.current_time = horizon;
+    }
+
+    /// Processes a single event, if any is pending. Returns its time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let (now, event) = self.engine.pop()?;
+        self.handle(now, event);
+        self.current_time = now;
+        Some(now)
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::Shuffle(v) => self.handle_shuffle(now, v as usize),
+            Event::Churn { node, generation } => {
+                self.handle_churn(now, node as usize, generation)
+            }
+            Event::BlackoutEnd { node, generation } => {
+                self.handle_blackout_end(now, node as usize, generation)
+            }
+            Event::DeliverRequest(d) => self.handle_request_delivery(now, *d),
+            Event::DeliverResponse(d) => self.handle_response_delivery(now, *d),
+        }
+    }
+
+    fn handle_shuffle(&mut self, now: SimTime, v: usize) {
+        // The timer always re-arms; offline nodes simply skip the round.
+        self.engine.schedule_at(now + 1.0, Event::Shuffle(v as u32));
+        if !self.churn[v].is_online() {
+            return;
+        }
+        // Lazy renewal: a node notices its own pseudonym expired at the
+        // next timer tick and mints a fresh one.
+        if self.nodes[v].needs_pseudonym(now) {
+            let lifetime = self.lifetime_for(v);
+            self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
+        }
+        self.nodes[v].purge_expired(now);
+        // Adaptive shuffle suppression: once the link set has been stable
+        // for the configured number of periods, skip initiating (responses
+        // still happen, and any change re-arms the node).
+        let activity = self.nodes[v].sampler.additions() + self.nodes[v].sampler.removals();
+        if activity == self.last_sampler_activity[v] {
+            self.stable_ticks[v] = self.stable_ticks[v].saturating_add(1);
+        } else {
+            self.stable_ticks[v] = 0;
+        }
+        self.last_sampler_activity[v] = activity;
+        if let Some(k) = self.cfg.stop_after_stable_periods {
+            if self.stable_ticks[v] >= k {
+                self.nodes[v].stats.shuffles_suppressed += 1;
+                return;
+            }
+        }
+        let target = if self.cfg.skip_offline_peers {
+            // The ideal link layer reports deliverability, so the node
+            // shuffles with a uniformly random *online* link (this is what
+            // makes the paper's request/response count come out at exactly
+            // two messages per period).
+            let links = self.nodes[v].links(now);
+            let online: Vec<_> = links
+                .into_iter()
+                .filter(|l| self.churn[l.resolve() as usize].is_online())
+                .collect();
+            if online.is_empty() {
+                None
+            } else {
+                let rng = &mut self.node_rngs[v];
+                Some(online[rng.gen_range(0..online.len())])
+            }
+        } else {
+            let rng = &mut self.node_rngs[v];
+            self.nodes[v].pick_link(now, rng)
+        };
+        let Some(target) = target else {
+            return;
+        };
+        let dest = target.resolve() as usize;
+        debug_assert_ne!(dest, v, "nodes never link to themselves");
+        let trusted_link = target.is_trusted();
+        if !self.churn[dest].is_online() {
+            // Request sent into the anonymity service but never delivered.
+            self.nodes[v].stats.requests_sent += 1;
+            self.nodes[v].stats.requests_lost += 1;
+            self.log_message(MessageRecord {
+                time: now,
+                from: v as u32,
+                to: dest as u32,
+                kind: MessageKind::RequestLost,
+                trusted_link,
+            });
+            return;
+        }
+        if self.cfg.link_latency > 0.0 {
+            // Asynchronous exchange: build the request offer now, deliver
+            // it after the link latency; the peer may churn in transit.
+            let offer = {
+                let rng = &mut self.node_rngs[v];
+                protocol::build_offer(&mut self.nodes[v], self.cfg.shuffle_length, now, rng)
+            };
+            self.nodes[v].stats.requests_sent += 1;
+            self.log_message(MessageRecord {
+                time: now,
+                from: v as u32,
+                to: dest as u32,
+                kind: MessageKind::Request,
+                trusted_link,
+            });
+            self.engine.schedule_in(
+                self.cfg.link_latency,
+                Event::DeliverRequest(Box::new(Delivery {
+                    from: v as u32,
+                    to: dest as u32,
+                    offer: offer.entries,
+                    initiator_sent: offer.sent_from_cache,
+                    trusted_link,
+                })),
+            );
+            return;
+        }
+        // Zero latency: run the exchange over the ideal link synchronously.
+        let mut rng = self.node_rngs[v].clone();
+        let (initiator, responder) = two_mut(&mut self.nodes, v, dest);
+        protocol::execute_shuffle(initiator, responder, self.cfg.shuffle_length, now, &mut rng);
+        self.node_rngs[v] = rng;
+        self.log_message(MessageRecord {
+            time: now,
+            from: v as u32,
+            to: dest as u32,
+            kind: MessageKind::Request,
+            trusted_link,
+        });
+        self.log_message(MessageRecord {
+            time: now,
+            from: dest as u32,
+            to: v as u32,
+            kind: MessageKind::Response,
+            trusted_link,
+        });
+    }
+
+    /// A delayed shuffle request reaches the responder.
+    fn handle_request_delivery(&mut self, now: SimTime, delivery: Delivery) {
+        let responder = delivery.to as usize;
+        if !self.churn[responder].is_online() {
+            // Lost in transit: the responder churned out. The initiator's
+            // request produces no response.
+            self.nodes[delivery.from as usize].stats.requests_lost += 1;
+            return;
+        }
+        // Mirror the synchronous order: build the response offer before
+        // absorbing the request (Cyclon semantics).
+        let response = {
+            let rng = &mut self.node_rngs[responder];
+            protocol::build_offer(&mut self.nodes[responder], self.cfg.shuffle_length, now, rng)
+        };
+        {
+            let rng = &mut self.node_rngs[responder];
+            protocol::receive_offer(
+                &mut self.nodes[responder],
+                &delivery.offer,
+                &response.sent_from_cache,
+                now,
+                rng,
+            );
+        }
+        self.nodes[responder].stats.responses_sent += 1;
+        self.log_message(MessageRecord {
+            time: now,
+            from: delivery.to,
+            to: delivery.from,
+            kind: MessageKind::Response,
+            trusted_link: delivery.trusted_link,
+        });
+        self.engine.schedule_in(
+            self.cfg.link_latency,
+            Event::DeliverResponse(Box::new(Delivery {
+                from: delivery.to,
+                to: delivery.from,
+                offer: response.entries,
+                initiator_sent: delivery.initiator_sent,
+                trusted_link: delivery.trusted_link,
+            })),
+        );
+    }
+
+    /// A delayed shuffle response reaches the original initiator.
+    fn handle_response_delivery(&mut self, now: SimTime, delivery: Delivery) {
+        let initiator = delivery.to as usize;
+        if !self.churn[initiator].is_online() {
+            return; // response lost; the initiator churned out
+        }
+        let rng = &mut self.node_rngs[initiator];
+        protocol::receive_offer(
+            &mut self.nodes[initiator],
+            &delivery.offer,
+            &delivery.initiator_sent,
+            now,
+            rng,
+        );
+    }
+
+    fn handle_churn(&mut self, now: SimTime, v: usize, generation: u32) {
+        if generation != self.churn_generation[v] {
+            return; // superseded by failure injection
+        }
+        let next = self.churn[v].transition(&mut self.churn_rngs[v]);
+        if let Some(delay) = next {
+            self.engine.schedule_at(
+                now + delay,
+                Event::Churn {
+                    node: v as u32,
+                    generation,
+                },
+            );
+        }
+        if self.churn[v].is_online() {
+            self.rejoin(now, v);
+        } else {
+            self.depart(now, v);
+        }
+    }
+
+    /// Bookkeeping for a node coming online: session tracking, adaptive
+    /// lifetime observation, expired-state purge and pseudonym renewal.
+    fn rejoin(&mut self, now: SimTime, v: usize) {
+        self.online_since[v] = Some(now);
+        if let Some(since) = self.offline_since[v].take() {
+            // Feed the adaptive lifetime policy with the node's own
+            // observed offline duration (EWMA, weight 0.2 on the new
+            // observation).
+            let duration = now.since(since);
+            self.ewma_offline[v] = Some(match self.ewma_offline[v] {
+                Some(prev) => 0.8 * prev + 0.2 * duration,
+                None => duration,
+            });
+        }
+        // Rejoining is a state change: re-arm suppressed shuffling.
+        self.stable_ticks[v] = 0;
+        self.nodes[v].purge_expired(now);
+        if self.nodes[v].needs_pseudonym(now) {
+            let lifetime = self.lifetime_for(v);
+            self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
+        }
+    }
+
+    /// Bookkeeping for a node going offline: close the online session.
+    fn depart(&mut self, now: SimTime, v: usize) {
+        self.offline_since[v] = Some(now);
+        if let Some(since) = self.online_since[v].take() {
+            self.nodes[v].stats.online_time += now.since(since);
+        }
+    }
+
+    /// Injects a correlated failure: every node in `nodes` goes offline now
+    /// and returns online exactly `duration` shuffle periods later
+    /// (a regional blackout followed by a reconnect flash crowd). Natural
+    /// churn resumes after the forced reconnect.
+    ///
+    /// Nodes already offline stay offline for (at least) the blackout; any
+    /// pending natural transition is cancelled via a generation bump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive or a node index is out of
+    /// range.
+    pub fn inject_blackout(&mut self, nodes: &[usize], duration: f64) {
+        assert!(duration > 0.0, "blackout duration must be positive");
+        let now = self.current_time;
+        for &v in nodes {
+            assert!(v < self.nodes.len(), "node {v} out of range");
+            self.churn_generation[v] = self.churn_generation[v].wrapping_add(1);
+            if self.churn[v].is_online() {
+                self.depart(now, v);
+            }
+            // Residence sample is discarded: the blackout end is forced.
+            let _ = self.churn[v]
+                .force_state(veil_sim::churn::NodeState::Offline, &mut self.churn_rngs[v]);
+            self.engine.schedule_at(
+                now + duration,
+                Event::BlackoutEnd {
+                    node: v as u32,
+                    generation: self.churn_generation[v],
+                },
+            );
+        }
+    }
+
+    fn handle_blackout_end(&mut self, now: SimTime, v: usize, generation: u32) {
+        if generation != self.churn_generation[v] {
+            return; // a newer blackout supersedes this recovery
+        }
+        let next = self.churn[v]
+            .force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
+        if let Some(delay) = next {
+            self.engine.schedule_at(
+                now + delay,
+                Event::Churn {
+                    node: v as u32,
+                    generation,
+                },
+            );
+        }
+        self.rejoin(now, v);
+    }
+
+    /// Materializes the current overlay as an undirected graph: the union
+    /// of all trusted links and all valid pseudonym links (an edge `{a,b}`
+    /// exists if either side holds a link to the other).
+    ///
+    /// Offline nodes keep their links — connectivity metrics mask them out
+    /// separately ("overlay links to nodes that go offline are not
+    /// removed"; they become operational again on rejoin).
+    pub fn overlay_graph(&self) -> Graph {
+        let now = self.current_time;
+        let mut g = Graph::new(self.nodes.len());
+        for (a, b) in self.trust.edges() {
+            g.add_edge(a, b).expect("trust edge in range");
+        }
+        for (v, node) in self.nodes.iter().enumerate() {
+            for link in node.links(now) {
+                if let LinkTarget::Pseudonym(p) = link {
+                    let owner = p.owner() as usize;
+                    if owner != v {
+                        let _ = g.add_edge(v, owner).expect("pseudonym edge in range");
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// The overlay restricted to trusted links only (the F2F baseline the
+    /// paper compares against).
+    pub fn trust_only_graph(&self) -> &Graph {
+        &self.trust
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.current_time)
+            .field("online", &self.online_count())
+            .finish()
+    }
+}
+
+/// Mutable references to two distinct vector elements.
+fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "indices must differ");
+    if a < b {
+        let (left, right) = v.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = v.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veil_graph::generators;
+    use veil_graph::metrics as gm;
+
+    fn trust_graph(n: usize, seed: u64) -> Graph {
+        let mut rng = derive_rng(seed, Stream::Topology);
+        generators::social_graph(n, 3, &mut rng).unwrap()
+    }
+
+    fn small_sim(alpha: f64, seed: u64) -> Simulation {
+        let trust = trust_graph(60, seed);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 12,
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(alpha, 10.0);
+        Simulation::new(trust, cfg, churn, seed).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_trust_graph() {
+        let churn = ChurnConfig::from_availability(1.0, 30.0);
+        let err = Simulation::new(Graph::new(0), OverlayConfig::default(), churn, 1).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidTrustGraph { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let churn = ChurnConfig::from_availability(1.0, 30.0);
+        let cfg = OverlayConfig {
+            cache_size: 0,
+            ..OverlayConfig::default()
+        };
+        assert!(Simulation::new(Graph::new(5), cfg, churn, 1).is_err());
+    }
+
+    #[test]
+    fn all_online_without_churn() {
+        let mut sim = small_sim(1.0, 1);
+        assert_eq!(sim.online_count(), 60);
+        sim.run_until(5.0);
+        assert_eq!(sim.online_count(), 60, "no churn at availability 1");
+    }
+
+    #[test]
+    fn overlay_contains_trust_edges() {
+        let mut sim = small_sim(1.0, 2);
+        sim.run_until(3.0);
+        let overlay = sim.overlay_graph();
+        for (a, b) in sim.trust_graph().edges() {
+            assert!(overlay.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn overlay_grows_pseudonym_links() {
+        let mut sim = small_sim(1.0, 3);
+        let trust_edges = sim.trust_graph().edge_count();
+        sim.run_until(30.0);
+        let overlay = sim.overlay_graph();
+        assert!(
+            overlay.edge_count() > trust_edges + 60,
+            "overlay should gain many pseudonym links: {} vs {}",
+            overlay.edge_count(),
+            trust_edges
+        );
+    }
+
+    #[test]
+    fn overlay_approaches_target_degree() {
+        let mut sim = small_sim(1.0, 4);
+        sim.run_until(50.0);
+        // Average pseudonym link count should approach the slot budgets.
+        let mean_links: f64 = (0..sim.node_count())
+            .map(|v| sim.node(v).sampler.link_count() as f64)
+            .sum::<f64>()
+            / sim.node_count() as f64;
+        let mean_slots: f64 = (0..sim.node_count())
+            .map(|v| sim.node(v).sampler.slot_count() as f64)
+            .sum::<f64>()
+            / sim.node_count() as f64;
+        assert!(
+            mean_links > 0.5 * mean_slots.min(59.0),
+            "links {mean_links:.1} vs slots {mean_slots:.1}"
+        );
+    }
+
+    #[test]
+    fn churn_changes_online_set() {
+        let mut sim = small_sim(0.5, 5);
+        sim.run_until(50.0);
+        let online = sim.online_count();
+        assert!(online > 10 && online < 50, "online {online} of 60");
+    }
+
+    #[test]
+    fn online_time_accounting_sums_to_about_alpha() {
+        let mut sim = small_sim(0.5, 6);
+        sim.run_until(200.0);
+        let total_online: f64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).online_time)
+            .sum();
+        let expected = 0.5 * 200.0 * sim.node_count() as f64;
+        assert!(
+            (total_online - expected).abs() < 0.15 * expected,
+            "online time {total_online} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn messages_average_about_two_per_period() {
+        // Paper: "the average number of messages sent per shuffle period
+        // per node across the whole overlay is 2" (no churn case).
+        let mut sim = small_sim(1.0, 7);
+        sim.run_until(60.0);
+        let mean_rate: f64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).messages_per_period())
+            .sum::<f64>()
+            / sim.node_count() as f64;
+        assert!(
+            (mean_rate - 2.0).abs() < 0.25,
+            "mean message rate {mean_rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = small_sim(0.5, 8);
+        let mut b = small_sim(0.5, 8);
+        a.run_until(40.0);
+        b.run_until(40.0);
+        assert_eq!(a.online_mask(), b.online_mask());
+        assert_eq!(a.overlay_graph(), b.overlay_graph());
+        assert_eq!(a.pseudonyms_minted(), b.pseudonyms_minted());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = small_sim(0.5, 9);
+        let mut b = small_sim(0.5, 10);
+        a.run_until(40.0);
+        b.run_until(40.0);
+        assert_ne!(a.overlay_graph(), b.overlay_graph());
+    }
+
+    #[test]
+    fn expiry_drives_renewal() {
+        let trust = trust_graph(30, 11);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 10,
+            pseudonym_lifetime: Some(5.0),
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(1.0, 10.0);
+        let mut sim = Simulation::new(trust, cfg, churn, 11).unwrap();
+        sim.run_until(26.0);
+        // Lifetime 5sp over 26sp: every node should have minted ~5 times.
+        assert!(
+            sim.pseudonyms_minted() >= 4 * 30,
+            "minted {}",
+            sim.pseudonyms_minted()
+        );
+        assert!(sim.total_link_removals() > 0, "expiry must remove links");
+    }
+
+    #[test]
+    fn no_expiry_no_removals_after_convergence() {
+        let trust = trust_graph(30, 12);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 10,
+            pseudonym_lifetime: None,
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(1.0, 10.0);
+        let mut sim = Simulation::new(trust, cfg, churn, 12).unwrap();
+        sim.run_until(150.0);
+        let at_150 = sim.total_link_removals();
+        sim.run_until(200.0);
+        let at_200 = sim.total_link_removals();
+        // Convergence: the min-wise process settles; replacements dry up.
+        assert!(
+            at_200 - at_150 < 30,
+            "replacements kept happening: {at_150} -> {at_200}"
+        );
+    }
+
+    #[test]
+    fn overlay_beats_trust_graph_under_churn() {
+        let mut sim = small_sim(0.4, 13);
+        sim.run_until(120.0);
+        let online = sim.online_mask();
+        let overlay = sim.overlay_graph();
+        let frac_overlay = gm::fraction_disconnected(&overlay, &online);
+        let frac_trust = gm::fraction_disconnected(sim.trust_graph(), &online);
+        assert!(
+            frac_overlay < frac_trust,
+            "overlay {frac_overlay} should beat trust {frac_trust}"
+        );
+    }
+
+    #[test]
+    fn two_mut_returns_both_orders() {
+        let mut v = vec![1, 2, 3];
+        {
+            let (a, b) = two_mut(&mut v, 0, 2);
+            assert_eq!((*a, *b), (1, 3));
+        }
+        let (a, b) = two_mut(&mut v, 2, 0);
+        assert_eq!((*a, *b), (3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn two_mut_rejects_same_index() {
+        let mut v = vec![1, 2];
+        two_mut(&mut v, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn run_until_rejects_past() {
+        let mut sim = small_sim(1.0, 14);
+        sim.run_until(5.0);
+        sim.run_until(4.0);
+    }
+
+    #[test]
+    fn adaptive_stop_suppresses_shuffles_after_convergence() {
+        let trust = trust_graph(40, 15);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 10,
+            pseudonym_lifetime: None, // stable regime: links converge
+            stop_after_stable_periods: Some(5),
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(1.0, 10.0);
+        let mut sim = Simulation::new(trust.clone(), cfg, churn, 15).unwrap();
+        sim.run_until(300.0);
+        let suppressed: u64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).shuffles_suppressed)
+            .sum();
+        assert!(suppressed > 0, "stability detector never fired");
+        // And the overlay is still healthy.
+        let frac =
+            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask());
+        assert_eq!(frac, 0.0);
+        // Late-window message traffic collapses relative to the always-on
+        // configuration.
+        let always_cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 10,
+            pseudonym_lifetime: None,
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(1.0, 10.0);
+        let mut always = Simulation::new(trust, always_cfg, churn, 15).unwrap();
+        always.run_until(300.0);
+        let requests = |sim: &Simulation| -> u64 {
+            (0..sim.node_count())
+                .map(|v| sim.node_stats(v).requests_sent)
+                .sum()
+        };
+        assert!(
+            requests(&sim) < requests(&always) / 2,
+            "suppression should at least halve request traffic: {} vs {}",
+            requests(&sim),
+            requests(&always)
+        );
+    }
+
+    #[test]
+    fn adaptive_lifetime_tracks_offline_durations() {
+        use crate::config::LifetimePolicy;
+        let trust = trust_graph(40, 16);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 10,
+            pseudonym_lifetime: Some(90.0),
+            lifetime_policy: LifetimePolicy::Adaptive {
+                multiplier: 3.0,
+                floor: 5.0,
+            },
+            ..OverlayConfig::default()
+        };
+        // Mean offline time 10sp: adaptive lifetimes should settle near
+        // 3 x 10 = 30sp, well below the 90sp global fallback.
+        let churn = ChurnConfig::from_availability(0.5, 10.0);
+        let mut sim = Simulation::new(trust, cfg, churn, 16).unwrap();
+        sim.run_until(400.0);
+        // Inspect the actual lifetimes of current pseudonyms.
+        let now = sim.now();
+        let mut lifetimes = Vec::new();
+        for v in 0..sim.node_count() {
+            if let Some(p) = sim.node(v).own_pseudonym(now) {
+                if let Some(expiry) = p.expires() {
+                    // Upper bound on the minted lifetime.
+                    lifetimes.push(expiry - now);
+                }
+            }
+        }
+        assert!(!lifetimes.is_empty());
+        let mean_remaining: f64 = lifetimes.iter().sum::<f64>() / lifetimes.len() as f64;
+        // Remaining lifetime of an adaptive (~30sp) pseudonym is well below
+        // the global 90sp value.
+        assert!(
+            mean_remaining < 60.0,
+            "adaptive lifetimes look global: mean remaining {mean_remaining}"
+        );
+    }
+
+    #[test]
+    fn message_log_records_request_response_pairs() {
+        let mut sim = small_sim(1.0, 17);
+        sim.enable_message_log();
+        sim.run_until(5.0);
+        let log = sim.message_log().unwrap();
+        assert!(!log.is_empty());
+        let requests = log
+            .iter()
+            .filter(|m| m.kind == MessageKind::Request)
+            .count();
+        let responses = log
+            .iter()
+            .filter(|m| m.kind == MessageKind::Response)
+            .count();
+        assert_eq!(requests, responses, "every request gets a response");
+        for m in log {
+            assert_ne!(m.from, m.to);
+        }
+        // Draining works and keeps logging active.
+        let drained = sim.take_message_log();
+        assert_eq!(drained.len(), requests + responses);
+        sim.run_until(6.0);
+        assert!(!sim.message_log().unwrap().is_empty());
+        sim.disable_message_log();
+        assert!(sim.message_log().is_none());
+    }
+
+    #[test]
+    fn latency_one_round_trip_still_exchanges() {
+        let trust = trust_graph(30, 19);
+        let cfg = OverlayConfig {
+            cache_size: 40,
+            shuffle_length: 6,
+            target_links: 8,
+            link_latency: 0.2,
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(1.0, 10.0);
+        let mut sim = Simulation::new(trust, cfg, churn, 19).unwrap();
+        sim.run_until(30.0);
+        // Gossip still works: pseudonym links accumulate.
+        let total_links: usize = (0..sim.node_count())
+            .map(|v| sim.node(v).sampler.link_count())
+            .sum();
+        assert!(total_links > 30, "links {total_links}");
+        // Request/response accounting still pairs up (no churn => no loss).
+        let req: u64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).requests_sent)
+            .sum();
+        let resp: u64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).responses_sent)
+            .sum();
+        assert!(req > 0);
+        // In-flight messages at the horizon make resp lag req slightly.
+        assert!(resp <= req && req - resp <= sim.node_count() as u64);
+    }
+
+    #[test]
+    fn latency_with_churn_loses_in_transit_messages() {
+        let trust = trust_graph(40, 20);
+        let cfg = OverlayConfig {
+            cache_size: 40,
+            shuffle_length: 6,
+            target_links: 8,
+            link_latency: 0.5,
+            ..OverlayConfig::default()
+        };
+        // Short sessions: transit losses become likely.
+        let churn = ChurnConfig::from_availability(0.5, 2.0);
+        let mut sim = Simulation::new(trust, cfg, churn, 20).unwrap();
+        sim.run_until(100.0);
+        let lost: u64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).requests_lost)
+            .sum();
+        assert!(lost > 0, "in-transit churn must lose some requests");
+    }
+
+    #[test]
+    fn moderate_latency_preserves_robustness() {
+        // The paper's §III-E5 claim: slow mixes do not break maintenance.
+        let trust = trust_graph(50, 21);
+        let make = |latency: f64| {
+            let cfg = OverlayConfig {
+                cache_size: 50,
+                shuffle_length: 8,
+                target_links: 12,
+                link_latency: latency,
+                ..OverlayConfig::default()
+            };
+            let churn = ChurnConfig::from_availability(0.5, 10.0);
+            let mut sim = Simulation::new(trust.clone(), cfg, churn, 21).unwrap();
+            sim.run_until(120.0);
+            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask())
+        };
+        let instant = make(0.0);
+        let slow = make(1.0);
+        assert!(
+            slow <= instant + 0.15,
+            "one-period latency should barely hurt: {slow} vs {instant}"
+        );
+    }
+
+    #[test]
+    fn blackout_forces_nodes_offline_and_back() {
+        let mut sim = small_sim(1.0, 22);
+        sim.run_until(10.0);
+        assert_eq!(sim.online_count(), 60);
+        let victims: Vec<usize> = (0..30).collect();
+        sim.inject_blackout(&victims, 5.0);
+        sim.run_until(12.0);
+        assert_eq!(sim.online_count(), 30, "half the network is dark");
+        for &v in &victims {
+            assert!(!sim.is_online(v));
+        }
+        sim.run_until(16.0);
+        assert_eq!(sim.online_count(), 60, "blackout over, everyone back");
+        // Permanently-online nodes stay online afterwards (no spurious
+        // churn events).
+        sim.run_until(60.0);
+        assert_eq!(sim.online_count(), 60);
+    }
+
+    #[test]
+    fn blackout_during_churn_is_superseded_cleanly() {
+        let mut sim = small_sim(0.5, 23);
+        sim.run_until(20.0);
+        let victims: Vec<usize> = (0..sim.node_count()).collect();
+        sim.inject_blackout(&victims, 3.0);
+        sim.run_until(21.0);
+        assert_eq!(sim.online_count(), 0, "total blackout");
+        sim.run_until(23.5);
+        // Everyone reconnected at t = 23; natural churn has had half a
+        // period to pull a few nodes back offline.
+        assert!(
+            sim.online_count() > sim.node_count() * 9 / 10,
+            "reconnect flash crowd: {} online",
+            sim.online_count()
+        );
+        // Natural churn resumes: some nodes drift offline again.
+        sim.run_until(60.0);
+        let online = sim.online_count();
+        assert!(online < sim.node_count(), "churn must resume, online={online}");
+        assert!(online > 0);
+    }
+
+    #[test]
+    fn overlay_survives_blackout_better_than_trust_graph() {
+        let mut sim = small_sim(1.0, 24);
+        sim.run_until(40.0); // converge
+        // Blackout a random-ish half: every even node.
+        let victims: Vec<usize> = (0..sim.node_count()).filter(|v| v % 2 == 0).collect();
+        sim.inject_blackout(&victims, 10.0);
+        sim.run_until(41.0);
+        let online = sim.online_mask();
+        let overlay_frac =
+            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &online);
+        let trust_frac =
+            veil_graph::metrics::fraction_disconnected(sim.trust_graph(), &online);
+        assert!(
+            overlay_frac <= trust_frac,
+            "overlay {overlay_frac} vs trust {trust_frac} during blackout"
+        );
+    }
+
+    #[test]
+    fn blackout_is_deterministic() {
+        let run = || {
+            let mut sim = small_sim(0.5, 25);
+            sim.run_until(15.0);
+            sim.inject_blackout(&[0, 1, 2, 3, 4], 4.0);
+            sim.run_until(40.0);
+            (sim.online_mask(), sim.overlay_graph())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn blackout_rejects_zero_duration() {
+        let mut sim = small_sim(1.0, 26);
+        sim.inject_blackout(&[0], 0.0);
+    }
+
+    #[test]
+    fn message_log_off_by_default() {
+        let mut sim = small_sim(1.0, 18);
+        sim.run_until(5.0);
+        assert!(sim.message_log().is_none());
+        assert!(sim.take_message_log().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced by graph constructors, generators and parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index referenced a vertex outside `0..n`.
+    NodeOutOfRange {
+        /// The offending index.
+        node: usize,
+        /// Number of vertices in the graph.
+        len: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the trust graph is simple.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        node: usize,
+    },
+    /// Generator parameters were inconsistent (e.g. more edges than a simple
+    /// graph of that order can hold).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node index {node} out of range for graph of {len} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} not allowed in a simple graph")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            GraphError::NodeOutOfRange { node: 5, len: 3 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::InvalidParameter {
+                reason: "m too large".into(),
+            },
+            GraphError::Parse {
+                line: 2,
+                reason: "expected two fields".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Undirected graph substrate for the `veil` overlay simulator.
+//!
+//! The paper evaluates its overlay protocol on *trust graphs* sampled from a
+//! Facebook crawl. That trace is proprietary, so this crate provides:
+//!
+//! * [`Graph`] — a compact undirected graph with sorted adjacency lists.
+//! * [`generators`] — synthetic social-graph models reproducing the
+//!   structural properties the paper relies on (power-law degrees via
+//!   Barabási–Albert, clustering via Holme–Kim triad closure), plus
+//!   Erdős–Rényi reference graphs and assorted deterministic topologies.
+//! * [`sample`] — the paper's invitation-model *f-sampler* (Section IV-A):
+//!   a partial breadth-first traversal that adds `max(1, f·deg(n))` random
+//!   unvisited neighbours of each visited node.
+//! * [`metrics`] — the robustness metrics of Section IV-C: fraction of
+//!   online nodes outside the largest connected component, normalized
+//!   average path length, degree distributions, plus clustering, diameter
+//!   and assortativity diagnostics.
+//! * [`io`] — plain-text edge-list serialization so externally obtained
+//!   social graphs can be dropped in.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use veil_graph::{generators, metrics};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let g = generators::barabasi_albert(200, 3, &mut rng).unwrap();
+//! assert_eq!(metrics::component_count(&g), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod sample;
+
+pub use error::GraphError;
+pub use graph::{Graph, NodeId};

@@ -1,0 +1,279 @@
+//! Dense and logarithmically binned histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense histogram over non-negative integer values.
+///
+/// Used for degree distributions (Figure 5 of the paper): `bins[d]` is the
+/// number of observations equal to `d`.
+///
+/// # Examples
+///
+/// ```
+/// use veil_metrics::histogram::Histogram;
+///
+/// let h: Histogram = [1, 1, 2, 5].into_iter().collect();
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.count(5), 1);
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.max_value(), Some(5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if value >= self.bins.len() {
+            self.bins.resize(value + 1, 0);
+        }
+        self.bins[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations equal to `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.bins.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the histogram contains no observations.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest observed value, or `None` when empty.
+    pub fn max_value(&self) -> Option<usize> {
+        self.bins.iter().rposition(|&c| c > 0)
+    }
+
+    /// Smallest observed value, or `None` when empty.
+    pub fn min_value(&self) -> Option<usize> {
+        self.bins.iter().position(|&c| c > 0)
+    }
+
+    /// Mean of the observations; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+
+    /// Returns the fraction of observations with value `<= value`.
+    pub fn cdf(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self.bins.iter().take(value + 1).sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (dst, src) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+}
+
+impl FromIterator<usize> for Histogram {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<usize> for Histogram {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Histogram with logarithmically spaced bins, for heavy-tailed data.
+///
+/// Bin `i` covers values in `[base^i, base^(i+1))`; bin `0` additionally
+/// covers the value `0`.
+///
+/// # Examples
+///
+/// ```
+/// use veil_metrics::histogram::LogHistogram;
+///
+/// let mut h = LogHistogram::new(2.0);
+/// h.record(1);
+/// h.record(3);
+/// h.record(1000);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    base: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram with the given bin base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 1.0`.
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "log-histogram base must exceed 1");
+        Self {
+            base,
+            bins: Vec::new(),
+            total: 0,
+        }
+    }
+
+    fn bin_index(&self, value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (value as f64).log(self.base).floor() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bin_index(value);
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over `(bin_lower_bound, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| (self.base.powi(i as i32) as u64, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+        assert_eq!(h.min_value(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.cdf(10), 0.0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(0);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(7), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.min_value(), Some(0));
+        assert_eq!(h.max_value(), Some(3));
+    }
+
+    #[test]
+    fn mean_is_weighted() {
+        let h: Histogram = [2, 2, 8].into_iter().collect();
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let h: Histogram = [0, 1, 1, 5].into_iter().collect();
+        assert!(h.cdf(0) <= h.cdf(1));
+        assert!(h.cdf(1) <= h.cdf(5));
+        assert!((h.cdf(5) - 1.0).abs() < 1e-12);
+        assert!((h.cdf(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_skips_empty_bins() {
+        let h: Histogram = [0, 4].into_iter().collect();
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(0, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: Histogram = [1, 2].into_iter().collect();
+        let b: Histogram = [2, 9].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(9), 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn log_histogram_bins() {
+        let mut h = LogHistogram::new(10.0);
+        h.record(0);
+        h.record(1);
+        h.record(9);
+        h.record(10);
+        h.record(99);
+        h.record(100);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 3), (10, 2), (100, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed 1")]
+    fn log_histogram_rejects_bad_base() {
+        LogHistogram::new(1.0);
+    }
+}

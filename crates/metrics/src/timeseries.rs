@@ -1,0 +1,218 @@
+//! Time-indexed series of measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// A series of `(time, value)` observations with non-decreasing times.
+///
+/// Used for the convergence experiments of the paper (Figures 8 and 9),
+/// where connectivity and link-replacement rates are tracked over simulated
+/// shuffle periods.
+///
+/// # Examples
+///
+/// ```
+/// use veil_metrics::timeseries::TimeSeries;
+///
+/// let mut ts = TimeSeries::new();
+/// ts.push(0.0, 1.0);
+/// ts.push(1.0, 3.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.last(), Some((1.0, 3.0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is smaller than the last recorded time, or if either
+    /// coordinate is NaN.
+    pub fn push(&mut self, time: f64, value: f64) {
+        assert!(!time.is_nan() && !value.is_nan(), "NaN in time series");
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(time >= last, "time series must be pushed in time order");
+        }
+        self.points.push((time, value));
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last observation, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Returns the underlying points as a slice.
+    pub fn as_slice(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Mean of the values observed in the half-open time window `[from, to)`.
+    ///
+    /// Returns `None` if the window contains no observations.
+    pub fn window_mean(&self, from: f64, to: f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Mean of the final `k` observations; `None` if the series has fewer.
+    pub fn tail_mean(&self, k: usize) -> Option<f64> {
+        if self.points.len() < k || k == 0 {
+            return None;
+        }
+        let tail = &self.points[self.points.len() - k..];
+        Some(tail.iter().map(|&(_, v)| v).sum::<f64>() / k as f64)
+    }
+
+    /// Resamples onto a regular grid with spacing `step` via zero-order hold
+    /// (each grid point takes the most recent observation at or before it).
+    ///
+    /// Grid points before the first observation are skipped. Returns an empty
+    /// series when this one is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0.0`.
+    pub fn resample(&self, step: f64) -> TimeSeries {
+        assert!(step > 0.0, "resample step must be positive");
+        let mut out = TimeSeries::new();
+        let Some(&(t0, _)) = self.points.first() else {
+            return out;
+        };
+        let (t_end, _) = *self.points.last().expect("non-empty");
+        let mut idx = 0usize;
+        let mut t = (t0 / step).ceil() * step;
+        while t <= t_end {
+            while idx + 1 < self.points.len() && self.points[idx + 1].0 <= t {
+                idx += 1;
+            }
+            out.push(t, self.points[idx].1);
+            t += step;
+        }
+        out
+    }
+
+    /// First time at which the value becomes `<= threshold` and stays there
+    /// for the rest of the series; `None` if that never happens.
+    ///
+    /// Used to measure convergence time (e.g. "time until the fraction of
+    /// disconnected nodes permanently drops below 1%").
+    pub fn settling_time(&self, threshold: f64) -> Option<f64> {
+        let mut settle: Option<f64> = None;
+        for &(t, v) in &self.points {
+            if v <= threshold {
+                if settle.is_none() {
+                    settle = Some(t);
+                }
+            } else {
+                settle = None;
+            }
+        }
+        settle
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut ts = Self::new();
+        for (t, v) in iter {
+            ts.push(t, v);
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let ts: TimeSeries = [(0.0, 5.0), (2.0, 7.0)].into_iter().collect();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.last(), Some((2.0, 7.0)));
+        assert_eq!(ts.as_slice()[0], (0.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_time_going_backwards() {
+        let mut ts = TimeSeries::new();
+        ts.push(1.0, 0.0);
+        ts.push(0.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let mut ts = TimeSeries::new();
+        ts.push(0.0, f64::NAN);
+    }
+
+    #[test]
+    fn window_mean_half_open() {
+        let ts: TimeSeries = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)].into_iter().collect();
+        assert_eq!(ts.window_mean(0.0, 2.0), Some(2.0));
+        assert_eq!(ts.window_mean(2.0, 3.0), Some(5.0));
+        assert_eq!(ts.window_mean(3.0, 4.0), None);
+    }
+
+    #[test]
+    fn tail_mean() {
+        let ts: TimeSeries = [(0.0, 1.0), (1.0, 2.0), (2.0, 6.0)].into_iter().collect();
+        assert_eq!(ts.tail_mean(2), Some(4.0));
+        assert_eq!(ts.tail_mean(4), None);
+        assert_eq!(ts.tail_mean(0), None);
+    }
+
+    #[test]
+    fn resample_zero_order_hold() {
+        let ts: TimeSeries = [(0.0, 1.0), (0.6, 2.0), (2.4, 3.0)].into_iter().collect();
+        let r = ts.resample(1.0);
+        assert_eq!(r.as_slice(), &[(0.0, 1.0), (1.0, 2.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn resample_empty() {
+        let ts = TimeSeries::new();
+        assert!(ts.resample(1.0).is_empty());
+    }
+
+    #[test]
+    fn settling_time_requires_staying_below() {
+        let ts: TimeSeries = [(0.0, 1.0), (1.0, 0.05), (2.0, 0.5), (3.0, 0.01), (4.0, 0.02)]
+            .into_iter()
+            .collect();
+        assert_eq!(ts.settling_time(0.1), Some(3.0));
+        assert_eq!(ts.settling_time(0.001), None);
+    }
+}

@@ -1,0 +1,181 @@
+//! Disjoint-set forest (union–find) with size tracking.
+
+use serde::{Deserialize, Serialize};
+
+/// Disjoint-set forest over elements `0..n` with union by size and path
+/// compression.
+///
+/// Used for incremental connected-component queries over edge streams, and
+/// as an independent oracle for the BFS-based component metrics of
+/// `veil-graph` in the cross-crate consistency tests.
+///
+/// # Examples
+///
+/// ```
+/// use veil_metrics::union_find::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// assert_eq!(uf.largest_component_size(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` elements.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "too many elements for UnionFind");
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression: point every node on the path at the root.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if the sets were previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let root = self.find(x);
+        self.size[root] as usize
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the largest set; `0` when empty.
+    pub fn largest_component_size(&mut self) -> usize {
+        self.component_sizes().first().copied().unwrap_or(0)
+    }
+
+    /// Sizes of all sets, in descending order.
+    pub fn component_sizes(&mut self) -> Vec<usize> {
+        let mut sizes = Vec::new();
+        for i in 0..self.parent.len() {
+            if self.find(i) == i {
+                sizes.push(self.size[i] as usize);
+            }
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.largest_component_size(), 1);
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.component_size(1), 1);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_sizes(), vec![3, 1, 1]);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert_eq!(uf.largest_component_size(), 0);
+        assert!(uf.component_sizes().is_empty());
+    }
+
+    #[test]
+    fn chain_of_unions_gives_single_component() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.largest_component_size(), n);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the statistics primitives.
+
+use proptest::prelude::*;
+use veil_metrics::{Histogram, OnlineStats, TimeSeries, UnionFind};
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn mean_lies_between_min_and_max(samples in finite_samples()) {
+        let stats: OnlineStats = samples.iter().copied().collect();
+        let min = stats.min().unwrap();
+        let max = stats.max().unwrap();
+        prop_assert!(min <= stats.mean() + 1e-9);
+        prop_assert!(stats.mean() <= max + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_nonnegative(samples in finite_samples()) {
+        let stats: OnlineStats = samples.iter().copied().collect();
+        prop_assert!(stats.population_variance() >= -1e-9);
+        prop_assert!(stats.sample_variance() >= -1e-9);
+    }
+
+    #[test]
+    fn merge_matches_sequential(
+        a in finite_samples(),
+        b in finite_samples(),
+    ) {
+        let mut merged: OnlineStats = a.iter().copied().collect();
+        let right: OnlineStats = b.iter().copied().collect();
+        merged.merge(&right);
+        let sequential: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.len(), sequential.len());
+        prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-6);
+        prop_assert!(
+            (merged.population_variance() - sequential.population_variance()).abs()
+                < 1e-3 * (1.0 + sequential.population_variance())
+        );
+    }
+
+    #[test]
+    fn histogram_total_and_mean(values in prop::collection::vec(0usize..500, 1..300)) {
+        let h: Histogram = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let naive = values.iter().sum::<usize>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - naive).abs() < 1e-9);
+        prop_assert_eq!(h.max_value(), values.iter().copied().max());
+        prop_assert_eq!(h.min_value(), values.iter().copied().min());
+    }
+
+    #[test]
+    fn histogram_cdf_is_monotone_reaching_one(values in prop::collection::vec(0usize..100, 1..100)) {
+        let h: Histogram = values.iter().copied().collect();
+        let mut last = 0.0;
+        for v in 0..=100 {
+            let c = h.cdf(v);
+            prop_assert!(c >= last - 1e-12);
+            last = c;
+        }
+        prop_assert!((h.cdf(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_find_sizes_partition_everything(
+        n in 1usize..60,
+        unions in prop::collection::vec((0usize..60, 0usize..60), 0..120),
+    ) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in unions {
+            uf.union(a % n, b % n);
+        }
+        let sizes = uf.component_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(sizes.len(), uf.component_count());
+        prop_assert_eq!(sizes.first().copied().unwrap_or(0), uf.largest_component_size());
+    }
+
+    #[test]
+    fn union_find_connectivity_is_equivalence(
+        n in 2usize..40,
+        unions in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+        probe in (0usize..40, 0usize..40, 0usize..40),
+    ) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in unions {
+            uf.union(a % n, b % n);
+        }
+        let (x, y, z) = (probe.0 % n, probe.1 % n, probe.2 % n);
+        prop_assert!(uf.connected(x, x), "reflexive");
+        prop_assert_eq!(uf.connected(x, y), uf.connected(y, x));
+        if uf.connected(x, y) && uf.connected(y, z) {
+            prop_assert!(uf.connected(x, z), "transitive");
+        }
+    }
+
+    #[test]
+    fn timeseries_resample_is_zero_order_hold(
+        deltas in prop::collection::vec(0.01f64..3.0, 1..40),
+        values in prop::collection::vec(-10f64..10.0, 40),
+    ) {
+        let mut ts = TimeSeries::new();
+        let mut t = 0.0;
+        for (d, v) in deltas.iter().zip(&values) {
+            ts.push(t, *v);
+            t += d;
+        }
+        let r = ts.resample(0.5);
+        for (rt, rv) in r.iter() {
+            // The resampled value must equal the latest original value at or
+            // before rt.
+            let expected = ts
+                .iter()
+                .take_while(|&(ot, _)| ot <= rt + 1e-12)
+                .last()
+                .unwrap()
+                .1;
+            prop_assert_eq!(rv, expected);
+        }
+    }
+
+    #[test]
+    fn settling_time_is_a_recorded_instant(
+        values in prop::collection::vec(0.0f64..1.0, 1..50),
+        threshold in 0.0f64..1.0,
+    ) {
+        let ts: TimeSeries = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
+        if let Some(t) = ts.settling_time(threshold) {
+            prop_assert!(ts.iter().any(|(ot, _)| ot == t));
+            // Every point from t onward is below the threshold.
+            for (ot, ov) in ts.iter() {
+                if ot >= t {
+                    prop_assert!(ov <= threshold);
+                }
+            }
+        } else if let Some((_, last)) = ts.last() {
+            prop_assert!(last > threshold, "series ending below threshold must settle");
+        }
+    }
+}

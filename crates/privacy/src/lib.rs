@@ -1,0 +1,38 @@
+//! Executable threat models for the veil overlay (paper Section III-E).
+//!
+//! The paper argues — qualitatively — that its overlay-maintenance protocol
+//! resists a range of observers. This crate turns each of those threat
+//! scenarios into a runnable experiment against the real protocol
+//! implementation in `veil-core`, so the claims can be measured instead of
+//! asserted:
+//!
+//! * [`knowledge`] — what a single internal observer or a colluding set
+//!   learns *by assumption* (its own neighbourhood) versus the whole
+//!   network: the baseline privacy audit of Sections III-E1 and III-E2.
+//! * [`vertex_cut`] — Section III-E3: colluding sets that form a vertex cut
+//!   of the trust graph can control pseudonym flow between the sides; this
+//!   module detects cuts, computes the sides, and identifies the
+//!   small-side configurations where a trust edge becomes certain.
+//! * [`timing_attack`] — Section III-E2: the pseudonym-injection timing
+//!   attack, where observers adjacent to nodes `a` and `b` inject a marked
+//!   pseudonym at `a` and watch whether it reappears at `b`'s side quickly
+//!   enough to betray an overlay link between `a` and `b`.
+//! * [`size_estimation`] — Section III-E4: estimating the number of
+//!   participants from the distinct pseudonyms an observer sees within one
+//!   pseudonym lifetime (explicitly *not* a violation of the paper's
+//!   privacy requirements, but worth quantifying).
+//! * [`traffic`] — Sections III-C/III-E5: external-observer traffic
+//!   analysis; quantifies how ephemeral pseudonyms multiply the number of
+//!   channels an ISP-level observer must monitor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod knowledge;
+pub mod size_estimation;
+pub mod timing_attack;
+pub mod traffic;
+pub mod vertex_cut;
+
+pub use knowledge::{KnowledgeReport, ObserverSet};
+pub use timing_attack::{InjectionAttack, InjectionOutcome};

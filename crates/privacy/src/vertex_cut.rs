@@ -1,0 +1,146 @@
+//! Vertex-cut analysis of colluding observer sets (Section III-E3).
+//!
+//! "When a set of colluding internal observers forms a vertex cut in the
+//! trust graph, then it has the possibility to control the flow of
+//! pseudonyms from one part of the graph to the other." The severity
+//! depends on the shape of the cut: if one side contains exactly two nodes
+//! `a` and `b` and the observers detect an overlay link between them, the
+//! trust edge `{a, b}` is certain.
+
+use crate::knowledge::ObserverSet;
+use veil_graph::metrics as gm;
+use veil_graph::Graph;
+
+/// Whether removing the observers disconnects the remaining trust graph.
+///
+/// A set whose removal leaves fewer than two non-observer nodes is not
+/// considered a cut (there is nothing left to separate).
+pub fn is_vertex_cut(trust: &Graph, observers: &ObserverSet) -> bool {
+    let keep: Vec<bool> = (0..trust.node_count())
+        .map(|v| !observers.contains(v))
+        .collect();
+    let remaining = keep.iter().filter(|&&b| b).count();
+    if remaining < 2 {
+        return false;
+    }
+    let (_, components) = gm::component_labels_masked(trust, Some(&keep));
+    components > 1
+}
+
+/// The connected components ("sides") of the trust graph after removing
+/// the observers, each as a sorted list of node indices.
+pub fn cut_sides(trust: &Graph, observers: &ObserverSet) -> Vec<Vec<usize>> {
+    let keep: Vec<bool> = (0..trust.node_count())
+        .map(|v| !observers.contains(v))
+        .collect();
+    let (labels, count) = gm::component_labels_masked(trust, Some(&keep));
+    let mut sides = vec![Vec::new(); count];
+    for (v, &l) in labels.iter().enumerate() {
+        if l != usize::MAX {
+            sides[l].push(v);
+        }
+    }
+    sides.sort_by(|a, b| a.len().cmp(&b.len()).then(a.cmp(b)));
+    sides
+}
+
+/// Pairs `{a, b}` whose trust edge becomes *certain* to a cut-forming
+/// observer set that detects an overlay link between them: sides of the
+/// cut that consist of exactly two adjacent nodes.
+pub fn certain_pairs(trust: &Graph, observers: &ObserverSet) -> Vec<(usize, usize)> {
+    cut_sides(trust, observers)
+        .into_iter()
+        .filter(|side| side.len() == 2)
+        .filter(|side| trust.has_edge(side[0], side[1]))
+        .map(|side| (side[0], side[1]))
+        .collect()
+}
+
+/// Finds all single-node vertex cuts (articulation points) of the trust
+/// graph — the individual nodes whose compromise enables the Section
+/// III-E3 attack on their own. Delegates to the `O(n + m)` Tarjan
+/// implementation in `veil-graph`.
+pub fn articulation_points(trust: &Graph) -> Vec<usize> {
+    gm::articulation_points(trust)
+}
+
+/// Measures how much flow control a cut gives the observers: the fraction
+/// of non-observer nodes *not* on the largest side (those are the nodes
+/// whose pseudonym flow the observers mediate).
+pub fn minority_fraction(trust: &Graph, observers: &ObserverSet) -> f64 {
+    let sides = cut_sides(trust, observers);
+    let total: usize = sides.iter().map(Vec::len).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let largest = sides.last().map_or(0, Vec::len);
+    (total - largest) as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use veil_graph::generators;
+
+    #[test]
+    fn bridge_endpoint_is_a_cut() {
+        // Two cliques of 4 and 3 joined by edge (3, 4).
+        let g = generators::two_cliques_bridge(4, 3);
+        assert!(is_vertex_cut(&g, &ObserverSet::new([3])));
+        assert!(is_vertex_cut(&g, &ObserverSet::new([4])));
+        assert!(!is_vertex_cut(&g, &ObserverSet::new([0])));
+    }
+
+    #[test]
+    fn cycle_needs_two_observers_to_cut() {
+        let g = generators::cycle(8);
+        assert!(!is_vertex_cut(&g, &ObserverSet::new([0])));
+        assert!(is_vertex_cut(&g, &ObserverSet::new([0, 4])));
+        assert!(!is_vertex_cut(&g, &ObserverSet::new([0, 1])), "adjacent pair only shortens the cycle");
+    }
+
+    #[test]
+    fn sides_of_a_cycle_cut() {
+        let g = generators::cycle(6);
+        let sides = cut_sides(&g, &ObserverSet::new([0, 3]));
+        assert_eq!(sides, vec![vec![1, 2], vec![4, 5]]);
+    }
+
+    #[test]
+    fn certain_pairs_need_side_of_two_adjacent_nodes() {
+        let g = generators::cycle(6);
+        // Both sides have two adjacent nodes.
+        let pairs = certain_pairs(&g, &ObserverSet::new([0, 3]));
+        assert_eq!(pairs, vec![(1, 2), (4, 5)]);
+        // A star cut isolates leaves singly: no certain pairs.
+        let star = generators::star(5);
+        assert!(certain_pairs(&star, &ObserverSet::new([0])).is_empty());
+    }
+
+    #[test]
+    fn articulation_points_of_path() {
+        let g = generators::path(5);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        let c = generators::cycle(5);
+        assert!(articulation_points(&c).is_empty());
+    }
+
+    #[test]
+    fn minority_fraction_quantifies_control() {
+        let g = generators::two_cliques_bridge(8, 2);
+        // Observer at the bridge head of the big clique: the 2-clique side
+        // (2 nodes, minus observer adjacency) is mediated.
+        let obs = ObserverSet::new([7]);
+        assert!(is_vertex_cut(&g, &obs));
+        let frac = minority_fraction(&g, &obs);
+        assert!(frac > 0.0 && frac < 0.5, "minority fraction {frac}");
+        // No cut: nothing is mediated.
+        assert_eq!(minority_fraction(&g, &ObserverSet::new([0])), 0.0);
+    }
+
+    #[test]
+    fn removing_almost_everything_is_not_a_cut() {
+        let g = generators::path(3);
+        assert!(!is_vertex_cut(&g, &ObserverSet::new([0, 1])));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the threat-model analyses.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_graph::{generators, Graph};
+use veil_privacy::knowledge::{audit, ObserverSet};
+use veil_privacy::vertex_cut;
+
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..30).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..80);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, raw: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new(n);
+    for &(a, b) in raw {
+        if a != b {
+            let _ = g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn knowledge_is_monotone_in_collusion(
+        (n, edges) in arb_graph(),
+        small in prop::collection::vec(0usize..30, 1..5),
+        extra in prop::collection::vec(0usize..30, 0..5),
+    ) {
+        let g = build(n, &edges);
+        let small_set: ObserverSet = small.iter().map(|&v| v % n).collect();
+        let big_set: ObserverSet = small
+            .iter()
+            .chain(extra.iter())
+            .map(|&v| v % n)
+            .collect();
+        let small_report = audit(&g, &small_set);
+        let big_report = audit(&g, &big_set);
+        prop_assert!(big_report.known_nodes.len() >= small_report.known_nodes.len());
+        prop_assert!(big_report.known_edges.len() >= small_report.known_edges.len());
+        // Everything the small set knows, the big set knows.
+        for v in &small_report.known_nodes {
+            prop_assert!(big_report.known_nodes.contains(v));
+        }
+    }
+
+    #[test]
+    fn known_edges_are_incident_to_observers(
+        (n, edges) in arb_graph(),
+        observers in prop::collection::vec(0usize..30, 1..6),
+    ) {
+        let g = build(n, &edges);
+        let set: ObserverSet = observers.iter().map(|&v| v % n).collect();
+        let report = audit(&g, &set);
+        for &(a, b) in &report.known_edges {
+            prop_assert!(g.has_edge(a, b));
+            prop_assert!(set.contains(a) || set.contains(b));
+        }
+        // Conversely, every incident edge is known.
+        for (a, b) in g.edges() {
+            if set.contains(a) || set.contains(b) {
+                prop_assert!(report.known_edges.contains(&(a.min(b), a.max(b))));
+            }
+        }
+    }
+
+    #[test]
+    fn fractions_are_bounded(
+        (n, edges) in arb_graph(),
+        observers in prop::collection::vec(0usize..30, 0..8),
+    ) {
+        let g = build(n, &edges);
+        let set: ObserverSet = observers.iter().map(|&v| v % n).collect();
+        let report = audit(&g, &set);
+        prop_assert!((0.0..=1.0).contains(&report.node_fraction));
+        prop_assert!((0.0..=1.0).contains(&report.edge_fraction));
+    }
+
+    #[test]
+    fn cut_sides_partition_non_observers(
+        (n, edges) in arb_graph(),
+        observers in prop::collection::vec(0usize..30, 1..6),
+    ) {
+        let g = build(n, &edges);
+        let set: ObserverSet = observers.iter().map(|&v| v % n).collect();
+        let sides = vertex_cut::cut_sides(&g, &set);
+        let total: usize = sides.iter().map(Vec::len).sum();
+        let non_observers = (0..n).filter(|&v| !set.contains(v)).count();
+        prop_assert_eq!(total, non_observers);
+        // Sides are disjoint and exclude observers.
+        let mut seen = vec![false; n];
+        for side in &sides {
+            for &v in side {
+                prop_assert!(!set.contains(v));
+                prop_assert!(!seen[v], "vertex in two sides");
+                seen[v] = true;
+            }
+        }
+        // is_vertex_cut agrees with side count.
+        if non_observers >= 2 {
+            prop_assert_eq!(vertex_cut::is_vertex_cut(&g, &set), sides.len() > 1);
+        }
+    }
+
+    #[test]
+    fn certain_pairs_are_real_edges(
+        (n, edges) in arb_graph(),
+        observers in prop::collection::vec(0usize..30, 1..6),
+    ) {
+        let g = build(n, &edges);
+        let set: ObserverSet = observers.iter().map(|&v| v % n).collect();
+        for (a, b) in vertex_cut::certain_pairs(&g, &set) {
+            prop_assert!(g.has_edge(a, b));
+            prop_assert!(!set.contains(a) && !set.contains(b));
+        }
+    }
+
+    #[test]
+    fn articulation_points_match_definition((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let points = vertex_cut::articulation_points(&g);
+        for &v in &points {
+            prop_assert!(vertex_cut::is_vertex_cut(&g, &ObserverSet::new([v])));
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_no_cuts(n in 3usize..12, k in 1usize..4) {
+        let g = generators::complete(n);
+        let set = ObserverSet::new(0..k.min(n - 2));
+        prop_assert!(!vertex_cut::is_vertex_cut(&g, &set));
+        prop_assert_eq!(vertex_cut::minority_fraction(&g, &set), 0.0);
+    }
+
+    #[test]
+    fn star_hub_is_the_only_cut(n in 4usize..15) {
+        let g = generators::star(n);
+        prop_assert_eq!(vertex_cut::articulation_points(&g), vec![0]);
+    }
+
+    #[test]
+    fn social_graph_observer_fraction_scales(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::social_graph(100, 3, &mut rng).unwrap();
+        let one = audit(&g, &ObserverSet::new([0]));
+        // One observer knows itself + neighbours, nothing more.
+        prop_assert_eq!(one.known_nodes.len(), 1 + g.degree(0));
+    }
+}

@@ -1,0 +1,233 @@
+//! Monotonic discrete-event queue.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled entry: ordered by time, then by insertion sequence so that
+/// simultaneous events run in FIFO order (deterministic replay).
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need the earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Discrete-event engine: a priority queue of `(time, event)` pairs plus a
+/// monotonic clock.
+///
+/// Events at equal times are delivered in scheduling order. Scheduling into
+/// the past is rejected, so causality cannot be violated.
+///
+/// # Examples
+///
+/// ```
+/// use veil_sim::engine::Engine;
+/// use veil_sim::time::SimTime;
+///
+/// let mut e: Engine<u32> = Engine::new();
+/// e.schedule_at(SimTime::new(1.0), 10);
+/// e.schedule_in(0.25, 20);
+/// assert_eq!(e.pop(), Some((SimTime::new(0.25), 20)));
+/// assert_eq!(e.now(), SimTime::new(0.25));
+/// ```
+#[derive(Default)]
+pub struct Engine<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine with the clock at zero.
+    pub fn new() -> Self {
+        Self {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time: the time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the current clock.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {now}",
+            now = self.now
+        );
+        self.queue.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay` shuffle periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative, NaN or infinite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.time)
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.queue.pop()?;
+        debug_assert!(s.time >= self.now, "queue produced an event in the past");
+        self.now = s.time;
+        self.processed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Removes and returns the earliest event only if it occurs strictly
+    /// before `horizon`; the clock does not move past `horizon` otherwise.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? < horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::new(3.0), "c");
+        e.schedule_at(SimTime::new(1.0), "a");
+        e.schedule_at(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| e.pop().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule_at(SimTime::new(1.0), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, ev)| ev)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_in(2.0, ());
+        assert_eq!(e.now(), SimTime::ZERO);
+        e.pop();
+        assert_eq!(e.now(), SimTime::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn rejects_scheduling_into_past() {
+        let mut e: Engine<()> = Engine::new();
+        e.schedule_at(SimTime::new(5.0), ());
+        e.pop();
+        e.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule_at(SimTime::new(1.0), 1);
+        e.schedule_at(SimTime::new(5.0), 2);
+        assert_eq!(e.pop_before(SimTime::new(3.0)), Some((SimTime::new(1.0), 1)));
+        assert_eq!(e.pop_before(SimTime::new(3.0)), None);
+        assert_eq!(e.pending(), 1);
+        // Clock did not jump to 5.0.
+        assert_eq!(e.now(), SimTime::new(1.0));
+    }
+
+    #[test]
+    fn empty_engine() {
+        let mut e: Engine<()> = Engine::new();
+        assert!(e.is_empty());
+        assert_eq!(e.pop(), None);
+        assert_eq!(e.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_in(1.0, "first");
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::new(1.0));
+        e.schedule_in(1.0, "second");
+        let (t2, ev) = e.pop().unwrap();
+        assert_eq!(t2, SimTime::new(2.0));
+        assert_eq!(ev, "second");
+    }
+}

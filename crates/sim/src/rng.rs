@@ -1,0 +1,144 @@
+//! Deterministic per-stream RNG derivation.
+//!
+//! Every random decision in a simulation run is drawn from an RNG derived
+//! from `(master_seed, stream)`, where the stream identifies a logical actor
+//! (a node's churn process, the protocol scheduler, the workload generator).
+//! Two runs with the same master seed are bit-for-bit identical; changing
+//! one actor's stream leaves every other stream untouched, which keeps
+//! experiments comparable across configurations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Logical RNG stream identifiers used across the workspace.
+///
+/// The values only need to be distinct; they are hashed together with the
+/// master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// Trust-graph generation and sampling.
+    Topology,
+    /// The churn process of one node.
+    Churn(u32),
+    /// Protocol decisions (peer selection, cache sampling) of one node.
+    Protocol(u32),
+    /// Pseudonym generation of one node.
+    Pseudonym(u32),
+    /// Phase desynchronisation offsets and other global scheduling noise.
+    Scheduler,
+    /// Workload/attack generators layered on top of the overlay.
+    Workload(u32),
+}
+
+impl Stream {
+    fn id(self) -> u64 {
+        match self {
+            Stream::Topology => 0x01 << 32,
+            Stream::Churn(i) => (0x02 << 32) | i as u64,
+            Stream::Protocol(i) => (0x03 << 32) | i as u64,
+            Stream::Pseudonym(i) => (0x04 << 32) | i as u64,
+            Stream::Scheduler => 0x05 << 32,
+            Stream::Workload(i) => (0x06 << 32) | i as u64,
+        }
+    }
+}
+
+/// SplitMix64 step — the standard seed-expansion permutation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives a [`StdRng`] for `(master_seed, stream)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+/// use veil_sim::rng::{derive_rng, Stream};
+///
+/// let mut a = derive_rng(7, Stream::Churn(3));
+/// let mut b = derive_rng(7, Stream::Churn(3));
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn derive_rng(master_seed: u64, stream: Stream) -> StdRng {
+    derive_rng_raw(master_seed, stream.id())
+}
+
+/// Derives a [`StdRng`] from a raw stream id, for callers with their own
+/// stream-numbering scheme.
+pub fn derive_rng_raw(master_seed: u64, stream_id: u64) -> StdRng {
+    let mut seed = [0u8; 32];
+    let mut state = splitmix64(master_seed) ^ splitmix64(stream_id.rotate_left(17));
+    for chunk in seed.chunks_exact_mut(8) {
+        state = splitmix64(state);
+        chunk.copy_from_slice(&state.to_le_bytes());
+    }
+    StdRng::from_seed(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_inputs_same_stream() {
+        let mut a = derive_rng(42, Stream::Protocol(5));
+        let mut b = derive_rng(42, Stream::Protocol(5));
+        let xs: Vec<u64> = (0..10).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = derive_rng(42, Stream::Protocol(5));
+        let mut b = derive_rng(42, Stream::Protocol(6));
+        let mut c = derive_rng(42, Stream::Churn(5));
+        let x: u64 = a.gen();
+        assert_ne!(x, b.gen());
+        assert_ne!(x, c.gen());
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let mut a = derive_rng(1, Stream::Topology);
+        let mut b = derive_rng(2, Stream::Topology);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn stream_ids_are_distinct() {
+        let ids = [
+            Stream::Topology.id(),
+            Stream::Churn(0).id(),
+            Stream::Protocol(0).id(),
+            Stream::Pseudonym(0).id(),
+            Stream::Scheduler.id(),
+            Stream::Workload(0).id(),
+            Stream::Churn(1).id(),
+        ];
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+    }
+
+    #[test]
+    fn derived_streams_look_uncorrelated() {
+        // Crude check: first outputs of 1000 per-node streams should span
+        // the u64 range fairly evenly (no stuck high bits).
+        let mut buckets = [0u32; 16];
+        for i in 0..1000 {
+            let mut r = derive_rng(7, Stream::Churn(i));
+            let v: u64 = r.gen();
+            buckets[(v >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 20, "bucket too empty: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in *shuffle periods* — the paper's
+/// time unit ("in all cases we use the shuffling period as our time unit").
+///
+/// `SimTime` is a finite, non-negative, totally ordered wrapper around
+/// `f64`: events may occur at any real-valued instant, not just on round
+/// boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use veil_sim::time::SimTime;
+///
+/// let t = SimTime::ZERO + 1.5;
+/// assert_eq!(t.as_f64(), 1.5);
+/// assert!(t > SimTime::new(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is NaN, infinite or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "simulation time must be finite");
+        assert!(t >= 0.0, "simulation time must be non-negative");
+        SimTime(t)
+    }
+
+    /// The raw value in shuffle periods.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Index of the shuffle period containing this instant.
+    pub fn period(self) -> u64 {
+        self.0.floor() as u64
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction forbids NaN, so partial_cmp cannot fail.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}sp", self.0)
+    }
+}
+
+impl From<SimTime> for f64 {
+    fn from(t: SimTime) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::new(1.0);
+        let b = a + 0.5;
+        assert!(b > a);
+        assert_eq!(b - a, 0.5);
+        assert_eq!(b.as_f64(), 1.5);
+        assert_eq!(SimTime::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn period_floor() {
+        assert_eq!(SimTime::new(0.0).period(), 0);
+        assert_eq!(SimTime::new(0.99).period(), 0);
+        assert_eq!(SimTime::new(1.0).period(), 1);
+        assert_eq!(SimTime::new(42.7).period(), 42);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::new(3.0);
+        let b = SimTime::new(5.0);
+        assert_eq!(b.since(a), 2.0);
+        assert_eq!(a.since(b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += 2.5;
+        assert_eq!(t.as_f64(), 2.5);
+    }
+
+    #[test]
+    fn display_shows_units() {
+        assert_eq!(SimTime::new(1.5).to_string(), "1.500sp");
+    }
+}

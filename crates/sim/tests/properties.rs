@@ -1,0 +1,137 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_sim::churn::{empirical_availability, simulate_timeline, ChurnConfig};
+use veil_sim::dist::{DistKind, DurationDist, Exponential, Pareto};
+use veil_sim::engine::Engine;
+use veil_sim::time::SimTime;
+
+proptest! {
+    #[test]
+    fn engine_pops_in_time_then_fifo_order(times in prop::collection::vec(0.0f64..1000.0, 1..200)) {
+        let mut engine: Engine<usize> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            engine.schedule_at(SimTime::new(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = engine.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt, "time order violated");
+                if t == lt {
+                    prop_assert!(i > li, "FIFO tiebreak violated");
+                }
+            }
+            last = Some((t, i));
+        }
+        prop_assert_eq!(engine.processed(), times.len() as u64);
+    }
+
+    #[test]
+    fn engine_clock_is_monotone(
+        schedule in prop::collection::vec((0.0f64..100.0, any::<bool>()), 1..100),
+    ) {
+        // Interleave scheduling (relative) and popping; clock never goes back.
+        let mut engine: Engine<u8> = Engine::new();
+        let mut last_now = SimTime::ZERO;
+        for (delay, pop) in schedule {
+            engine.schedule_in(delay, 0);
+            if pop {
+                engine.pop();
+            }
+            prop_assert!(engine.now() >= last_now);
+            last_now = engine.now();
+        }
+    }
+
+    #[test]
+    fn pop_before_never_crosses_horizon(
+        times in prop::collection::vec(0.0f64..100.0, 1..50),
+        horizon in 0.0f64..100.0,
+    ) {
+        let mut engine: Engine<u8> = Engine::new();
+        for &t in &times {
+            engine.schedule_at(SimTime::new(t), 0);
+        }
+        let h = SimTime::new(horizon);
+        while let Some((t, _)) = engine.pop_before(h) {
+            prop_assert!(t < h);
+        }
+        prop_assert!(engine.now() <= h.max(SimTime::ZERO));
+        // Everything left is at or past the horizon.
+        if let Some(t) = engine.peek_time() {
+            prop_assert!(t >= h);
+        }
+    }
+
+    #[test]
+    fn exponential_samples_are_nonnegative(mean in 0.001f64..1e4, seed in any::<u64>()) {
+        let d = Exponential::new(mean);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_samples_respect_scale(shape in 1.1f64..5.0, mean in 0.1f64..1e3, seed in any::<u64>()) {
+        let d = Pareto::with_mean(shape, mean);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(d.sample(&mut rng) >= d.scale() - 1e-12);
+        }
+        prop_assert!((d.mean() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    #[test]
+    fn churn_availability_formula_is_exact(alpha in 0.01f64..1.0, toff in 0.1f64..100.0) {
+        let cfg = ChurnConfig::from_availability(alpha, toff);
+        prop_assert!((cfg.availability() - alpha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn churn_timeline_alternates_and_is_sorted(
+        alpha in 0.05f64..0.95,
+        seed in any::<u64>(),
+        kind in prop::sample::select(vec![DistKind::Exponential, DistKind::Fixed]),
+    ) {
+        let cfg = ChurnConfig::from_availability(alpha, 10.0).with_kind(kind);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tl = simulate_timeline(&cfg, 500.0, &mut rng);
+        prop_assert_eq!(tl[0].0, 0.0);
+        for w in tl.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            prop_assert_eq!(w[0].1, w[1].1.flipped());
+        }
+        let a = empirical_availability(&tl, 500.0);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn fixed_churn_availability_is_deterministic(alpha in 0.1f64..0.9) {
+        // With Fixed durations the long-run availability equals alpha up to
+        // boundary effects of the final partial cycle.
+        let cfg = ChurnConfig::from_availability(alpha, 10.0)
+            .with_kind(DistKind::Fixed)
+            .with_initial(veil_sim::churn::InitialState::AllOnline);
+        let mut rng = StdRng::seed_from_u64(1);
+        let horizon = 10_000.0;
+        let tl = simulate_timeline(&cfg, horizon, &mut rng);
+        let a = empirical_availability(&tl, horizon);
+        prop_assert!((a - alpha).abs() < 0.02, "alpha {alpha} empirical {a}");
+    }
+
+    #[test]
+    fn sim_time_ordering_is_total(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (x, y) = (SimTime::new(a), SimTime::new(b));
+        prop_assert_eq!(x < y, a < b);
+        prop_assert_eq!(x == y, a == b);
+        prop_assert_eq!(x.max(y).as_f64(), a.max(b));
+    }
+
+    #[test]
+    fn sim_time_period_matches_floor(t in 0.0f64..1e6) {
+        prop_assert_eq!(SimTime::new(t).period(), t.floor() as u64);
+    }
+}

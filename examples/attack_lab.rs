@@ -1,0 +1,101 @@
+//! Attack lab: runs the threat models of Section III-E against a live
+//! overlay — observer knowledge audits, vertex-cut analysis, the
+//! pseudonym-injection timing attack, and system-size estimation.
+//!
+//! ```sh
+//! cargo run --release -p veil-core --example attack_lab
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_core::experiment::{build_simulation, build_trust_graph, ExperimentParams};
+use veil_privacy::knowledge::{audit, ObserverSet};
+use veil_privacy::size_estimation::estimate_system_size;
+use veil_privacy::timing_attack::detection_rate;
+use veil_privacy::vertex_cut;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ExperimentParams {
+        nodes: 300,
+        warmup: 100.0,
+        seed: 23,
+        source_multiplier: 30,
+        ..ExperimentParams::default()
+    };
+    let trust = build_trust_graph(&params)?;
+    println!(
+        "community: {} nodes, {} trust edges",
+        trust.node_count(),
+        trust.edge_count()
+    );
+
+    // --- 1. What do internal observers know? (III-E1 / III-E2) ---
+    println!("\n[1] observer knowledge audit");
+    for k in [1usize, 3, 10, 30] {
+        let observers = ObserverSet::new(0..k);
+        let report = audit(&trust, &observers);
+        println!(
+            "  {k:>3} colluding observers know {:>5.1}% of nodes, {:>5.1}% of edges{}",
+            100.0 * report.node_fraction,
+            100.0 * report.edge_fraction,
+            if report.is_vertex_cut { "  (vertex cut!)" } else { "" }
+        );
+    }
+
+    // --- 2. Vertex-cut exposure (III-E3) ---
+    println!("\n[2] vertex-cut analysis");
+    let cut_vertices = vertex_cut::articulation_points(&trust);
+    println!(
+        "  {} of {} nodes are single-node vertex cuts of the trust graph",
+        cut_vertices.len(),
+        trust.node_count()
+    );
+    if let Some(&worst) = cut_vertices
+        .iter()
+        .max_by(|&&a, &&b| {
+            vertex_cut::minority_fraction(&trust, &ObserverSet::new([a]))
+                .partial_cmp(&vertex_cut::minority_fraction(&trust, &ObserverSet::new([b])))
+                .unwrap()
+        })
+    {
+        let obs = ObserverSet::new([worst]);
+        println!(
+            "  worst single cut (node {worst}) mediates {:.1}% of the graph; certain pairs: {:?}",
+            100.0 * vertex_cut::minority_fraction(&trust, &obs),
+            vertex_cut::certain_pairs(&trust, &obs)
+        );
+    }
+
+    // --- 3. Pseudonym-injection timing attack (III-E2) ---
+    println!("\n[3] pseudonym-injection timing attack");
+    let mut sim = build_simulation(trust.clone(), &params, 1.0)?;
+    sim.run_until(params.warmup);
+    let mut rng = StdRng::seed_from_u64(99);
+    for window in [2.0, 10.0, 60.0] {
+        let (hits, trials) = detection_rate(&mut sim, 0, 1, window, 20, &mut rng);
+        if trials > 0 {
+            println!(
+                "  watch window {window:>5.0} sp: marker detected in {hits:>2} / {trials} trials \
+                 ({:.0}%)",
+                100.0 * hits as f64 / trials as f64
+            );
+        }
+    }
+    println!("  (short windows — the paper's two-round bound — rarely fire;");
+    println!("   long windows fire because gossip spreads every pseudonym anyway,");
+    println!("   which carries no information about a specific a-b link)");
+
+    // --- 4. System-size estimation (III-E4) ---
+    println!("\n[4] system-size estimation by a single observer");
+    let mut sim = build_simulation(trust, &params, 1.0)?;
+    sim.run_until(10.0);
+    let est = estimate_system_size(&mut sim, 0, 60.0, 2.0);
+    println!(
+        "  observer 0 estimates {} participants of {} actual ({:.0}% — allowed by the\n\
+         \u{20}  paper's privacy model: counting is not identifying)",
+        est.estimated,
+        est.actual,
+        100.0 * est.recall()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Dissident broadcast: the paper's motivating scenario of "a group of
+//! dissidents in a country that limits freedom of expression attempting to
+//! reach out to a broader audience".
+//!
+//! A message must reach the whole community even though members are online
+//! sporadically (mobile devices, intermittent connectivity) and nobody may
+//! learn who participates. This example measures broadcast coverage over
+//! the bare friend-to-friend graph versus the maintained overlay, at
+//! several availability levels.
+//!
+//! ```sh
+//! cargo run --release -p veil-core --example dissident_broadcast
+//! ```
+
+use veil_core::dissemination;
+use veil_core::experiment::{build_simulation, build_trust_graph, ExperimentParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ExperimentParams {
+        nodes: 400,
+        warmup: 150.0,
+        seed: 7,
+        source_multiplier: 25,
+        ..ExperimentParams::default()
+    };
+    let trust = build_trust_graph(&params)?;
+    println!(
+        "community: {} members, {} trust relationships",
+        trust.node_count(),
+        trust.edge_count()
+    );
+    println!(
+        "\n{:>6}  {:>8}  {:>16}  {:>16}  {:>9}",
+        "avail", "online", "trust coverage", "overlay coverage", "max hops"
+    );
+    for alpha in [0.25, 0.5, 0.75] {
+        let mut sim = build_simulation(trust.clone(), &params, alpha)?;
+        sim.run_until(params.warmup);
+        let online = sim.online_mask();
+        // The dissident with the most contacts posts the message.
+        let source = (0..sim.node_count())
+            .filter(|&v| online[v])
+            .max_by_key(|&v| trust.degree(v))
+            .expect("someone is online");
+        let over_trust = dissemination::flood(&trust, &online, source);
+        let over_overlay = dissemination::flood_current_overlay(&sim, source);
+        println!(
+            "{alpha:>6}  {:>8}  {:>15.1}%  {:>15.1}%  {:>9}",
+            sim.online_count(),
+            100.0 * over_trust.coverage(),
+            100.0 * over_overlay.coverage(),
+            over_overlay.max_hops,
+        );
+    }
+    println!(
+        "\nThe maintained overlay keeps the broadcast reaching (nearly) the\n\
+         whole online community even when members are mostly offline, while\n\
+         the bare friend-to-friend graph fragments."
+    );
+    Ok(())
+}

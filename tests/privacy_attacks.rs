@@ -1,0 +1,153 @@
+//! Integration tests for the threat models of Section III-E, run against
+//! the real protocol implementation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use veil_core::experiment::{build_simulation, build_trust_graph, ExperimentParams};
+use veil_privacy::knowledge::{audit, ObserverSet};
+use veil_privacy::size_estimation::estimate_system_size;
+use veil_privacy::timing_attack::{detection_rate, run, InjectionAttack};
+use veil_privacy::vertex_cut;
+
+fn params(seed: u64) -> ExperimentParams {
+    ExperimentParams {
+        seed,
+        ..ExperimentParams::default()
+    }
+    .scaled_down(12)
+}
+
+#[test]
+fn single_observer_learns_only_its_neighbourhood() {
+    let p = params(1);
+    let trust = build_trust_graph(&p).unwrap();
+    for observer in 0..trust.node_count().min(10) {
+        let report = audit(&trust, &ObserverSet::new([observer]));
+        assert_eq!(report.known_nodes.len(), 1 + trust.degree(observer));
+        assert_eq!(report.known_edges.len(), trust.degree(observer));
+    }
+}
+
+#[test]
+fn gossip_messages_never_widen_identity_knowledge() {
+    // Run the protocol for a long time, then verify the *protocol state* of
+    // an observer contains no node identities beyond its trusted peers:
+    // caches and samplers hold pseudonyms only, and trusted links are
+    // exactly the configured neighbour list.
+    let p = params(2);
+    let trust = build_trust_graph(&p).unwrap();
+    let mut sim = build_simulation(trust.clone(), &p, 0.7).unwrap();
+    sim.run_until(p.warmup);
+    for v in 0..sim.node_count() {
+        let node = sim.node(v);
+        let expected: Vec<u32> = trust.neighbors(v).to_vec();
+        assert_eq!(node.trusted(), expected.as_slice());
+    }
+}
+
+#[test]
+fn colluding_set_knowledge_grows_sublinearly_of_collusion() {
+    let p = params(3);
+    let trust = build_trust_graph(&p).unwrap();
+    let one = audit(&trust, &ObserverSet::new([0]));
+    let five = audit(&trust, &ObserverSet::new(0..5));
+    assert!(five.node_fraction >= one.node_fraction);
+    assert!(
+        five.node_fraction < 1.0,
+        "five observers should not know the whole graph"
+    );
+}
+
+#[test]
+fn vertex_cut_enables_certainty_only_in_degenerate_shapes() {
+    use veil_graph::generators;
+    // Two nodes isolated behind a cut: their trust edge becomes certain.
+    let g = generators::two_cliques_bridge(10, 3);
+    // Observer set = the 2 non-bridge members of the small clique's cut...
+    // take the bridge node and isolate the remaining pair.
+    let obs = ObserverSet::new([10]); // bridge endpoint inside small clique
+    if vertex_cut::is_vertex_cut(&g, &obs) {
+        let pairs = vertex_cut::certain_pairs(&g, &obs);
+        for (a, b) in pairs {
+            assert!(g.has_edge(a, b));
+        }
+    }
+    // On the sampled social graph, random small sets are rarely cuts with
+    // 2-node sides.
+    let p = params(4);
+    let trust = build_trust_graph(&p).unwrap();
+    let obs = ObserverSet::new([0, 1, 2]);
+    let pairs = vertex_cut::certain_pairs(&trust, &obs);
+    for (a, b) in pairs {
+        assert!(trust.has_edge(a, b), "certain pair must be a real edge");
+    }
+}
+
+#[test]
+fn timing_attack_short_window_has_low_yield() {
+    let p = params(5);
+    let trust = build_trust_graph(&p).unwrap();
+    let mut sim = build_simulation(trust, &p, 1.0).unwrap();
+    sim.run_until(30.0);
+    let mut rng = StdRng::seed_from_u64(6);
+    let (detections, trials) = detection_rate(&mut sim, 0, 1, 2.0, 15, &mut rng);
+    if trials > 0 {
+        let rate = detections as f64 / trials as f64;
+        assert!(
+            rate < 0.6,
+            "two-round injection attack succeeded too often: {rate}"
+        );
+    }
+}
+
+#[test]
+fn timing_attack_outcome_is_internally_consistent() {
+    let p = params(7);
+    let trust = build_trust_graph(&p).unwrap();
+    let mut sim = build_simulation(trust.clone(), &p, 1.0).unwrap();
+    sim.run_until(20.0);
+    let a = trust.neighbors(0)[0] as usize;
+    let b = (0..trust.node_count())
+        .find(|&v| v != a && v != 0 && v != 1)
+        .unwrap();
+    let attack = InjectionAttack::two_rounds(0, 1, a, b);
+    let mut rng = StdRng::seed_from_u64(8);
+    let outcome = run(&mut sim, &attack, &mut rng);
+    assert_eq!(outcome.detected, outcome.arrival_time.is_some());
+    assert_eq!(outcome.trust_edge_exists, trust.has_edge(a, b));
+}
+
+#[test]
+fn small_system_size_is_estimable() {
+    // Section III-E4: enumeration is possible in small systems and is not
+    // considered a privacy violation.
+    // Non-expiring pseudonyms isolate the enumeration behaviour from the
+    // synchronized start-up expiry wave.
+    let p = ExperimentParams {
+        lifetime_ratio: None,
+        ..params(9)
+    };
+    let trust = build_trust_graph(&p).unwrap();
+    let mut sim = build_simulation(trust, &p, 1.0).unwrap();
+    sim.run_until(10.0);
+    let est = estimate_system_size(&mut sim, 0, 80.0, 2.0);
+    assert!(
+        est.recall() > 0.5,
+        "observer estimated {} of {}",
+        est.estimated,
+        est.actual
+    );
+}
+
+#[test]
+fn articulation_points_exist_in_sparse_social_graphs() {
+    let p = params(10);
+    let trust = build_trust_graph(&p).unwrap();
+    // Sparse invitation-sampled graphs typically have cut vertices — the
+    // motivation for strengthening the overlay in the first place.
+    let points = vertex_cut::articulation_points(&trust);
+    assert!(
+        !points.is_empty(),
+        "expected articulation points in a sparse trust graph"
+    );
+}
