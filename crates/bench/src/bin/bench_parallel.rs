@@ -1,0 +1,140 @@
+//! Serial-vs-parallel wall-clock comparison for the experiment engine.
+//!
+//! Times each figure's core computation twice — once with
+//! `parallelism = Some(1)` (serial) and once with `parallelism = None`
+//! (all cores) — verifies the outputs are identical, and writes
+//! `target/figures/BENCH_parallel.json`.
+//!
+//! On a single-core runner the two times coincide (the engine falls back
+//! to the serial path); the JSON records `available_cores` so consumers
+//! can tell an absent speedup from a failed one. Honors `VEIL_SCALE`.
+
+use serde::Serialize;
+use std::time::Instant;
+use veil_bench::{paper_params, write_json, ALPHAS, RATIOS};
+use veil_core::experiment::{
+    availability_sweep, build_trust_graph, connectivity_over_time, lifetime_sweep,
+    replacement_rate_over_time, ExperimentParams,
+};
+use veil_graph::metrics as gm;
+
+#[derive(Serialize)]
+struct Entry {
+    figure: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    outputs_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    available_cores: usize,
+    scale: usize,
+    entries: Vec<Entry>,
+}
+
+/// Times `run` at a given parallelism; returns (result, millis).
+fn timed<T>(run: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = run();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn compare<T: PartialEq>(
+    figure: &str,
+    serial: impl FnOnce() -> T,
+    parallel: impl FnOnce() -> T,
+) -> Entry {
+    eprintln!("timing {figure} …");
+    let (a, serial_ms) = timed(serial);
+    let (b, parallel_ms) = timed(parallel);
+    let entry = Entry {
+        figure: figure.to_string(),
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+        outputs_identical: a == b,
+    };
+    eprintln!(
+        "  serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms, speedup {:.2}x, identical: {}",
+        entry.speedup, entry.outputs_identical
+    );
+    entry
+}
+
+fn with_parallelism(params: &ExperimentParams, parallelism: Option<usize>) -> ExperimentParams {
+    let mut p = params.clone();
+    p.overlay.parallelism = parallelism;
+    p
+}
+
+fn main() {
+    let params = paper_params();
+    let trust = build_trust_graph(&params).expect("trust graph");
+    eprintln!(
+        "trust graph: {} nodes, {} edges; available cores: {}",
+        trust.node_count(),
+        trust.edge_count(),
+        veil_par::effective_parallelism(None)
+    );
+    let serial = with_parallelism(&params, Some(1));
+    let parallel = with_parallelism(&params, None);
+    let horizon = veil_bench::scaled_horizon(300.0, 60.0);
+
+    let entries = vec![
+        compare(
+            "fig3_availability_sweep",
+            || availability_sweep(&trust, &serial, &ALPHAS, false).expect("sweep"),
+            || availability_sweep(&trust, &parallel, &ALPHAS, false).expect("sweep"),
+        ),
+        compare(
+            "fig4_availability_sweep_npl",
+            || availability_sweep(&trust, &serial, &ALPHAS[..4], true).expect("sweep"),
+            || availability_sweep(&trust, &parallel, &ALPHAS[..4], true).expect("sweep"),
+        ),
+        compare(
+            "fig7_lifetime_sweep",
+            || lifetime_sweep(&trust, &serial, &ALPHAS[..4], &RATIOS).expect("sweep"),
+            || lifetime_sweep(&trust, &parallel, &ALPHAS[..4], &RATIOS).expect("sweep"),
+        ),
+        compare(
+            "fig8_connectivity_over_time",
+            || connectivity_over_time(&trust, &serial, 0.5, &RATIOS, horizon, 10.0)
+                .expect("series"),
+            || connectivity_over_time(&trust, &parallel, 0.5, &RATIOS, horizon, 10.0)
+                .expect("series"),
+        ),
+        compare(
+            "fig9_replacement_rate",
+            || replacement_rate_over_time(&trust, &serial, 0.5, &RATIOS, horizon, 10.0)
+                .expect("series"),
+            || replacement_rate_over_time(&trust, &parallel, 0.5, &RATIOS, horizon, 10.0)
+                .expect("series"),
+        ),
+        compare(
+            "metric_average_path_length",
+            || gm::average_path_length_par(&trust, None, Some(1)),
+            || gm::average_path_length_par(&trust, None, None),
+        ),
+        compare(
+            "metric_betweenness_centrality",
+            || gm::betweenness_centrality_par(&trust, Some(1)),
+            || gm::betweenness_centrality_par(&trust, None),
+        ),
+    ];
+
+    for e in &entries {
+        assert!(
+            e.outputs_identical,
+            "{}: parallel output diverged from serial",
+            e.figure
+        );
+    }
+    let report = Report {
+        available_cores: veil_par::effective_parallelism(None),
+        scale: veil_bench::scale(),
+        entries,
+    };
+    write_json("BENCH_parallel", &report);
+}

@@ -35,6 +35,13 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut json: Vec<SensitivityRow> = Vec::new();
     let mut record = |name: &str, value: f64, overlay: OverlayConfig| {
+        // The candidate grids are paper-scale; under VEIL_SCALE some
+        // combinations (e.g. shuffle_length > scaled cache) become
+        // invalid — skip those rather than abort the smoke run.
+        if let Err(e) = overlay.validate() {
+            eprintln!("skipping {name} = {value}: {e}");
+            return;
+        }
         let params = ExperimentParams {
             overlay,
             ..base.clone()

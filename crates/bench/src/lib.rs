@@ -10,6 +10,15 @@
 //! Set `VEIL_SCALE=n` to divide the experiment size by `n` (nodes, warm-up
 //! time, horizons). `VEIL_SCALE=1` (default) reproduces the paper's
 //! configuration; `VEIL_SCALE=10` finishes in seconds for CI smoke tests.
+//!
+//! # Parallelism knob
+//!
+//! Set `VEIL_PARALLELISM=k` to cap the experiment engine at `k` worker
+//! threads (`1` forces serial execution; `0` or unset uses every core).
+//! The knob only changes wall-clock time: every sweep point derives its
+//! randomness from the master seed and its own stream and results are
+//! reduced in index order, so output files are byte-identical for every
+//! value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,15 +42,14 @@ pub fn scale() -> usize {
         .unwrap_or(1)
 }
 
-/// Paper-scale experiment parameters divided by the `VEIL_SCALE` knob.
+/// Paper-scale experiment parameters divided by the `VEIL_SCALE` knob,
+/// with the thread count taken from `VEIL_PARALLELISM`.
 pub fn paper_params() -> ExperimentParams {
     let s = scale();
     let base = ExperimentParams::default();
-    if s == 1 {
-        base
-    } else {
-        base.scaled_down(s)
-    }
+    let mut params = if s == 1 { base } else { base.scaled_down(s) };
+    params.overlay.parallelism = veil_par::env_parallelism();
+    params
 }
 
 /// Divides a time horizon by the scale knob, with a floor.

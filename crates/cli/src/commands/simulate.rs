@@ -43,7 +43,7 @@ fn parse_blackout(raw: &str) -> Result<(f64, f64, f64), String> {
 
 /// `veil simulate --nodes N [--alpha A] [--horizon T] [--seed S]
 /// [--lifetime-ratio R|inf] [--snapshot-every X]
-/// [--blackout T,DURATION,FRACTION] [--json]`
+/// [--blackout T,DURATION,FRACTION] [--parallelism K] [--json]`
 pub fn run(args: &Args) -> CmdResult {
     args.check_known(&[
         "nodes",
@@ -53,12 +53,19 @@ pub fn run(args: &Args) -> CmdResult {
         "lifetime-ratio",
         "snapshot-every",
         "blackout",
+        "parallelism",
         "json",
     ])?;
     let nodes: usize = args.require("nodes", "integer")?;
     let alpha: f64 = args.get_or("alpha", 0.5, "float in (0,1]")?;
     let horizon: f64 = args.get_or("horizon", 200.0, "float")?;
     let seed: u64 = args.get_or("seed", 42, "integer")?;
+    // `--parallelism 0` (or the VEIL_PARALLELISM env fallback) means "all
+    // cores"; the knob never changes results, only wall-clock time.
+    let parallelism = match args.get_or::<usize>("parallelism", 0, "integer")? {
+        0 => veil_par::env_parallelism(),
+        k => Some(k),
+    };
     let interval: f64 = args.get_or("snapshot-every", (horizon / 20.0).max(1.0), "float")?;
     let lifetime_ratio = match args.flag("lifetime-ratio") {
         None => Some(3.0),
@@ -76,6 +83,10 @@ pub fn run(args: &Args) -> CmdResult {
         lifetime_ratio,
         warmup: horizon,
         source_multiplier: 20,
+        overlay: veil_core::config::OverlayConfig {
+            parallelism,
+            ..veil_core::config::OverlayConfig::default()
+        },
         ..ExperimentParams::default()
     };
     let trust = build_trust_graph(&params)?;

@@ -31,6 +31,10 @@ COMMANDS:
                      --nodes N [--alpha A] [--horizon T] [--seed S]
                      [--lifetime-ratio R|inf] [--snapshot-every X]
                      [--blackout T,DURATION,FRACTION] [--json]
+                     [--parallelism K]   worker threads for sweeps and
+                                         metrics; 0 = all cores (default,
+                                         or VEIL_PARALLELISM); results
+                                         are identical for every K
     attack           run the Section III-E threat models
                      --nodes N [--seed S]
     help             show this message

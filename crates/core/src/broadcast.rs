@@ -405,7 +405,14 @@ mod tests {
     fn multiple_messages_are_tracked_independently() {
         let mut s = sim(1.0, 4);
         s.run_until(20.0);
-        let mut session = EpidemicSession::new(BroadcastConfig::default(), 4);
+        // Generous fanout/rounds: with no churn there are no catch-up
+        // pulls, so full coverage must come from the push phase alone.
+        let cfg = BroadcastConfig {
+            push_fanout: 4,
+            push_rounds: 6,
+            ..BroadcastConfig::default()
+        };
+        let mut session = EpidemicSession::new(cfg, 4);
         let a = session.publish(&s, 0).unwrap();
         session.advance(&mut s, 30.0);
         let b = session.publish(&s, 1).unwrap();

@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn flood_hop_counts_are_bfs_distances() {
         let g = generators::path(4);
-        let r = flood(&g, &vec![true; 4], 0);
+        let r = flood(&g, &[true; 4], 0);
         assert_eq!(r.max_hops, 3);
         assert!((r.mean_hops - 2.0).abs() < 1e-12); // hops 1,2,3
     }
@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn controlled_flood_ttl_zero_reaches_only_source() {
         let g = generators::complete(5);
-        let r = controlled_flood(&g, &vec![true; 5], 0, 0);
+        let r = controlled_flood(&g, &[true; 5], 0, 0);
         assert_eq!(r.reached, 1);
         assert_eq!(r.messages, 0);
     }

@@ -242,52 +242,69 @@ pub fn availability_sweep(
     alphas: &[f64],
     with_path_length: bool,
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    // Each α is an independent simulation whose randomness derives from
+    // `(params.seed, stream)` alone, so the points can run on worker
+    // threads; collecting in index order keeps the output byte-identical
+    // to a serial run for every `params.overlay.parallelism` value.
+    veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
+        availability_point(trust, params, alpha, with_path_length)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// One α-point of [`availability_sweep`]: build the overlay under churn,
+/// run to steady state, and measure.
+fn availability_point(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    with_path_length: bool,
+) -> Result<SweepPoint, CoreError> {
     // Connectivity under churn fluctuates snapshot to snapshot; average a
     // few spaced snapshots after warm-up, as "results show the state of the
     // system after the reported metrics have reached stable values".
     const SNAPSHOTS: usize = 5;
     const SNAPSHOT_SPACING: f64 = 10.0;
-    let mut out = Vec::with_capacity(alphas.len());
-    for &alpha in alphas {
-        let mut sim = build_simulation(trust.clone(), params, alpha)?;
-        sim.run_until(params.warmup);
-        let mut random: Option<Graph> = None;
-        let mut trust_disc = 0.0;
-        let mut overlay_disc = 0.0;
-        let mut random_disc = 0.0;
-        for snap in 0..SNAPSHOTS {
-            if snap > 0 {
-                sim.run_until(params.warmup + snap as f64 * SNAPSHOT_SPACING);
-            }
-            let online = sim.online_mask();
-            let overlay = sim.overlay_graph();
-            let reference =
-                random.get_or_insert_with(|| random_reference(&overlay, params.seed));
-            trust_disc += gm::fraction_disconnected(trust, &online);
-            overlay_disc += gm::fraction_disconnected(&overlay, &online);
-            random_disc += gm::fraction_disconnected(reference, &online);
+    let mut sim = build_simulation(trust.clone(), params, alpha)?;
+    sim.run_until(params.warmup);
+    let mut random: Option<Graph> = None;
+    let mut trust_disc = 0.0;
+    let mut overlay_disc = 0.0;
+    let mut random_disc = 0.0;
+    for snap in 0..SNAPSHOTS {
+        if snap > 0 {
+            sim.run_until(params.warmup + snap as f64 * SNAPSHOT_SPACING);
         }
         let online = sim.online_mask();
         let overlay = sim.overlay_graph();
-        let reference = random.expect("at least one snapshot taken");
-        let npl = |g: &Graph| {
-            if with_path_length {
-                gm::normalized_avg_path_length(g, Some(&online))
-            } else {
-                0.0
-            }
-        };
-        out.push(SweepPoint {
-            alpha,
-            trust_disconnected: trust_disc / SNAPSHOTS as f64,
-            overlay_disconnected: overlay_disc / SNAPSHOTS as f64,
-            random_disconnected: random_disc / SNAPSHOTS as f64,
-            trust_npl: npl(trust),
-            overlay_npl: npl(&overlay),
-            random_npl: npl(&reference),
-        });
+        let reference = random.get_or_insert_with(|| random_reference(&overlay, params.seed));
+        trust_disc += gm::fraction_disconnected(trust, &online);
+        overlay_disc += gm::fraction_disconnected(&overlay, &online);
+        random_disc += gm::fraction_disconnected(reference, &online);
     }
-    Ok(out)
+    let online = sim.online_mask();
+    let overlay = sim.overlay_graph();
+    let reference = random.expect("at least one snapshot taken");
+    // The all-pairs BFS inside the path-length metric stays serial here:
+    // the sweep already parallelizes across α-points, and oversubscribing
+    // threads would not change the (index-ordered, exact-sum) results.
+    let npl = |g: &Graph| {
+        if with_path_length {
+            gm::normalized_avg_path_length(g, Some(&online))
+        } else {
+            0.0
+        }
+    };
+    Ok(SweepPoint {
+        alpha,
+        trust_disconnected: trust_disc / SNAPSHOTS as f64,
+        overlay_disconnected: overlay_disc / SNAPSHOTS as f64,
+        random_disconnected: random_disc / SNAPSHOTS as f64,
+        trust_npl: npl(trust),
+        overlay_npl: npl(&overlay),
+        random_npl: npl(&reference),
+    })
 }
 
 /// Degree distributions of trust graph, overlay and ER reference among
@@ -325,6 +342,24 @@ pub fn degree_distributions(
         overlay: gm::degree_histogram(&overlay, Some(&online)),
         random: gm::degree_histogram(&random, Some(&online)),
     })
+}
+
+/// Runs [`degree_distributions`] for several availabilities in parallel,
+/// returning the snapshots in input order.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn degree_distributions_multi(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alphas: &[f64],
+) -> Result<Vec<DegreeDistributions>, CoreError> {
+    veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
+        degree_distributions(trust, params, alpha)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// One node's row in the message-load experiment (Figure 6). Rows are
@@ -405,6 +440,30 @@ pub fn message_load(
     Ok(rows)
 }
 
+/// Runs [`message_load`] for several availabilities in parallel, returning
+/// the row sets in input order.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn message_load_multi(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alphas: &[f64],
+    measure: f64,
+    sample_every: f64,
+) -> Result<Vec<Vec<MessageLoadRow>>, CoreError> {
+    veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
+        message_load(trust, params, alpha, measure, sample_every)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// One availability sweep per pseudonym-lifetime ratio (`None` = `r = ∞`),
+/// in input order — the shape of [`lifetime_sweep`]'s output.
+pub type RatioSweeps = Vec<(Option<f64>, Vec<SweepPoint>)>;
+
 /// Figure 7: the availability sweep repeated for several pseudonym-lifetime
 /// ratios. Returns one sweep per ratio, in input order (`None` = `r = ∞`).
 ///
@@ -418,15 +477,28 @@ pub fn lifetime_sweep(
     params: &ExperimentParams,
     alphas: &[f64],
     ratios: &[Option<f64>],
-) -> Result<Vec<(Option<f64>, Vec<SweepPoint>)>, CoreError> {
-    let mut out = Vec::with_capacity(ratios.len());
-    for &ratio in ratios {
+) -> Result<RatioSweeps, CoreError> {
+    // Flatten the (ratio × α) grid into one job list so the thread pool
+    // stays busy even when one axis is short, then regroup by ratio. Jobs
+    // are ordered ratio-major, exactly like the nested serial loops, so
+    // the regrouped output is identical to running each sweep in turn.
+    let jobs: Vec<(Option<f64>, f64)> = ratios
+        .iter()
+        .flat_map(|&ratio| alphas.iter().map(move |&alpha| (ratio, alpha)))
+        .collect();
+    let points = veil_par::map(&jobs, params.overlay.parallelism, |&(ratio, alpha)| {
         let p = ExperimentParams {
             lifetime_ratio: ratio,
             ..params.clone()
         };
-        let sweep = availability_sweep(trust, &p, alphas, false)?;
-        out.push((ratio, sweep));
+        availability_point(trust, &p, alpha, false)
+    });
+    let mut out = Vec::with_capacity(ratios.len());
+    let mut it = points.into_iter();
+    for &ratio in ratios {
+        let sweep: Result<Vec<SweepPoint>, CoreError> =
+            it.by_ref().take(alphas.len()).collect();
+        out.push((ratio, sweep?));
     }
     Ok(out)
 }
@@ -446,9 +518,10 @@ pub fn connectivity_over_time(
     horizon: f64,
     interval: f64,
 ) -> Result<ConvergenceSeries, CoreError> {
-    let mut overlays = Vec::with_capacity(ratios.len());
-    let mut trust_series = TimeSeries::new();
-    for (i, &ratio) in ratios.iter().enumerate() {
+    // One independent simulation per ratio; the trust-graph baseline is
+    // overlay-independent, so it is taken from the first ratio's run just
+    // like the serial loop did.
+    let runs = veil_par::map(ratios, params.overlay.parallelism, |&ratio| {
         let p = ExperimentParams {
             lifetime_ratio: ratio,
             ..params.clone()
@@ -456,10 +529,20 @@ pub fn connectivity_over_time(
         let mut sim = build_simulation(trust.clone(), &p, alpha)?;
         let mut collector = Collector::new(interval);
         collector.run(&mut sim, horizon);
+        Ok::<_, CoreError>((
+            ratio,
+            collector.connectivity_trust().clone(),
+            collector.connectivity().clone(),
+        ))
+    });
+    let mut overlays = Vec::with_capacity(ratios.len());
+    let mut trust_series = TimeSeries::new();
+    for (i, run) in runs.into_iter().enumerate() {
+        let (ratio, trust_ts, overlay_ts) = run?;
         if i == 0 {
-            trust_series = collector.connectivity_trust().clone();
+            trust_series = trust_ts;
         }
-        overlays.push((ratio, collector.connectivity().clone()));
+        overlays.push((ratio, overlay_ts));
     }
     Ok(ConvergenceSeries {
         alpha,
@@ -481,8 +564,7 @@ pub fn replacement_rate_over_time(
     horizon: f64,
     interval: f64,
 ) -> Result<Vec<(Option<f64>, TimeSeries)>, CoreError> {
-    let mut out = Vec::with_capacity(ratios.len());
-    for &ratio in ratios {
+    veil_par::map(ratios, params.overlay.parallelism, |&ratio| {
         let p = ExperimentParams {
             lifetime_ratio: ratio,
             ..params.clone()
@@ -490,9 +572,10 @@ pub fn replacement_rate_over_time(
         let mut sim = build_simulation(trust.clone(), &p, alpha)?;
         let mut collector = Collector::new(interval);
         collector.run(&mut sim, horizon);
-        out.push((ratio, collector.replacement_rate().clone()));
-    }
-    Ok(out)
+        Ok((ratio, collector.replacement_rate().clone()))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Output of [`connectivity_over_time`].
@@ -526,6 +609,24 @@ pub fn steady_state_broadcast(
         .max_by_key(|&v| trust.degree(v))
         .expect("at least one node online at steady state");
     Ok(crate::dissemination::flood_current_overlay(&sim, source))
+}
+
+/// Runs [`steady_state_broadcast`] for several availabilities in parallel,
+/// returning the reports in input order.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn steady_state_broadcast_multi(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alphas: &[f64],
+) -> Result<Vec<crate::dissemination::BroadcastReport>, CoreError> {
+    veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
+        steady_state_broadcast(trust, params, alpha)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -563,10 +664,26 @@ mod tests {
 
     #[test]
     fn f_one_gives_denser_sample_than_f_half() {
-        let p = tiny_params(2);
-        let dense = build_trust_graph_with_f(&p, 1.0).unwrap();
-        let sparse = build_trust_graph_with_f(&p, 0.5).unwrap();
-        assert!(dense.edge_count() > sparse.edge_count());
+        // At test scale a single 20-node sample is too noisy to pin the
+        // ordering per seed, so check the density contrast in aggregate,
+        // on the default (unscaled) source model where `f` bites.
+        let mut dense_total = 0usize;
+        let mut sparse_total = 0usize;
+        for seed in 1..=4 {
+            let p = ExperimentParams {
+                nodes: 60,
+                warmup: 60.0,
+                seed,
+                source_multiplier: 5,
+                ..ExperimentParams::default()
+            };
+            dense_total += build_trust_graph_with_f(&p, 1.0).unwrap().edge_count();
+            sparse_total += build_trust_graph_with_f(&p, 0.5).unwrap().edge_count();
+        }
+        assert!(
+            dense_total > sparse_total,
+            "f = 1.0 samples should be denser in aggregate: {dense_total} vs {sparse_total}"
+        );
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl Pseudonym {
     /// Expiry is exclusive: a pseudonym whose expiry equals `now` is no
     /// longer valid.
     pub fn is_valid(&self, now: SimTime) -> bool {
-        self.expires.map_or(true, |e| now < e)
+        self.expires.is_none_or(|e| now < e)
     }
 
     /// The owning node — **simulation-level ground truth only**.

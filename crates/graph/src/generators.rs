@@ -220,7 +220,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     beta: f64,
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
-    if k % 2 != 0 {
+    if !k.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("lattice degree k={k} must be even"),
         });
@@ -277,7 +277,7 @@ pub fn configuration_model<R: Rng + ?Sized>(
 ) -> Result<Graph, GraphError> {
     let n = degrees.len();
     let total: usize = degrees.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: "degree sequence sums to an odd number".into(),
         });
@@ -289,7 +289,7 @@ pub fn configuration_model<R: Rng + ?Sized>(
     }
     let mut stubs: Vec<usize> = Vec::with_capacity(total);
     for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v).take(d));
+        stubs.extend(std::iter::repeat_n(v, d));
     }
     stubs.shuffle(rng);
     let mut g = Graph::new(n);
@@ -470,8 +470,8 @@ pub fn community_social<R: Rng + ?Sized>(
         if start + size > n || n - (start + size) < params.min_community {
             size = n - start; // absorb the remainder into the last community
         }
-        for v in start..start + size {
-            community[v] = community_id;
+        for label in &mut community[start..start + size] {
+            *label = community_id;
         }
         // Intra-community Erdős–Rényi edges.
         for a in start..start + size {

@@ -25,7 +25,7 @@ pub fn component_labels_masked(g: &Graph, mask: Option<&[bool]>) -> (Vec<usize>,
         assert_eq!(m.len(), g.node_count(), "mask length mismatch");
     }
     let n = g.node_count();
-    let present = |v: usize| mask.map_or(true, |m| m[v]);
+    let present = |v: usize| mask.is_none_or(|m| m[v]);
     let mut labels = vec![usize::MAX; n];
     let mut next = 0usize;
     let mut queue = VecDeque::new();
@@ -131,7 +131,7 @@ pub fn bfs_distances_masked(g: &Graph, src: usize, mask: Option<&[bool]>) -> Vec
         assert_eq!(m.len(), g.node_count(), "mask length mismatch");
         assert!(m[src], "BFS source must be online");
     }
-    let present = |v: usize| mask.map_or(true, |m| m[v]);
+    let present = |v: usize| mask.is_none_or(|m| m[v]);
     let mut dist = vec![UNREACHABLE; g.node_count()];
     dist[src] = 0;
     let mut queue = VecDeque::new();
@@ -159,15 +159,29 @@ pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
 ///
 /// Returns `0.0` when the component has fewer than two vertices.
 pub fn average_path_length(g: &Graph, online: Option<&[bool]>) -> f64 {
+    average_path_length_par(g, online, Some(1))
+}
+
+/// [`average_path_length`] with the per-source BFS fan-out spread over up
+/// to `parallelism` threads (`None` = all cores).
+///
+/// The per-source contributions are exact integer sums reduced in source
+/// order, so the result is bit-identical to the serial computation for
+/// every `parallelism` value.
+pub fn average_path_length_par(
+    g: &Graph,
+    online: Option<&[bool]>,
+    parallelism: Option<usize>,
+) -> f64 {
     let lcc = largest_component_mask(g, online);
     let members: Vec<usize> = (0..g.node_count()).filter(|&v| lcc[v]).collect();
     if members.len() < 2 {
         return 0.0;
     }
-    let mut sum = 0u64;
-    let mut pairs = 0u64;
-    for &src in &members {
+    let partials = veil_par::map(&members, parallelism, |&src| {
         let dist = bfs_distances_masked(g, src, Some(&lcc));
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
         for &dst in &members {
             if dst != src {
                 debug_assert_ne!(dist[dst], UNREACHABLE, "LCC must be connected");
@@ -175,7 +189,11 @@ pub fn average_path_length(g: &Graph, online: Option<&[bool]>) -> f64 {
                 pairs += 1;
             }
         }
-    }
+        (sum, pairs)
+    });
+    let (sum, pairs) = partials
+        .iter()
+        .fold((0u64, 0u64), |(s, p), &(ds, dp)| (s + ds, p + dp));
     sum as f64 / pairs as f64
 }
 
@@ -188,7 +206,26 @@ pub fn average_path_length_sampled<F>(
     g: &Graph,
     online: Option<&[bool]>,
     max_sources: usize,
+    pick: F,
+) -> f64
+where
+    F: FnMut(usize) -> usize,
+{
+    average_path_length_sampled_par(g, online, max_sources, pick, Some(1))
+}
+
+/// [`average_path_length_sampled`] with parallel BFS fan-out.
+///
+/// All `pick` draws happen serially up front (so a stateful RNG closure
+/// sees exactly the same call sequence as in the serial version); only the
+/// per-source BFS work is distributed. Integer sums reduced in draw order
+/// make the result bit-identical across `parallelism` values.
+pub fn average_path_length_sampled_par<F>(
+    g: &Graph,
+    online: Option<&[bool]>,
+    max_sources: usize,
     mut pick: F,
+    parallelism: Option<usize>,
 ) -> f64
 where
     F: FnMut(usize) -> usize,
@@ -199,19 +236,24 @@ where
         return 0.0;
     }
     let k = max_sources.min(members.len());
-    let mut sum = 0u64;
-    let mut pairs = 0u64;
-    for i in 0..k {
-        let src = members[pick(members.len()) % members.len()];
-        let _ = i;
+    let sources: Vec<usize> = (0..k)
+        .map(|_| members[pick(members.len()) % members.len()])
+        .collect();
+    let partials = veil_par::map(&sources, parallelism, |&src| {
         let dist = bfs_distances_masked(g, src, Some(&lcc));
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
         for &dst in &members {
             if dst != src && dist[dst] != UNREACHABLE {
                 sum += dist[dst] as u64;
                 pairs += 1;
             }
         }
-    }
+        (sum, pairs)
+    });
+    let (sum, pairs) = partials
+        .iter()
+        .fold((0u64, 0u64), |(s, p), &(ds, dp)| (s + ds, p + dp));
     if pairs == 0 {
         0.0
     } else {
@@ -238,7 +280,7 @@ pub fn normalized_avg_path_length(g: &Graph, online: Option<&[bool]>) -> f64 {
 /// Degree histogram over the masked-in vertices, counting only edges whose
 /// both endpoints are masked in (Figure 5 considers online nodes only).
 pub fn degree_histogram(g: &Graph, online: Option<&[bool]>) -> Histogram {
-    let present = |v: usize| online.map_or(true, |m| m[v]);
+    let present = |v: usize| online.is_none_or(|m| m[v]);
     let mut h = Histogram::new();
     for v in 0..g.node_count() {
         if !present(v) {
@@ -286,20 +328,25 @@ pub fn average_clustering(g: &Graph) -> f64 {
 ///
 /// Returns `0` for graphs with fewer than two connected vertices.
 pub fn diameter(g: &Graph) -> u32 {
+    diameter_par(g, Some(1))
+}
+
+/// [`diameter`] with the per-source BFS fan-out spread over up to
+/// `parallelism` threads. The reduction (`max`) is order-independent, so
+/// every `parallelism` value yields the same result.
+pub fn diameter_par(g: &Graph, parallelism: Option<usize>) -> u32 {
     let lcc = largest_component_mask(g, None);
-    let mut best = 0u32;
-    for v in 0..g.node_count() {
-        if !lcc[v] {
-            continue;
-        }
+    let members: Vec<usize> = (0..g.node_count()).filter(|&v| lcc[v]).collect();
+    let eccentricities = veil_par::map(&members, parallelism, |&v| {
         let dist = bfs_distances_masked(g, v, Some(&lcc));
-        for (w, &d) in dist.iter().enumerate() {
-            if lcc[w] && d != UNREACHABLE {
-                best = best.max(d);
-            }
-        }
-    }
-    best
+        dist.iter()
+            .enumerate()
+            .filter(|&(w, &d)| lcc[w] && d != UNREACHABLE)
+            .map(|(_, &d)| d)
+            .max()
+            .unwrap_or(0)
+    });
+    eccentricities.into_iter().max().unwrap_or(0)
 }
 
 /// Betweenness centrality of every vertex (Brandes' algorithm,
@@ -311,18 +358,61 @@ pub fn diameter(g: &Graph) -> u32 {
 /// the chokepoints whose churn separates communities — another view of the
 /// structural weakness the overlay repairs.
 pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+    betweenness_centrality_par(g, Some(1))
+}
+
+/// Sources per reduction chunk in [`betweenness_centrality_par`]. Fixed
+/// (not derived from the thread count) so the floating-point summation
+/// tree — and hence the exact result — is the same for every
+/// `parallelism` value.
+const BETWEENNESS_CHUNK: usize = 16;
+
+/// [`betweenness_centrality`] with the per-source Brandes passes spread
+/// over up to `parallelism` threads.
+///
+/// Per-source dependency contributions are floating-point, so the
+/// summation order matters for bit-identity. Sources are grouped into
+/// fixed-size chunks; each chunk accumulates its sources in index order
+/// and the chunk partials are folded in chunk order. The reduction tree
+/// therefore depends only on the graph size, never on the thread count,
+/// and the serial entry point uses the same tree.
+pub fn betweenness_centrality_par(g: &Graph, parallelism: Option<usize>) -> Vec<f64> {
     let n = g.node_count();
     let mut centrality = vec![0.0f64; n];
     if n < 3 {
         return centrality;
     }
+    let chunks = n.div_ceil(BETWEENNESS_CHUNK);
+    let partials = veil_par::run(chunks, parallelism, |c| {
+        let lo = c * BETWEENNESS_CHUNK;
+        let hi = (lo + BETWEENNESS_CHUNK).min(n);
+        betweenness_partial(g, lo, hi)
+    });
+    for partial in &partials {
+        for (acc, &x) in centrality.iter_mut().zip(partial) {
+            *acc += x;
+        }
+    }
+    // Each unordered pair was counted twice (once per endpoint as source).
+    let norm = ((n - 1) * (n - 2)) as f64;
+    for c in &mut centrality {
+        *c /= norm;
+    }
+    centrality
+}
+
+/// Unnormalized betweenness contributions of sources `lo..hi` (one Brandes
+/// pass per source, accumulated in source order).
+fn betweenness_partial(g: &Graph, lo: usize, hi: usize) -> Vec<f64> {
+    let n = g.node_count();
+    let mut centrality = vec![0.0f64; n];
     let mut stack: Vec<usize> = Vec::with_capacity(n);
     let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut sigma = vec![0.0f64; n];
     let mut dist = vec![i64::MAX; n];
     let mut delta = vec![0.0f64; n];
     let mut queue = VecDeque::new();
-    for s in 0..n {
+    for s in lo..hi {
         stack.clear();
         for v in 0..n {
             predecessors[v].clear();
@@ -355,11 +445,6 @@ pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
                 centrality[w] += delta[w];
             }
         }
-    }
-    // Each unordered pair was counted twice (once per endpoint as source).
-    let norm = ((n - 1) * (n - 2)) as f64;
-    for c in &mut centrality {
-        *c /= norm;
     }
     centrality
 }

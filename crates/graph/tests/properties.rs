@@ -81,10 +81,10 @@ proptest! {
         let g = build(n, &edges);
         let src = probe % n;
         let from_src = metrics::bfs_distances(&g, src);
-        for dst in 0..n {
-            if from_src[dst] != metrics::UNREACHABLE {
+        for (dst, &d) in from_src.iter().enumerate() {
+            if d != metrics::UNREACHABLE {
                 let back = metrics::bfs_distances(&g, dst);
-                prop_assert_eq!(back[src], from_src[dst]);
+                prop_assert_eq!(back[src], d);
             }
         }
     }
@@ -173,8 +173,8 @@ proptest! {
     fn core_numbers_bounded_by_degree((n, edges) in arb_graph()) {
         let g = build(n, &edges);
         let cores = metrics::core_numbers(&g);
-        for v in 0..n {
-            prop_assert!(cores[v] <= g.degree(v));
+        for (v, &core) in cores.iter().enumerate() {
+            prop_assert!(core <= g.degree(v));
         }
         prop_assert_eq!(
             cores.iter().copied().max().unwrap_or(0),
@@ -202,11 +202,11 @@ proptest! {
     fn betweenness_is_nonnegative_and_leaves_are_zero((n, edges) in arb_graph()) {
         let g = build(n, &edges);
         let c = metrics::betweenness_centrality(&g);
-        for v in 0..n {
-            prop_assert!(c[v] >= -1e-12);
-            prop_assert!(c[v] <= 1.0 + 1e-9);
+        for (v, &score) in c.iter().enumerate() {
+            prop_assert!(score >= -1e-12);
+            prop_assert!(score <= 1.0 + 1e-9);
             if g.degree(v) <= 1 {
-                prop_assert!(c[v].abs() < 1e-12, "leaf/isolated vertex has zero betweenness");
+                prop_assert!(score.abs() < 1e-12, "leaf/isolated vertex has zero betweenness");
             }
         }
     }
@@ -246,5 +246,88 @@ proptest! {
         let apl = metrics::average_path_length(&g, None);
         let diameter = metrics::diameter(&g) as f64;
         prop_assert!(apl <= diameter + 1e-9);
+    }
+
+    // ---- parallel metrics must equal serial, bit for bit ----------------
+    //
+    // The arbitrary graphs here are routinely disconnected (random edge
+    // lists at low density), which is exactly the regime where the
+    // largest-component masking inside these metrics matters.
+
+    #[test]
+    fn parallel_average_path_length_matches_serial((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let serial = metrics::average_path_length(&g, None);
+        for parallelism in [Some(2), Some(4), None] {
+            let par = metrics::average_path_length_par(&g, None, parallelism);
+            prop_assert_eq!(serial.to_bits(), par.to_bits(),
+                "parallelism {:?}: {} != {}", parallelism, serial, par);
+        }
+    }
+
+    #[test]
+    fn parallel_average_path_length_matches_serial_masked(
+        (n, edges) in arb_graph(),
+        mask_seed in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let g = build(n, &edges);
+        let online: Vec<bool> = (0..n).map(|v| mask_seed[v]).collect();
+        let serial = metrics::average_path_length(&g, Some(&online));
+        for parallelism in [Some(3), None] {
+            let par = metrics::average_path_length_par(&g, Some(&online), parallelism);
+            prop_assert_eq!(serial.to_bits(), par.to_bits(),
+                "parallelism {:?}: {} != {}", parallelism, serial, par);
+        }
+    }
+
+    #[test]
+    fn parallel_sampled_path_length_matches_serial(
+        (n, edges) in arb_graph(),
+        max_sources in 1usize..12,
+        pick_seed in any::<u64>(),
+    ) {
+        let g = build(n, &edges);
+        // Both runs must see the same picker draw sequence; the parallel
+        // implementation draws all sources up front, in the same order as
+        // the serial loop, so a deterministic stateful picker is fair.
+        let make_pick = || {
+            let mut state = pick_seed;
+            move |bound: usize| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                (state >> 33) as usize % bound.max(1)
+            }
+        };
+        let serial = metrics::average_path_length_sampled(&g, None, max_sources, make_pick());
+        for parallelism in [Some(2), None] {
+            let par = metrics::average_path_length_sampled_par(
+                &g, None, max_sources, make_pick(), parallelism);
+            prop_assert_eq!(serial.to_bits(), par.to_bits(),
+                "parallelism {:?}: {} != {}", parallelism, serial, par);
+        }
+    }
+
+    #[test]
+    fn parallel_diameter_matches_serial((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let serial = metrics::diameter(&g);
+        for parallelism in [Some(2), Some(5), None] {
+            prop_assert_eq!(serial, metrics::diameter_par(&g, parallelism));
+        }
+    }
+
+    #[test]
+    fn parallel_betweenness_matches_serial((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let serial = metrics::betweenness_centrality(&g);
+        for parallelism in [Some(2), Some(4), None] {
+            let par = metrics::betweenness_centrality_par(&g, parallelism);
+            prop_assert_eq!(serial.len(), par.len());
+            for v in 0..n {
+                // Fixed-chunk reduction tree: identical floats, not merely
+                // close ones.
+                prop_assert_eq!(serial[v].to_bits(), par[v].to_bits(),
+                    "vertex {} parallelism {:?}: {} != {}", v, parallelism, serial[v], par[v]);
+            }
+        }
     }
 }

@@ -49,7 +49,7 @@ impl SizeEstimator {
     pub fn estimate(&self, now: SimTime) -> usize {
         self.seen
             .values()
-            .filter(|expiry| expiry.map_or(true, |e| now < e))
+            .filter(|expiry| expiry.is_none_or(|e| now < e))
             .count()
     }
 }

@@ -1,0 +1,162 @@
+//! Regression harness for the deterministic parallel experiment engine:
+//! every experiment must produce *identical* output (`==` on the full
+//! result structures, i.e. bit-identical floats) for every `parallelism`
+//! setting, because each sweep point derives its randomness from the
+//! master seed and its own stream and results are reduced in index order.
+//!
+//! Runs 3 seeds × 2 scaled-down parameter sets across
+//! `parallelism ∈ {Some(1), Some(4), None}`.
+
+use veil_core::experiment::{
+    availability_sweep, build_trust_graph, connectivity_over_time, degree_distributions_multi,
+    lifetime_sweep, message_load_multi, replacement_rate_over_time, steady_state_broadcast_multi,
+    ExperimentParams,
+};
+use veil_graph::Graph;
+
+const SEEDS: [u64; 3] = [11, 42, 97];
+const PARALLELISMS: [Option<usize>; 3] = [Some(1), Some(4), None];
+const ALPHAS: [f64; 3] = [0.25, 0.5, 1.0];
+const RATIOS: [Option<f64>; 2] = [Some(3.0), None];
+
+/// The two scaled-down parameter sets the harness sweeps: a small dense
+/// one and a slightly larger one with finite pseudonym lifetimes.
+fn parameter_sets(seed: u64) -> Vec<ExperimentParams> {
+    vec![
+        ExperimentParams {
+            nodes: 60,
+            warmup: 60.0,
+            seed,
+            source_multiplier: 5,
+            ..ExperimentParams::default()
+        }
+        .scaled_down(8),
+        ExperimentParams {
+            nodes: 200,
+            warmup: 80.0,
+            seed,
+            lifetime_ratio: Some(2.0),
+            source_multiplier: 8,
+            ..ExperimentParams::default()
+        }
+        .scaled_down(5),
+    ]
+}
+
+fn with_parallelism(params: &ExperimentParams, parallelism: Option<usize>) -> ExperimentParams {
+    let mut p = params.clone();
+    p.overlay.parallelism = parallelism;
+    p
+}
+
+/// Runs `experiment` at every parallelism level and asserts all outputs
+/// equal the serial one.
+fn assert_equivalent<T, F>(label: &str, params: &ExperimentParams, experiment: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn(&ExperimentParams) -> T,
+{
+    let serial = experiment(&with_parallelism(params, Some(1)));
+    for parallelism in &PARALLELISMS[1..] {
+        let other = experiment(&with_parallelism(params, *parallelism));
+        assert_eq!(
+            serial, other,
+            "{label}: parallelism {parallelism:?} diverged from serial (seed {})",
+            params.seed
+        );
+    }
+}
+
+fn for_each_config(mut body: impl FnMut(&ExperimentParams, &Graph)) {
+    for seed in SEEDS {
+        for params in parameter_sets(seed) {
+            let trust = build_trust_graph(&params).expect("trust graph");
+            body(&params, &trust);
+        }
+    }
+}
+
+#[test]
+fn availability_sweep_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("availability_sweep", params, |p| {
+            availability_sweep(trust, p, &ALPHAS, false).expect("sweep")
+        });
+    });
+}
+
+#[test]
+fn availability_sweep_with_path_lengths_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("availability_sweep(npl)", params, |p| {
+            availability_sweep(trust, p, &[0.5, 1.0], true).expect("sweep")
+        });
+    });
+}
+
+#[test]
+fn lifetime_sweep_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("lifetime_sweep", params, |p| {
+            lifetime_sweep(trust, p, &ALPHAS, &RATIOS).expect("sweep")
+        });
+    });
+}
+
+#[test]
+fn connectivity_over_time_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("connectivity_over_time", params, |p| {
+            connectivity_over_time(trust, p, 0.5, &RATIOS, 40.0, 10.0).expect("series")
+        });
+    });
+}
+
+#[test]
+fn replacement_rate_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("replacement_rate_over_time", params, |p| {
+            replacement_rate_over_time(trust, p, 0.5, &RATIOS, 40.0, 10.0).expect("series")
+        });
+    });
+}
+
+#[test]
+fn degree_distributions_are_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("degree_distributions_multi", params, |p| {
+            degree_distributions_multi(trust, p, &ALPHAS).expect("distributions")
+        });
+    });
+}
+
+#[test]
+fn message_load_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("message_load_multi", params, |p| {
+            message_load_multi(trust, p, &ALPHAS, 20.0, 5.0).expect("rows")
+        });
+    });
+}
+
+#[test]
+fn steady_state_broadcast_is_parallelism_invariant() {
+    for_each_config(|params, trust| {
+        assert_equivalent("steady_state_broadcast_multi", params, |p| {
+            steady_state_broadcast_multi(trust, p, &ALPHAS).expect("reports")
+        });
+    });
+}
+
+#[test]
+fn parallelism_knob_survives_serde_round_trip() {
+    // Old result JSON (written before the knob existed) must still load,
+    // and the knob itself must round-trip.
+    for parallelism in PARALLELISMS {
+        let mut p = parameter_sets(7).remove(0);
+        p.overlay.parallelism = parallelism;
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: ExperimentParams = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(p, back);
+    }
+}

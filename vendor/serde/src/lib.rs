@@ -1,0 +1,531 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! serde API surface the workspace uses: the [`Serialize`] / [`Deserialize`]
+//! traits (with `#[derive(Serialize, Deserialize)]` from the sibling
+//! `serde_derive` crate) and impls for the standard types the workspace
+//! serializes.
+//!
+//! Instead of serde's visitor architecture, everything round-trips through
+//! one self-describing tree, [`Content`] — which doubles as
+//! `serde_json::Value`. The derive macros emit externally tagged enum
+//! representations and field-ordered maps, matching upstream serde's JSON
+//! output for the shapes this workspace defines.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree: the intermediate representation between Rust
+/// values and encoded formats (also exposed as `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer (u64 range).
+    U64(u64),
+    /// Signed integer (negative values).
+    I64(i64),
+    /// Unsigned integer beyond u64 (pseudonym bit-strings are `u128`).
+    U128(u128),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key → value map, preserving insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Looks up `key` in a map; `None` for missing keys or non-maps.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::U128(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::U128(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::U128(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a path-annotated message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the error with a field name for context.
+    #[must_use]
+    pub fn field(self, name: &str) -> Self {
+        Self {
+            message: format!("{name}: {}", self.message),
+        }
+    }
+
+    fn expected(what: &str, got: &Content) -> Self {
+        Self::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up `key` in map entries, yielding `Null` when absent (so `Option`
+/// fields default to `None` and other types produce a clear error).
+pub fn map_get<'a>(entries: &'a [(String, Content)], key: &str) -> &'a Content {
+    const NULL: Content = Content::Null;
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(&NULL, |(_, v)| v)
+}
+
+/// Value → [`Content`] conversion (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` into the self-describing tree.
+    fn to_content(&self) -> Content;
+}
+
+/// [`Content`] → value conversion (stand-in for `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Reads a value out of the self-describing tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match the expected shape.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", content))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", content))?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v < 0 { Content::I64(v) } else { Content::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match *content {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::custom(format!("{v} out of i64 range")))?,
+                    _ => return Err(DeError::expected("integer", content)),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => Content::U64(v),
+            Err(_) => Content::U128(*self),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::U64(v) => Ok(u128::from(v)),
+            Content::U128(v) => Ok(v),
+            Content::I64(v) => {
+                u128::try_from(v).map_err(|_| DeError::custom(format!("{v} is negative")))
+            }
+            _ => Err(DeError::expected("unsigned integer", content)),
+        }
+    }
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| DeError::expected("number", content))
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", content))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        // Sort textual forms for a stable encoding despite hash order.
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Content::Seq(items)
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for HashSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v).map_err(|e| e.field(k))?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", content))?;
+                let expected = [$($idx,)+].len();
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {expected}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            u128::from_content(&(u128::MAX.to_content())).unwrap(),
+            u128::MAX
+        );
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(
+            String::from_content(&"hi".to_content()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn option_and_missing_fields() {
+        assert_eq!(
+            Option::<f64>::from_content(&Content::Null).unwrap(),
+            None
+        );
+        assert_eq!(
+            Option::<f64>::from_content(&Content::F64(2.0)).unwrap(),
+            Some(2.0)
+        );
+        let entries = vec![("present".to_string(), Content::U64(1))];
+        assert!(map_get(&entries, "absent").is_null());
+        assert_eq!(map_get(&entries, "present"), &Content::U64(1));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2usize), (3, 4)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(usize, usize)>::from_content(&c).unwrap(), v);
+        let s: BTreeSet<u32> = [3, 1, 2].into_iter().collect();
+        assert_eq!(BTreeSet::<u32>::from_content(&s.to_content()).unwrap(), s);
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let err = u64::from_content(&Content::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("unsigned integer"));
+        let err = err.field("count");
+        assert!(err.to_string().starts_with("count:"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace defines — named-field structs, newtype/tuple
+//! structs, and enums with unit, newtype and struct variants — by walking
+//! `proc_macro` token trees directly (the real `syn`/`quote` stack is not
+//! available offline). Generated impls target the vendored `serde` crate's
+//! `Content` tree and reproduce serde's externally tagged representation.
+//!
+//! Supported field attribute: `#[serde(rename = "...")]`. Generics are not
+//! supported (nothing in the workspace derives on generic types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: Rust name plus the serialized (possibly renamed) name.
+struct Field {
+    ident: String,
+    wire_name: String,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple struct/variant with this many fields.
+    Unnamed(usize),
+    Unit,
+}
+
+struct Variant {
+    ident: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(i)) if i.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generics (on `{name}`)"
+        ));
+    }
+    let body = if kind == "struct" {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Unnamed(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+    Ok(Item { name, body })
+}
+
+/// Advances past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // (crate) / (super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts `rename = "..."` from the token stream of a `serde(...)` group.
+fn serde_rename(group: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "rename" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (tokens.get(i + 1), tokens.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        return Some(raw.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Consumes attributes at `pos`, returning any `serde(rename)` value.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut rename = None;
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if name.to_string() == "serde" {
+                    rename = rename.or_else(|| serde_rename(args.stream()));
+                }
+            }
+            *pos += 1;
+        }
+    }
+    rename
+}
+
+/// Skips a type expression: consumes tokens until a top-level `,`,
+/// tracking `<...>` nesting (groups nest automatically as single tokens).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let rename = take_attrs(&tokens, &mut pos);
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let ident = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{ident}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // the comma (or past the end)
+        fields.push(Field {
+            wire_name: rename.unwrap_or_else(|| ident.clone()),
+            ident,
+        });
+    }
+    Ok(fields)
+}
+
+/// Counts fields of a tuple struct/variant by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle_depth = 0i32;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let _ = take_attrs(&tokens, &mut pos); // e.g. #[default], doc comments
+        let ident = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Unnamed(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while pos < tokens.len() {
+            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                pos += 1;
+                break;
+            }
+            pos += 1;
+        }
+        variants.push(Variant { ident, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then parsed into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from("{ let mut __m = ::std::vec::Vec::new(); ");
+    for f in fields {
+        code.push_str(&format!(
+            "__m.push(({:?}.to_string(), ::serde::Serialize::to_content(&{}{}))); ",
+            f.wire_name, access_prefix, f.ident
+        ));
+    }
+    code.push_str("::serde::Content::Map(__m) }");
+    code
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => ser_named_fields(fields, "self."),
+        Body::Struct(Fields::Unnamed(1)) => {
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string()), "
+                    )),
+                    Fields::Unnamed(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__x0) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_content(__x0))]), "
+                    )),
+                    Fields::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Content::Seq(vec![{}]))]), ",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), {inner})]), ",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_content(&self) -> ::serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn de_named_fields(fields: &[Field], map_expr: &str, constructor: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{}: ::serde::Deserialize::from_content(::serde::map_get({map_expr}, {:?})) \
+               .map_err(|e| e.field({:?}))?, ",
+            f.ident, f.wire_name, f.wire_name
+        ));
+    }
+    format!("{constructor} {{ {inits} }}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let build = de_named_fields(fields, "__m", name);
+            format!(
+                "let __m = __content.as_map().ok_or_else(|| \
+                   ::serde::DeError::custom(concat!(\"expected map for struct \", {name:?})))?; \
+                 Ok({build})"
+            )
+        }
+        Body::Struct(Fields::Unnamed(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_content(__content)?))")
+        }
+        Body::Struct(Fields::Unnamed(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __content.as_seq().ok_or_else(|| \
+                   ::serde::DeError::custom(concat!(\"expected sequence for \", {name:?})))?; \
+                 if __s.len() != {n} {{ return Err(::serde::DeError::custom(\
+                   format!(\"expected {n} elements, got {{}}\", __s.len()))); }} \
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => Ok({name}::{vn}), "));
+                    }
+                    Fields::Unnamed(1) => payload_arms.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_content(__inner) \
+                           .map_err(|e| e.field({vn:?}))?)), "
+                    )),
+                    Fields::Unnamed(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{ let __s = __inner.as_seq().ok_or_else(|| \
+                               ::serde::DeError::custom(\"expected sequence variant payload\"))?; \
+                             if __s.len() != {n} {{ return Err(::serde::DeError::custom(\
+                               \"wrong tuple variant arity\")); }} \
+                             Ok({name}::{vn}({items})) }}, ",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let build =
+                            de_named_fields(fields, "__vm", &format!("{name}::{vn}"));
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{ let __vm = __inner.as_map().ok_or_else(|| \
+                               ::serde::DeError::custom(\"expected map variant payload\"))?; \
+                             Ok({build}) }}, "
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{ \
+                   ::serde::Content::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     other => Err(::serde::DeError::custom(format!(\
+                       \"unknown variant {{other:?}} of {name}\"))), \
+                   }}, \
+                   ::serde::Content::Map(__m) if __m.len() == 1 => {{ \
+                     let (__tag, __inner) = (&__m[0].0, &__m[0].1); \
+                     match __tag.as_str() {{ \
+                       {payload_arms} \
+                       other => Err(::serde::DeError::custom(format!(\
+                         \"unknown variant {{other:?}} of {name}\"))), \
+                     }} \
+                   }}, \
+                   other => Err(::serde::DeError::custom(format!(\
+                     \"expected variant of {name}, got {{}}\", \
+                     match other {{ ::serde::Content::Null => \"null\", _ => \"non-variant value\" }}))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_content(__content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
