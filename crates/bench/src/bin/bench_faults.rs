@@ -1,0 +1,97 @@
+//! Fault-injection degradation benchmark: sweeps the three fault axes —
+//! per-message loss, mean latency, and partition size — over the
+//! steady-state overlay and writes `target/figures/BENCH_faults.json`.
+//!
+//! Each row reports connectivity, broadcast coverage, normalized path
+//! length, link-replacement rate and the fault counters, so a run shows at
+//! a glance how gracefully the protocol degrades. Honors `VEIL_SCALE` and
+//! `VEIL_PARALLELISM`.
+
+use serde::Serialize;
+use veil_bench::{f3, paper_params, render_table, write_json};
+use veil_core::experiment::{
+    build_trust_graph, degradation_latency_sweep, degradation_loss_sweep,
+    degradation_partition_sweep, DegradationPoint,
+};
+
+/// Availability the degradation sweeps run at: high enough that the fault
+/// layer (not churn) dominates the measurement.
+const ALPHA: f64 = 0.8;
+
+const LOSSES: [f64; 6] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+const LATENCIES: [f64; 5] = [0.0, 0.5, 1.0, 2.0, 5.0];
+const PARTITIONS: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
+
+#[derive(Serialize)]
+struct Report {
+    scale: usize,
+    alpha: f64,
+    loss: Vec<DegradationPoint>,
+    latency: Vec<DegradationPoint>,
+    partition: Vec<DegradationPoint>,
+}
+
+fn print_sweep(title: &str, x_label: &str, points: &[DegradationPoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                f3(p.x),
+                f3(p.overlay_disconnected),
+                f3(p.coverage),
+                f3(p.overlay_npl),
+                format!("{:.4}", p.replacement_rate),
+                p.dropped_requests.to_string(),
+                p.shuffle_retries.to_string(),
+                p.shuffle_failures.to_string(),
+            ]
+        })
+        .collect();
+    println!("\n{title}");
+    println!(
+        "{}",
+        render_table(
+            &[
+                x_label,
+                "disconnected",
+                "coverage",
+                "npl",
+                "repl/node/sp",
+                "dropped",
+                "retries",
+                "failures",
+            ],
+            &rows,
+        )
+    );
+}
+
+fn main() {
+    let params = paper_params();
+    let trust = build_trust_graph(&params).expect("trust graph");
+    eprintln!(
+        "degradation sweeps: {} nodes, alpha = {ALPHA}, scale = {}",
+        trust.node_count(),
+        veil_bench::scale()
+    );
+
+    let loss = degradation_loss_sweep(&trust, &params, ALPHA, &LOSSES).expect("loss sweep");
+    print_sweep("degradation vs message loss", "loss", &loss);
+
+    let latency =
+        degradation_latency_sweep(&trust, &params, ALPHA, &LATENCIES).expect("latency sweep");
+    print_sweep("degradation vs mean latency (exponential)", "latency", &latency);
+
+    let partition =
+        degradation_partition_sweep(&trust, &params, ALPHA, &PARTITIONS).expect("partition sweep");
+    print_sweep("degradation vs partition size", "fraction", &partition);
+
+    let report = Report {
+        scale: veil_bench::scale(),
+        alpha: ALPHA,
+        loss,
+        latency,
+        partition,
+    };
+    write_json("BENCH_faults", &report);
+}

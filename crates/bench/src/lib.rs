@@ -19,13 +19,22 @@
 //! randomness from the master seed and its own stream and results are
 //! reduced in index order, so output files are byte-identical for every
 //! value.
+//!
+//! # Fault knob
+//!
+//! Set `VEIL_FAULT_LOSS=p` to run every figure over the fault-injecting
+//! link layer with per-message drop probability `p` (default `0` keeps the
+//! ideal layer). The CI fault matrix uses this to smoke-test the figure
+//! pipeline at several loss rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;
 use std::path::{Path, PathBuf};
+use veil_core::config::LinkLayerConfig;
 use veil_core::experiment::ExperimentParams;
+use veil_sim::fault::FaultConfig;
 
 /// The availability grid the paper sweeps (Figures 3, 4 and 7).
 pub const ALPHAS: [f64; 8] = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0];
@@ -42,13 +51,28 @@ pub fn scale() -> usize {
         .unwrap_or(1)
 }
 
+/// Reads the `VEIL_FAULT_LOSS` per-message drop probability (default 0).
+pub fn fault_loss() -> f64 {
+    std::env::var("VEIL_FAULT_LOSS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|p| (0.0..=1.0).contains(p))
+        .unwrap_or(0.0)
+}
+
 /// Paper-scale experiment parameters divided by the `VEIL_SCALE` knob,
-/// with the thread count taken from `VEIL_PARALLELISM`.
+/// with the thread count taken from `VEIL_PARALLELISM` and the link layer
+/// from `VEIL_FAULT_LOSS` (non-zero loss switches every experiment onto
+/// the fault-injecting layer).
 pub fn paper_params() -> ExperimentParams {
     let s = scale();
     let base = ExperimentParams::default();
     let mut params = if s == 1 { base } else { base.scaled_down(s) };
     params.overlay.parallelism = veil_par::env_parallelism();
+    let loss = fault_loss();
+    if loss > 0.0 {
+        params.overlay.link = LinkLayerConfig::Faulty(FaultConfig::with_loss(loss));
+    }
     params
 }
 

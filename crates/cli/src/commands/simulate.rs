@@ -5,9 +5,11 @@ use super::CmdResult;
 use crate::args::Args;
 use serde::Serialize;
 use std::fmt::Write as _;
+use veil_core::config::LinkLayerConfig;
 use veil_core::experiment::{build_simulation, build_trust_graph, ExperimentParams};
 use veil_core::metrics::{snapshot, Collector};
 use veil_graph::metrics as gm;
+use veil_sim::fault::{FaultConfig, LatencyDist};
 
 #[derive(Serialize)]
 struct JsonOutput {
@@ -41,9 +43,41 @@ fn parse_blackout(raw: &str) -> Result<(f64, f64, f64), String> {
     Ok((t, duration, fraction))
 }
 
+/// Parses `--latency-dist constant|exponential|pareto[:SHAPE]` together
+/// with the `--mean-latency` value into a latency distribution.
+fn parse_latency(dist: Option<&str>, mean: f64) -> Result<LatencyDist, String> {
+    if !(mean.is_finite() && mean >= 0.0) {
+        return Err(format!("--mean-latency must be finite and >= 0, got {mean}"));
+    }
+    if mean == 0.0 {
+        return Ok(LatencyDist::Constant { value: 0.0 });
+    }
+    match dist.unwrap_or("exponential") {
+        "constant" => Ok(LatencyDist::Constant { value: mean }),
+        "exponential" | "exp" => Ok(LatencyDist::Exponential { mean }),
+        other => match other.strip_prefix("pareto") {
+            Some(rest) => {
+                let shape = match rest.strip_prefix(':') {
+                    None if rest.is_empty() => 2.5,
+                    Some(s) => s
+                        .parse::<f64>()
+                        .map_err(|e| format!("--latency-dist pareto shape: {e}"))?,
+                    None => return Err(format!("--latency-dist: unknown distribution {other:?}")),
+                };
+                Ok(LatencyDist::Pareto { shape, mean })
+            }
+            None => Err(format!(
+                "--latency-dist: expected constant, exponential or pareto[:SHAPE], got {other:?}"
+            )),
+        },
+    }
+}
+
 /// `veil simulate --nodes N [--alpha A] [--horizon T] [--seed S]
 /// [--lifetime-ratio R|inf] [--snapshot-every X]
-/// [--blackout T,DURATION,FRACTION] [--parallelism K] [--json]`
+/// [--blackout T,DURATION,FRACTION] [--loss P] [--mean-latency M]
+/// [--latency-dist D] [--shuffle-timeout T] [--shuffle-retries N]
+/// [--parallelism K] [--json]`
 pub fn run(args: &Args) -> CmdResult {
     args.check_known(&[
         "nodes",
@@ -53,6 +87,11 @@ pub fn run(args: &Args) -> CmdResult {
         "lifetime-ratio",
         "snapshot-every",
         "blackout",
+        "loss",
+        "mean-latency",
+        "latency-dist",
+        "shuffle-timeout",
+        "shuffle-retries",
         "parallelism",
         "json",
     ])?;
@@ -76,6 +115,27 @@ pub fn run(args: &Args) -> CmdResult {
         ),
     };
     let blackout = args.flag("blackout").map(parse_blackout).transpose()?;
+    let loss: f64 = args.get_or("loss", 0.0, "float in [0,1]")?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--loss must be in [0, 1], got {loss}").into());
+    }
+    let mean_latency: f64 = args.get_or("mean-latency", 0.0, "float >= 0")?;
+    let latency = parse_latency(args.flag("latency-dist"), mean_latency)?;
+    let shuffle_timeout: f64 = args.get_or("shuffle-timeout", 3.0, "float > 0")?;
+    let shuffle_retry_budget: u32 = args.get_or("shuffle-retries", 2, "integer")?;
+    // Only a genuinely non-ideal configuration switches the link layer;
+    // the all-defaults command line keeps the ideal layer (and its exact
+    // historical outputs).
+    let fault = FaultConfig {
+        drop_probability: loss,
+        latency,
+        episodes: Vec::new(),
+    };
+    let link = if fault.is_trivial() {
+        LinkLayerConfig::Ideal
+    } else {
+        LinkLayerConfig::Faulty(fault)
+    };
 
     let params = ExperimentParams {
         nodes,
@@ -85,6 +145,9 @@ pub fn run(args: &Args) -> CmdResult {
         source_multiplier: 20,
         overlay: veil_core::config::OverlayConfig {
             parallelism,
+            link,
+            shuffle_timeout,
+            shuffle_retry_budget,
             ..veil_core::config::OverlayConfig::default()
         },
         ..ExperimentParams::default()
@@ -161,5 +224,10 @@ pub fn run(args: &Args) -> CmdResult {
     )?;
     writeln!(out, "pseudonym links:           {}", final_snapshot.pseudonym_links)?;
     writeln!(out, "normalized path length:    {npl:.3}")?;
+    if final_snapshot.dropped_requests > 0 || final_snapshot.shuffle_retries > 0 {
+        writeln!(out, "dropped messages:          {}", final_snapshot.dropped_requests)?;
+        writeln!(out, "shuffle retries:           {}", final_snapshot.shuffle_retries)?;
+        writeln!(out, "shuffle failures:          {}", final_snapshot.shuffle_failures)?;
+    }
     Ok(out.trim_end().to_string())
 }

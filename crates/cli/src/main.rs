@@ -31,6 +31,18 @@ COMMANDS:
                      --nodes N [--alpha A] [--horizon T] [--seed S]
                      [--lifetime-ratio R|inf] [--snapshot-every X]
                      [--blackout T,DURATION,FRACTION] [--json]
+                     [--loss P]          per-message drop probability;
+                                         any non-zero fault switches to the
+                                         fault-injecting link layer
+                     [--mean-latency M]  mean one-way latency in shuffle
+                                         periods (0 = instant)
+                     [--latency-dist D]  constant | exponential |
+                                         pareto[:SHAPE] (default
+                                         exponential, shape 2.5)
+                     [--shuffle-timeout T] [--shuffle-retries N]
+                                         exchange timeout (default 3) and
+                                         retry budget (default 2) on the
+                                         faulty layer
                      [--parallelism K]   worker threads for sweeps and
                                          metrics; 0 = all cores (default,
                                          or VEIL_PARALLELISM); results
@@ -160,6 +172,33 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("blackout"));
+    }
+
+    #[test]
+    fn simulate_with_faulty_link() {
+        let out = run_line(&[
+            "simulate", "--nodes", "60", "--alpha", "0.8", "--horizon", "40", "--seed", "5",
+            "--loss", "0.2", "--mean-latency", "0.5", "--shuffle-timeout", "2",
+            "--shuffle-retries", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("dropped messages"), "faulty run reports losses:\n{out}");
+        assert!(out.contains("shuffle retries"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fault_flags() {
+        let err = run_line(&[
+            "simulate", "--nodes", "50", "--horizon", "20", "--loss", "1.5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("loss"));
+        let err = run_line(&[
+            "simulate", "--nodes", "50", "--horizon", "20", "--mean-latency", "1",
+            "--latency-dist", "gaussian",
+        ])
+        .unwrap_err();
+        assert!(err.contains("gaussian"));
     }
 
     #[test]

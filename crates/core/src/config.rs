@@ -2,6 +2,30 @@
 
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
+use veil_sim::fault::FaultConfig;
+
+/// Which link-layer implementation carries shuffle traffic.
+///
+/// The paper assumes an ideal anonymity/pseudonym service; [`Ideal`] keeps
+/// that behaviour bit-for-bit. [`Faulty`] routes every shuffle through the
+/// fault-injecting layer described by a [`FaultConfig`]: per-message drops,
+/// sampled latency, and scripted episodes. A `Faulty` layer whose config
+/// [`FaultConfig::is_trivial`] is true collapses back to the ideal code
+/// path (with `link_latency` equal to the constant latency), so zero-fault
+/// runs reproduce ideal outputs exactly.
+///
+/// [`Ideal`]: LinkLayerConfig::Ideal
+/// [`Faulty`]: LinkLayerConfig::Faulty
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum LinkLayerConfig {
+    /// The paper's ideal service: reliable delivery between online
+    /// endpoints at [`OverlayConfig::link_latency`].
+    #[default]
+    Ideal,
+    /// Fault-injecting layer driven by the given fault model. The model's
+    /// latency distribution replaces `link_latency`.
+    Faulty(FaultConfig),
+}
 
 /// Distance metric used by the pseudonym sampler to compare a pseudonym
 /// against a slot's reference value.
@@ -108,6 +132,19 @@ pub struct OverlayConfig {
     /// layer reports deliverability. `false` makes nodes pick uniformly
     /// over *all* links and lose requests to offline peers (ablation).
     pub skip_offline_peers: bool,
+    /// Link-layer implementation carrying shuffle traffic (default: the
+    /// paper's ideal service).
+    pub link: LinkLayerConfig,
+    /// How long a shuffle initiator waits for the response before treating
+    /// the exchange as failed, in shuffle periods. Only the faulty link
+    /// layer uses this; the ideal layer never times out. Doubled on every
+    /// retry (exponential backoff). Default: 3.0.
+    pub shuffle_timeout: f64,
+    /// How many times a timed-out shuffle request is retransmitted before
+    /// the initiator gives up and applies Cyclon-style recovery (evicting
+    /// the unresponsive pseudonym and counting a `shuffle_failure`).
+    /// Default: 2.
+    pub shuffle_retry_budget: u32,
     /// Worker threads for the experiment engine's independent sweep points
     /// and metric fan-outs: `None` uses every available core, `Some(1)`
     /// forces serial execution, `Some(k)` caps the pool at `k`.
@@ -133,6 +170,9 @@ impl Default for OverlayConfig {
             lifetime_policy: LifetimePolicy::Global,
             link_latency: 0.0,
             skip_offline_peers: true,
+            link: LinkLayerConfig::Ideal,
+            shuffle_timeout: 3.0,
+            shuffle_retry_budget: 2,
             parallelism: None,
         }
     }
@@ -242,6 +282,23 @@ impl OverlayConfig {
                 field: "link_latency",
                 reason: format!("latency must be finite and non-negative, got {}", self.link_latency),
             });
+        }
+        if !(self.shuffle_timeout.is_finite() && self.shuffle_timeout > 0.0) {
+            return Err(CoreError::InvalidConfig {
+                field: "shuffle_timeout",
+                reason: format!(
+                    "timeout must be finite and positive, got {}",
+                    self.shuffle_timeout
+                ),
+            });
+        }
+        if let LinkLayerConfig::Faulty(fault) = &self.link {
+            if let Err(reason) = fault.validate() {
+                return Err(CoreError::InvalidConfig {
+                    field: "link",
+                    reason,
+                });
+            }
         }
         if self.stop_after_stable_periods == Some(0) {
             return Err(CoreError::InvalidConfig {
@@ -359,6 +416,42 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: OverlayConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn faulty_link_serde_round_trip() {
+        let cfg = OverlayConfig {
+            link: LinkLayerConfig::Faulty(FaultConfig::with_loss(0.1)),
+            ..OverlayConfig::default()
+        };
+        cfg.validate().unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: OverlayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn link_layer_validation() {
+        let bad_timeout = OverlayConfig {
+            shuffle_timeout: 0.0,
+            ..OverlayConfig::default()
+        };
+        assert!(bad_timeout.validate().is_err());
+        let bad_fault = OverlayConfig {
+            link: LinkLayerConfig::Faulty(FaultConfig {
+                drop_probability: 2.0,
+                ..FaultConfig::none()
+            }),
+            ..OverlayConfig::default()
+        };
+        assert!(bad_fault.validate().is_err());
+        let ok = OverlayConfig {
+            link: LinkLayerConfig::Faulty(FaultConfig::with_loss(0.2)),
+            shuffle_timeout: 1.5,
+            shuffle_retry_budget: 3,
+            ..OverlayConfig::default()
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

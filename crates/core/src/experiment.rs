@@ -21,7 +21,7 @@
 //! synthetic Holme–Kim graph with power-law degrees and social-level
 //! clustering (see DESIGN.md for the substitution argument).
 
-use crate::config::OverlayConfig;
+use crate::config::{LinkLayerConfig, OverlayConfig};
 use crate::error::CoreError;
 use crate::metrics::Collector;
 use crate::simulation::Simulation;
@@ -31,6 +31,7 @@ use veil_graph::sample::sample_trust_graph;
 use veil_graph::{generators, Graph};
 use veil_metrics::{Histogram, TimeSeries};
 use veil_sim::churn::ChurnConfig;
+use veil_sim::fault::{EpisodeEffect, FaultConfig, FaultEpisode, LatencyDist};
 use veil_sim::rng::{derive_rng, derive_rng_raw, Stream};
 
 /// Shared parameters of an experiment run (paper defaults in
@@ -629,6 +630,216 @@ pub fn steady_state_broadcast_multi(
     .collect()
 }
 
+/// One row of the fault-degradation sweeps ([`degradation_loss_sweep`],
+/// [`degradation_latency_sweep`], [`degradation_partition_sweep`]): overlay
+/// quality and maintenance effort as a function of one fault parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPoint {
+    /// The swept fault parameter: per-message loss probability, mean
+    /// latency in shuffle periods, or partitioned node fraction, depending
+    /// on the sweep.
+    pub x: f64,
+    /// Fraction of disconnected online nodes in the maintained overlay,
+    /// averaged over the steady-state snapshots.
+    pub overlay_disconnected: f64,
+    /// Broadcast coverage — the fraction of online nodes reached by a flood
+    /// from the highest-degree online node — averaged over the snapshots
+    /// (`0` contribution for snapshots with no node online).
+    pub coverage: f64,
+    /// Normalized average path length of the final snapshot.
+    pub overlay_npl: f64,
+    /// Pseudonym-link replacements per node per shuffle period over the
+    /// measurement window.
+    pub replacement_rate: f64,
+    /// Total shuffle messages lost in transit since the start of the run.
+    pub dropped_requests: u64,
+    /// Total shuffle exchanges abandoned after retry exhaustion.
+    pub shuffle_failures: u64,
+    /// Total timed-out shuffle requests that were retransmitted.
+    pub shuffle_retries: u64,
+}
+
+/// One point of the degradation sweeps: run the overlay at availability
+/// `alpha` over the given link layer, then measure connectivity, broadcast
+/// coverage, path length and maintenance effort at steady state (the same
+/// snapshot-averaging discipline as [`availability_sweep`]).
+///
+/// # Errors
+///
+/// Propagates simulation construction errors (including fault-model
+/// validation failures surfaced through [`OverlayConfig::validate`]).
+pub fn degradation_point(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    x: f64,
+    link: LinkLayerConfig,
+) -> Result<DegradationPoint, CoreError> {
+    const SNAPSHOTS: usize = 5;
+    const SNAPSHOT_SPACING: f64 = 10.0;
+    let mut p = params.clone();
+    p.overlay.link = link;
+    // Structural fault effects (partitions, silent crashes) are invisible
+    // to the overlay *graph* — trusted links exist regardless of whether
+    // messages get through — so measurement filters the overlay down to
+    // what the fault layer actually lets through at snapshot time.
+    let fault = match &p.overlay.link {
+        LinkLayerConfig::Faulty(fc) if !fc.is_trivial() => Some(fc.clone()),
+        _ => None,
+    };
+    let mut sim = build_simulation(trust.clone(), &p, alpha)?;
+    sim.run_until(p.warmup);
+    let removals_start = sim.total_link_removals();
+    let mut disconnected = 0.0;
+    let mut coverage = 0.0;
+    let mut final_view = None;
+    for snap in 0..SNAPSHOTS {
+        if snap > 0 {
+            sim.run_until(p.warmup + snap as f64 * SNAPSHOT_SPACING);
+        }
+        let (overlay, online) = fault_adjusted_view(&sim, fault.as_ref());
+        disconnected += gm::fraction_disconnected(&overlay, &online);
+        let source = (0..sim.node_count())
+            .filter(|&v| online[v])
+            .max_by_key(|&v| trust.degree(v));
+        if let Some(source) = source {
+            coverage += crate::dissemination::flood(&overlay, &online, source).coverage();
+        }
+        final_view = Some((overlay, online));
+    }
+    let (overlay, online) = final_view.expect("at least one snapshot taken");
+    let snap = crate::metrics::snapshot(&sim);
+    let window = (SNAPSHOTS - 1) as f64 * SNAPSHOT_SPACING;
+    let replaced = (snap.cumulative_link_removals - removals_start) as f64;
+    Ok(DegradationPoint {
+        x,
+        overlay_disconnected: disconnected / SNAPSHOTS as f64,
+        coverage: coverage / SNAPSHOTS as f64,
+        overlay_npl: gm::normalized_avg_path_length(&overlay, Some(&online)),
+        replacement_rate: replaced / window / sim.node_count() as f64,
+        dropped_requests: snap.dropped_requests,
+        shuffle_failures: snap.shuffle_failures,
+        shuffle_retries: snap.shuffle_retries,
+    })
+}
+
+/// The overlay as the fault layer lets it operate right now: crashed nodes
+/// count as offline and edges crossing an active partition are removed.
+/// With no fault model this is just the overlay graph and online mask.
+fn fault_adjusted_view(sim: &Simulation, fault: Option<&FaultConfig>) -> (Graph, Vec<bool>) {
+    let overlay = sim.overlay_graph();
+    let mut online = sim.online_mask();
+    let Some(fc) = fault else {
+        return (overlay, online);
+    };
+    let now = sim.now().as_f64();
+    for (v, slot) in online.iter_mut().enumerate() {
+        if fc.crashed(v as u32, now) {
+            *slot = false;
+        }
+    }
+    let mut filtered = Graph::new(overlay.node_count());
+    for (a, b) in overlay.edges() {
+        if !fc.partitioned(a as u32, b as u32, now) {
+            filtered
+                .add_edge(a, b)
+                .expect("edge endpoints come from a valid graph");
+        }
+    }
+    (filtered, online)
+}
+
+/// Degradation versus per-message loss probability: one
+/// [`DegradationPoint`] per entry of `losses`, in input order. Loss `0`
+/// routes through the ideal-equivalent trivial fault model, so the first
+/// point of a sweep starting at `0.0` doubles as the fault-free baseline.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+///
+/// # Panics
+///
+/// Panics (inside the worker) if a loss value is outside `[0, 1]`.
+pub fn degradation_loss_sweep(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    losses: &[f64],
+) -> Result<Vec<DegradationPoint>, CoreError> {
+    veil_par::map(losses, params.overlay.parallelism, |&loss| {
+        let link = LinkLayerConfig::Faulty(FaultConfig::with_loss(loss));
+        degradation_point(trust, params, alpha, loss, link)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Degradation versus mean one-way latency (exponentially distributed):
+/// one [`DegradationPoint`] per entry of `means`, in input order. A mean
+/// of `0` substitutes the degenerate constant-zero distribution, i.e. the
+/// instant-delivery baseline.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn degradation_latency_sweep(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    means: &[f64],
+) -> Result<Vec<DegradationPoint>, CoreError> {
+    veil_par::map(means, params.overlay.parallelism, |&mean| {
+        let latency = if mean > 0.0 {
+            LatencyDist::Exponential { mean }
+        } else {
+            LatencyDist::Constant { value: 0.0 }
+        };
+        let fault = FaultConfig {
+            latency,
+            ..FaultConfig::none()
+        };
+        degradation_point(trust, params, alpha, mean, LinkLayerConfig::Faulty(fault))
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Degradation versus partition size: for each fraction, the nodes
+/// `0..fraction·n` are permanently cut off from the rest (a network
+/// partition active for the whole run). One [`DegradationPoint`] per
+/// fraction, in input order; fraction `0` is the unpartitioned baseline.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn degradation_partition_sweep(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    fractions: &[f64],
+) -> Result<Vec<DegradationPoint>, CoreError> {
+    let n = trust.node_count();
+    veil_par::map(fractions, params.overlay.parallelism, |&frac| {
+        let boundary = (frac * n as f64).round() as u32;
+        let fault = if boundary == 0 {
+            FaultConfig::none()
+        } else {
+            FaultConfig {
+                episodes: vec![FaultEpisode {
+                    start: 0.0,
+                    end: f64::INFINITY,
+                    effect: EpisodeEffect::Partition { boundary },
+                }],
+                ..FaultConfig::none()
+            }
+        };
+        degradation_point(trust, params, alpha, frac, LinkLayerConfig::Faulty(fault))
+    })
+    .into_iter()
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,5 +1010,83 @@ mod tests {
         let p = ExperimentParams::default().scaled_down(10);
         p.overlay.validate().unwrap();
         assert!(p.nodes >= 20);
+    }
+
+    #[test]
+    fn churn_edge_cases_survive_full_sweep() {
+        // Near-zero availability (nodes almost always offline) and
+        // always-on nodes are the churn model's extremes; a full sweep —
+        // path lengths included — must complete without panicking even
+        // when snapshots catch zero or one node online.
+        let p = tiny_params(11);
+        let trust = build_trust_graph(&p).unwrap();
+        let points = availability_sweep(&trust, &p, &[0.02, 1.0], true).unwrap();
+        assert_eq!(points.len(), 2);
+        let (trickle, full) = (&points[0], &points[1]);
+        assert_eq!(full.overlay_disconnected, 0.0);
+        assert!(full.overlay_npl > 0.0);
+        assert!(
+            (0.0..=1.0).contains(&trickle.overlay_disconnected),
+            "disconnection fraction {} out of range",
+            trickle.overlay_disconnected
+        );
+        assert!(trickle.overlay_npl.is_finite());
+    }
+
+    #[test]
+    fn churn_edge_cases_survive_degradation_sweep() {
+        // The fault path must tolerate the same churn extremes.
+        let p = tiny_params(12);
+        let trust = build_trust_graph(&p).unwrap();
+        for alpha in [0.02, 1.0] {
+            let pts = degradation_loss_sweep(&trust, &p, alpha, &[0.2]).unwrap();
+            assert!((0.0..=1.0).contains(&pts[0].coverage));
+        }
+    }
+
+    #[test]
+    fn loss_sweep_baseline_matches_ideal_and_degrades() {
+        let p = tiny_params(13);
+        let trust = build_trust_graph(&p).unwrap();
+        let pts = degradation_loss_sweep(&trust, &p, 0.8, &[0.0, 0.3]).unwrap();
+        assert_eq!(pts.len(), 2);
+        let (clean, lossy) = (&pts[0], &pts[1]);
+        // The zero-loss point runs the ideal-equivalent path: no retries,
+        // no failures, and healthy coverage.
+        assert_eq!(clean.shuffle_retries, 0);
+        assert_eq!(clean.shuffle_failures, 0);
+        assert!(clean.coverage > 0.8, "baseline coverage {}", clean.coverage);
+        // Loss forces visible recovery work.
+        assert!(lossy.dropped_requests > 0);
+        assert!(lossy.shuffle_retries > 0);
+        assert!((0.0..=1.0).contains(&lossy.coverage));
+    }
+
+    #[test]
+    fn latency_sweep_times_out_under_slow_links() {
+        let p = tiny_params(14);
+        let trust = build_trust_graph(&p).unwrap();
+        // Mean latency far beyond the shuffle timeout: most exchanges
+        // should need retries, yet the run completes.
+        let pts = degradation_latency_sweep(&trust, &p, 1.0, &[0.0, 10.0]).unwrap();
+        assert_eq!(pts[0].shuffle_retries, 0);
+        assert!(pts[1].shuffle_retries > 0, "slow links must time out");
+    }
+
+    #[test]
+    fn partition_sweep_disconnects_cut_off_region() {
+        let p = tiny_params(15);
+        let trust = build_trust_graph(&p).unwrap();
+        let pts = degradation_partition_sweep(&trust, &p, 1.0, &[0.0, 0.4]).unwrap();
+        let (whole, split) = (&pts[0], &pts[1]);
+        assert_eq!(whole.overlay_disconnected, 0.0);
+        // With 40% of nodes cut off, a broadcast from the majority side
+        // cannot reach everyone.
+        assert!(
+            split.coverage < whole.coverage,
+            "partition should reduce coverage: {} vs {}",
+            split.coverage,
+            whole.coverage
+        );
     }
 }

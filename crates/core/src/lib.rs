@@ -62,7 +62,7 @@ pub mod pseudonym;
 pub mod sampler;
 pub mod simulation;
 
-pub use config::OverlayConfig;
+pub use config::{LinkLayerConfig, OverlayConfig};
 pub use error::CoreError;
 pub use pseudonym::{Pseudonym, PseudonymId, PseudonymService};
 pub use simulation::Simulation;

@@ -25,12 +25,31 @@ pub struct OverlaySnapshot {
     pub pseudonym_links: usize,
     /// Cumulative pseudonym-link removals over all nodes.
     pub cumulative_link_removals: u64,
+    /// Cumulative shuffle messages lost in transit over all nodes (peer
+    /// offline, churned mid-transit, or dropped by the fault-injecting link
+    /// layer).
+    pub dropped_requests: u64,
+    /// Cumulative shuffle exchanges abandoned after retry exhaustion over
+    /// all nodes (faulty link layer only).
+    pub shuffle_failures: u64,
+    /// Cumulative timed-out shuffle requests that were retransmitted over
+    /// all nodes (faulty link layer only).
+    pub shuffle_retries: u64,
 }
 
 /// Takes a snapshot of the simulation's current overlay.
 pub fn snapshot(sim: &Simulation) -> OverlaySnapshot {
     let online = sim.online_mask();
     let overlay = sim.overlay_graph();
+    let mut dropped_requests = 0;
+    let mut shuffle_failures = 0;
+    let mut shuffle_retries = 0;
+    for v in 0..sim.node_count() {
+        let stats = sim.node(v).stats;
+        dropped_requests += stats.dropped_requests;
+        shuffle_failures += stats.shuffle_failures;
+        shuffle_retries += stats.shuffle_retries;
+    }
     OverlaySnapshot {
         time: sim.now().as_f64(),
         online_nodes: online.iter().filter(|&&b| b).count(),
@@ -40,6 +59,9 @@ pub fn snapshot(sim: &Simulation) -> OverlaySnapshot {
             .map(|v| sim.node(v).sampler.link_count())
             .sum(),
         cumulative_link_removals: sim.total_link_removals(),
+        dropped_requests,
+        shuffle_failures,
+        shuffle_retries,
     }
 }
 
@@ -252,5 +274,33 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn collector_rejects_zero_interval() {
         Collector::new(0.0);
+    }
+
+    #[test]
+    fn snapshot_counts_fault_statistics() {
+        // Always-on nodes over an ideal link layer lose nothing.
+        let mut quiet = sim(1.0, 7);
+        quiet.run_until(20.0);
+        let snap = snapshot(&quiet);
+        assert_eq!(snap.dropped_requests, 0);
+        assert_eq!(snap.shuffle_failures, 0);
+        assert_eq!(snap.shuffle_retries, 0);
+        // Under churn with in-flight delay, some requests find their peer
+        // offline mid-transit.
+        let mut rng = derive_rng(7, Stream::Topology);
+        let trust = generators::social_graph(50, 3, &mut rng).unwrap();
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 12,
+            link_latency: 0.5,
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(0.4, 10.0);
+        let mut churny = Simulation::new(trust, cfg, churn, 7).unwrap();
+        churny.run_until(80.0);
+        let snap = snapshot(&churny);
+        assert!(snap.dropped_requests > 0, "churn should drop some requests");
+        assert_eq!(snap.shuffle_failures, 0, "ideal layer never times out");
     }
 }

@@ -43,8 +43,17 @@ pub struct NodeStats {
     pub requests_sent: u64,
     /// Shuffle responses sent (one per delivered incoming request).
     pub responses_sent: u64,
-    /// Shuffle requests that could not be delivered (peer offline).
-    pub requests_lost: u64,
+    /// Shuffle messages this node sent that were never delivered: the peer
+    /// was offline, churned away mid-transit, or the fault-injecting link
+    /// layer dropped the message.
+    pub dropped_requests: u64,
+    /// Shuffle exchanges abandoned after the retry budget was exhausted
+    /// (faulty link layer only); each triggers Cyclon-style eviction of the
+    /// unresponsive pseudonym.
+    pub shuffle_failures: u64,
+    /// Timed-out shuffle requests that were retransmitted (faulty link
+    /// layer only).
+    pub shuffle_retries: u64,
     /// Shuffle rounds skipped by the adaptive stability detector
     /// (`stop_after_stable_periods`).
     pub shuffles_suppressed: u64,
@@ -292,7 +301,9 @@ mod tests {
         let stats = NodeStats {
             requests_sent: 10,
             responses_sent: 8,
-            requests_lost: 2,
+            dropped_requests: 2,
+            shuffle_failures: 0,
+            shuffle_retries: 0,
             shuffles_suppressed: 0,
             online_time: 9.0,
         };

@@ -230,6 +230,24 @@ impl Sampler {
     pub fn empty_slots(&self) -> usize {
         self.slots.iter().filter(|s| s.entry.is_none()).count()
     }
+
+    /// Evicts the pseudonym with this id from every slot it occupies —
+    /// Cyclon-style recovery when the peer behind it proves unresponsive.
+    /// Returns whether anything was removed. The freed slots resume normal
+    /// min-wise sampling, so a healthier pseudonym can take the place.
+    pub fn evict(&mut self, id: PseudonymId) -> bool {
+        let mut found = false;
+        for idx in 0..self.slots.len() {
+            if let Some(p) = self.slots[idx].entry {
+                if p.id() == id {
+                    self.slots[idx].entry = None;
+                    self.release_entry(p);
+                    found = true;
+                }
+            }
+        }
+        found
+    }
 }
 
 /// `a` expires strictly later than `b` (where `None` means never).
@@ -270,6 +288,26 @@ mod tests {
         let p = svc.mint(0, SimTime::ZERO, None);
         assert!(!s.offer(p, SimTime::ZERO));
         assert_eq!(s.link_count(), 0);
+    }
+
+    #[test]
+    fn evict_removes_pseudonym_from_all_slots() {
+        let mut s = sampler(4, 9);
+        let mut svc = PseudonymService::new(9);
+        let p = svc.mint(0, SimTime::ZERO, None);
+        s.offer(p, SimTime::ZERO);
+        assert!(s.contains(p.id()));
+        let removed_before = s.removals();
+        assert!(s.evict(p.id()));
+        assert!(!s.contains(p.id()));
+        assert_eq!(s.link_count(), 0);
+        assert_eq!(s.empty_slots(), 4);
+        assert_eq!(s.removals(), removed_before + 1, "one link removal");
+        assert!(!s.evict(p.id()), "second evict is a no-op");
+        // The freed slots accept new samples again.
+        let q = svc.mint(1, SimTime::ZERO, None);
+        assert!(s.offer(q, SimTime::ZERO));
+        assert!(s.contains(q.id()));
     }
 
     #[test]

@@ -6,21 +6,32 @@
 //! but events occur at arbitrary instants — every node's shuffle timer runs
 //! at a random phase offset, and churn transitions are exponential.
 //!
-//! The anonymity and pseudonym services are *ideal*, as in the paper's
-//! setup: a message over an overlay link is delivered instantly iff both
-//! endpoints are online.
+//! The anonymity and pseudonym services are *ideal* by default, as in the
+//! paper's setup: a message over an overlay link is delivered instantly iff
+//! both endpoints are online. Configuring
+//! [`LinkLayerConfig::Faulty`](crate::config::LinkLayerConfig) instead
+//! routes every shuffle through a fault-injecting link layer: messages are
+//! dropped with a configured probability, delayed by a sampled latency, and
+//! subject to scripted episodes (regional blackouts, partitions, silent
+//! crashes). Under that layer shuffles become asynchronous request/response
+//! exchanges guarded by a timeout: a timed-out initiator retries with
+//! exponential backoff up to [`OverlayConfig::shuffle_retry_budget`], then
+//! gives up, counts a `shuffle_failure`, and applies Cyclon-style recovery
+//! by evicting the unresponsive pseudonym from its cache and sampler.
 
-use crate::config::{LifetimePolicy, OverlayConfig};
+use crate::config::{LifetimePolicy, LinkLayerConfig, OverlayConfig};
 use crate::error::CoreError;
 use crate::node::{LinkTarget, Node, NodeStats};
 use crate::protocol;
-use crate::pseudonym::PseudonymService;
+use crate::pseudonym::{PseudonymId, PseudonymService};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use veil_graph::Graph;
 use veil_sim::churn::{ChurnConfig, ChurnProcess};
 use veil_sim::engine::Engine;
+use veil_sim::fault::{EpisodeEffect, FaultConfig};
 use veil_sim::rng::{derive_rng, Stream};
 use veil_sim::SimTime;
 
@@ -48,6 +59,13 @@ enum Event {
     DeliverRequest(Box<Delivery>),
     /// A shuffle response arrives after the configured link latency.
     DeliverResponse(Box<Delivery>),
+    /// A faulty-link shuffle exchange hit its timeout without a response.
+    ShuffleTimeout {
+        /// The exchange the timeout guards.
+        exchange: u64,
+    },
+    /// A scripted fault episode with a simulation-side effect begins.
+    EpisodeStart(u32),
 }
 
 /// An in-flight shuffle message (only used when `link_latency > 0`).
@@ -61,6 +79,25 @@ struct Delivery {
     /// finally arrives.
     initiator_sent: Vec<crate::pseudonym::PseudonymId>,
     trusted_link: bool,
+    /// Faulty-link exchange id matching a [`PendingExchange`]; `0` on the
+    /// ideal path (which never consults it).
+    exchange: u64,
+}
+
+/// Initiator-side state of an in-flight faulty-link shuffle exchange, kept
+/// until the response arrives or the retry budget runs out.
+#[derive(Debug, Clone)]
+struct PendingExchange {
+    initiator: u32,
+    dest: u32,
+    /// The pseudonym behind the chosen link, for Cyclon-style eviction on
+    /// failure; `None` for trusted links (never evicted).
+    target_pseudonym: Option<PseudonymId>,
+    trusted_link: bool,
+    /// The request offer, retransmitted verbatim on retry.
+    offer: Vec<crate::pseudonym::Pseudonym>,
+    sent_from_cache: Vec<PseudonymId>,
+    attempt: u32,
 }
 
 /// Classification of a logged protocol message.
@@ -70,9 +107,10 @@ pub enum MessageKind {
     Request,
     /// The matching shuffle response.
     Response,
-    /// A request that could not be delivered (peer offline; only occurs
-    /// with `skip_offline_peers = false`).
-    RequestLost,
+    /// A message that was never delivered: the peer was offline (only
+    /// occurs with `skip_offline_peers = false`), or the fault-injecting
+    /// link layer dropped it.
+    Dropped,
 }
 
 /// One protocol message, as an external observer positioned on the
@@ -134,6 +172,21 @@ pub struct Simulation {
     svc: PseudonymService,
     current_time: SimTime,
     message_log: Option<Vec<MessageRecord>>,
+    /// The fault model when the non-trivial faulty link layer is active;
+    /// `None` runs the ideal code path (bit-identical to the paper setup).
+    fault: Option<FaultConfig>,
+    /// One-way latency of the ideal code path: `cfg.link_latency`, or the
+    /// constant latency of a trivial faulty layer.
+    effective_latency: f64,
+    fault_rng: StdRng,
+    /// In-flight faulty-link exchanges keyed by exchange id. Only ever
+    /// accessed by key, so iteration order can never leak into results.
+    pending: HashMap<u64, PendingExchange>,
+    next_exchange: u64,
+    /// Until when each node is held dark by an injected blackout; prevents
+    /// overlapping blackouts from scheduling duplicate wake events or
+    /// truncating a longer outage.
+    blackout_until: Vec<Option<SimTime>>,
 }
 
 impl Simulation {
@@ -209,6 +262,25 @@ impl Simulation {
             churn_rngs.push(churn_rng);
         }
 
+        // The faulty link layer only takes over when it actually injects
+        // something; a trivial fault model routes through the ideal code
+        // path (with its constant latency), which keeps zero-fault runs
+        // byte-identical to the paper setup.
+        let (fault, effective_latency) = match &cfg.link {
+            LinkLayerConfig::Ideal => (None, cfg.link_latency),
+            LinkLayerConfig::Faulty(fc) if fc.is_trivial() => (None, fc.latency.mean()),
+            LinkLayerConfig::Faulty(fc) => (Some(fc.clone()), 0.0),
+        };
+        if let Some(fault) = &fault {
+            // Partition and crash episodes are pure message-time filters;
+            // only blackouts need a simulation-side trigger.
+            for (i, ep) in fault.episodes.iter().enumerate() {
+                if matches!(ep.effect, EpisodeEffect::Blackout { .. }) {
+                    engine.schedule_at(SimTime::new(ep.start), Event::EpisodeStart(i as u32));
+                }
+            }
+        }
+
         Ok(Self {
             trust,
             cfg,
@@ -227,6 +299,12 @@ impl Simulation {
             svc,
             current_time: SimTime::ZERO,
             message_log: None,
+            fault,
+            effective_latency,
+            fault_rng: derive_rng(master_seed, Stream::Fault),
+            pending: HashMap::new(),
+            next_exchange: 1,
+            blackout_until: vec![None; n],
         })
     }
 
@@ -395,6 +473,8 @@ impl Simulation {
             }
             Event::DeliverRequest(d) => self.handle_request_delivery(now, *d),
             Event::DeliverResponse(d) => self.handle_response_delivery(now, *d),
+            Event::ShuffleTimeout { exchange } => self.handle_shuffle_timeout(now, exchange),
+            Event::EpisodeStart(idx) => self.handle_episode_start(now, idx as usize),
         }
     }
 
@@ -427,6 +507,10 @@ impl Simulation {
                 return;
             }
         }
+        if self.fault.is_some() {
+            self.faulty_shuffle(now, v);
+            return;
+        }
         let target = if self.cfg.skip_offline_peers {
             // The ideal link layer reports deliverability, so the node
             // shuffles with a uniformly random *online* link (this is what
@@ -456,17 +540,17 @@ impl Simulation {
         if !self.churn[dest].is_online() {
             // Request sent into the anonymity service but never delivered.
             self.nodes[v].stats.requests_sent += 1;
-            self.nodes[v].stats.requests_lost += 1;
+            self.nodes[v].stats.dropped_requests += 1;
             self.log_message(MessageRecord {
                 time: now,
                 from: v as u32,
                 to: dest as u32,
-                kind: MessageKind::RequestLost,
+                kind: MessageKind::Dropped,
                 trusted_link,
             });
             return;
         }
-        if self.cfg.link_latency > 0.0 {
+        if self.effective_latency > 0.0 {
             // Asynchronous exchange: build the request offer now, deliver
             // it after the link latency; the peer may churn in transit.
             let offer = {
@@ -482,13 +566,14 @@ impl Simulation {
                 trusted_link,
             });
             self.engine.schedule_in(
-                self.cfg.link_latency,
+                self.effective_latency,
                 Event::DeliverRequest(Box::new(Delivery {
                     from: v as u32,
                     to: dest as u32,
                     offer: offer.entries,
                     initiator_sent: offer.sent_from_cache,
                     trusted_link,
+                    exchange: 0,
                 })),
             );
             return;
@@ -514,13 +599,183 @@ impl Simulation {
         });
     }
 
+    /// Initiates one shuffle round over the faulty link layer: pick a link
+    /// (over *all* links — a lossy layer cannot report deliverability, so
+    /// there is no `skip_offline_peers` shortcut), register a pending
+    /// exchange, and transmit the request guarded by a timeout.
+    fn faulty_shuffle(&mut self, now: SimTime, v: usize) {
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(v as u32, now.as_f64()));
+        if crashed {
+            return; // a silently crashed node initiates nothing
+        }
+        let target = {
+            let rng = &mut self.node_rngs[v];
+            self.nodes[v].pick_link(now, rng)
+        };
+        let Some(target) = target else {
+            return;
+        };
+        let dest = target.resolve();
+        debug_assert_ne!(dest as usize, v, "nodes never link to themselves");
+        let target_pseudonym = match target {
+            LinkTarget::Pseudonym(p) => Some(p.id()),
+            LinkTarget::Trusted(_) => None,
+        };
+        let offer = {
+            let rng = &mut self.node_rngs[v];
+            protocol::build_offer(&mut self.nodes[v], self.cfg.shuffle_length, now, rng)
+        };
+        let exchange = self.next_exchange;
+        self.next_exchange += 1;
+        self.pending.insert(
+            exchange,
+            PendingExchange {
+                initiator: v as u32,
+                dest,
+                target_pseudonym,
+                trusted_link: target.is_trusted(),
+                offer: offer.entries,
+                sent_from_cache: offer.sent_from_cache,
+                attempt: 0,
+            },
+        );
+        self.transmit_request(now, exchange);
+    }
+
+    /// Sends (or resends) the request of a pending exchange through the
+    /// fault model, and arms the exchange's timeout with exponential
+    /// backoff.
+    fn transmit_request(&mut self, now: SimTime, exchange: u64) {
+        let (initiator, dest, trusted_link, attempt) = {
+            let p = &self.pending[&exchange];
+            (p.initiator, p.dest, p.trusted_link, p.attempt)
+        };
+        let v = initiator as usize;
+        let dropped = self
+            .fault
+            .as_ref()
+            .expect("faulty path")
+            .is_dropped(initiator, dest, now.as_f64(), &mut self.fault_rng);
+        self.nodes[v].stats.requests_sent += 1;
+        if dropped {
+            self.nodes[v].stats.dropped_requests += 1;
+        }
+        self.log_message(MessageRecord {
+            time: now,
+            from: initiator,
+            to: dest,
+            kind: if dropped {
+                MessageKind::Dropped
+            } else {
+                MessageKind::Request
+            },
+            trusted_link,
+        });
+        if !dropped {
+            let latency = self
+                .fault
+                .as_ref()
+                .expect("faulty path")
+                .sample_latency(&mut self.fault_rng);
+            let (offer, sent_from_cache) = {
+                let p = &self.pending[&exchange];
+                (p.offer.clone(), p.sent_from_cache.clone())
+            };
+            self.engine.schedule_in(
+                latency,
+                Event::DeliverRequest(Box::new(Delivery {
+                    from: initiator,
+                    to: dest,
+                    offer,
+                    initiator_sent: sent_from_cache,
+                    trusted_link,
+                    exchange,
+                })),
+            );
+        }
+        // Exponential backoff: timeout doubles with every retransmission.
+        let backoff = self.cfg.shuffle_timeout * f64::from(1u32 << attempt.min(16));
+        self.engine
+            .schedule_in(backoff, Event::ShuffleTimeout { exchange });
+    }
+
+    /// The timeout of a faulty-link exchange fired. If the response already
+    /// arrived this is a no-op; otherwise retry within budget, then give up
+    /// and apply Cyclon-style recovery.
+    fn handle_shuffle_timeout(&mut self, now: SimTime, exchange: u64) {
+        let (initiator, attempt) = match self.pending.get(&exchange) {
+            Some(p) => (p.initiator, p.attempt),
+            None => return, // completed: the response arrived in time
+        };
+        let v = initiator as usize;
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(initiator, now.as_f64()));
+        if !self.churn[v].is_online() || crashed {
+            // The initiator itself is gone; nobody is waiting any more.
+            self.pending.remove(&exchange);
+            return;
+        }
+        if attempt < self.cfg.shuffle_retry_budget {
+            self.pending
+                .get_mut(&exchange)
+                .expect("checked above")
+                .attempt += 1;
+            self.nodes[v].stats.shuffle_retries += 1;
+            self.transmit_request(now, exchange);
+            return;
+        }
+        // Budget exhausted: count the failure and evict the unresponsive
+        // pseudonym so the sampler can replace it (trusted links are part
+        // of the social graph and are never evicted).
+        let p = self.pending.remove(&exchange).expect("checked above");
+        self.nodes[v].stats.shuffle_failures += 1;
+        if let Some(id) = p.target_pseudonym {
+            self.nodes[v].cache.remove(id);
+            self.nodes[v].sampler.evict(id);
+        }
+    }
+
+    /// A scripted episode with a simulation-side effect begins. Blackout
+    /// episodes reuse [`Simulation::inject_blackout`], so they compose with
+    /// natural churn and manual injections.
+    fn handle_episode_start(&mut self, now: SimTime, idx: usize) {
+        let Some(ep) = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.episodes.get(idx))
+            .copied()
+        else {
+            return;
+        };
+        if let EpisodeEffect::Blackout { first, count } = ep.effect {
+            let n = self.nodes.len();
+            let lo = (first as usize).min(n);
+            let hi = (first as usize).saturating_add(count as usize).min(n);
+            let victims: Vec<usize> = (lo..hi).collect();
+            let duration = ep.end - ep.start;
+            if !victims.is_empty() && duration > 0.0 && duration.is_finite() {
+                self.inject_blackout_at(now, &victims, duration);
+            }
+        }
+    }
+
     /// A delayed shuffle request reaches the responder.
     fn handle_request_delivery(&mut self, now: SimTime, delivery: Delivery) {
         let responder = delivery.to as usize;
-        if !self.churn[responder].is_online() {
-            // Lost in transit: the responder churned out. The initiator's
-            // request produces no response.
-            self.nodes[delivery.from as usize].stats.requests_lost += 1;
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
+        if !self.churn[responder].is_online() || crashed {
+            // Lost in transit: the responder churned out (or sits silently
+            // crashed). The initiator's request produces no response; on
+            // the faulty path the exchange timeout will recover.
+            self.nodes[delivery.from as usize].stats.dropped_requests += 1;
             return;
         }
         // Mirror the synchronous order: build the response offer before
@@ -540,6 +795,47 @@ impl Simulation {
             );
         }
         self.nodes[responder].stats.responses_sent += 1;
+        if self.fault.is_some() {
+            // The response is itself subject to loss and sampled latency;
+            // a dropped response is recovered by the initiator's timeout.
+            let dropped = self
+                .fault
+                .as_ref()
+                .expect("faulty path")
+                .is_dropped(delivery.to, delivery.from, now.as_f64(), &mut self.fault_rng);
+            self.log_message(MessageRecord {
+                time: now,
+                from: delivery.to,
+                to: delivery.from,
+                kind: if dropped {
+                    MessageKind::Dropped
+                } else {
+                    MessageKind::Response
+                },
+                trusted_link: delivery.trusted_link,
+            });
+            if dropped {
+                self.nodes[responder].stats.dropped_requests += 1;
+                return;
+            }
+            let latency = self
+                .fault
+                .as_ref()
+                .expect("faulty path")
+                .sample_latency(&mut self.fault_rng);
+            self.engine.schedule_in(
+                latency,
+                Event::DeliverResponse(Box::new(Delivery {
+                    from: delivery.to,
+                    to: delivery.from,
+                    offer: response.entries,
+                    initiator_sent: delivery.initiator_sent,
+                    trusted_link: delivery.trusted_link,
+                    exchange: delivery.exchange,
+                })),
+            );
+            return;
+        }
         self.log_message(MessageRecord {
             time: now,
             from: delivery.to,
@@ -548,21 +844,31 @@ impl Simulation {
             trusted_link: delivery.trusted_link,
         });
         self.engine.schedule_in(
-            self.cfg.link_latency,
+            self.effective_latency,
             Event::DeliverResponse(Box::new(Delivery {
                 from: delivery.to,
                 to: delivery.from,
                 offer: response.entries,
                 initiator_sent: delivery.initiator_sent,
                 trusted_link: delivery.trusted_link,
+                exchange: 0,
             })),
         );
     }
 
     /// A delayed shuffle response reaches the original initiator.
     fn handle_response_delivery(&mut self, now: SimTime, delivery: Delivery) {
+        if self.fault.is_some() && self.pending.remove(&delivery.exchange).is_none() {
+            // A duplicate answer to a retransmitted request whose exchange
+            // already completed or failed; ignore it.
+            return;
+        }
         let initiator = delivery.to as usize;
-        if !self.churn[initiator].is_online() {
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
+        if !self.churn[initiator].is_online() || crashed {
             return; // response lost; the initiator churned out
         }
         let rng = &mut self.node_rngs[initiator];
@@ -633,17 +939,34 @@ impl Simulation {
     /// churn resumes after the forced reconnect.
     ///
     /// Nodes already offline stay offline for (at least) the blackout; any
-    /// pending natural transition is cancelled via a generation bump.
+    /// pending natural transition is cancelled via a generation bump. A
+    /// node already under a blackout that ends at or after the new one is
+    /// left untouched — overlapping blackouts never schedule a duplicate
+    /// wake event, and a shorter second blackout never truncates a longer
+    /// outage already in force.
     ///
     /// # Panics
     ///
     /// Panics if `duration` is not positive or a node index is out of
     /// range.
     pub fn inject_blackout(&mut self, nodes: &[usize], duration: f64) {
-        assert!(duration > 0.0, "blackout duration must be positive");
         let now = self.current_time;
+        self.inject_blackout_at(now, nodes, duration);
+    }
+
+    fn inject_blackout_at(&mut self, now: SimTime, nodes: &[usize], duration: f64) {
+        assert!(duration > 0.0, "blackout duration must be positive");
         for &v in nodes {
             assert!(v < self.nodes.len(), "node {v} out of range");
+            let until = now + duration;
+            if let Some(existing) = self.blackout_until[v] {
+                if existing >= until {
+                    // Already dark at least that long: the pending wake
+                    // event stands; re-forcing would duplicate it.
+                    continue;
+                }
+            }
+            self.blackout_until[v] = Some(until);
             self.churn_generation[v] = self.churn_generation[v].wrapping_add(1);
             if self.churn[v].is_online() {
                 self.depart(now, v);
@@ -652,7 +975,7 @@ impl Simulation {
             let _ = self.churn[v]
                 .force_state(veil_sim::churn::NodeState::Offline, &mut self.churn_rngs[v]);
             self.engine.schedule_at(
-                now + duration,
+                until,
                 Event::BlackoutEnd {
                     node: v as u32,
                     generation: self.churn_generation[v],
@@ -665,6 +988,7 @@ impl Simulation {
         if generation != self.churn_generation[v] {
             return; // a newer blackout supersedes this recovery
         }
+        self.blackout_until[v] = None;
         let next = self.churn[v]
             .force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
         if let Some(delay) = next {
@@ -1129,7 +1453,7 @@ mod tests {
         let mut sim = Simulation::new(trust, cfg, churn, 20).unwrap();
         sim.run_until(100.0);
         let lost: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).requests_lost)
+            .map(|v| sim.node_stats(v).dropped_requests)
             .sum();
         assert!(lost > 0, "in-transit churn must lose some requests");
     }
@@ -1246,5 +1570,203 @@ mod tests {
         sim.run_until(5.0);
         assert!(sim.message_log().is_none());
         assert!(sim.take_message_log().is_empty());
+    }
+
+    fn faulty_sim(alpha: f64, seed: u64, fault: FaultConfig) -> Simulation {
+        let trust = trust_graph(60, seed);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 12,
+            link: LinkLayerConfig::Faulty(fault),
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(alpha, 10.0);
+        Simulation::new(trust, cfg, churn, seed).unwrap()
+    }
+
+    #[test]
+    fn overlapping_blackouts_do_not_duplicate_wake_events() {
+        let mut sim = small_sim(1.0, 27);
+        sim.run_until(10.0);
+        sim.inject_blackout(&[0, 1], 10.0); // dark until t = 20
+        sim.run_until(12.0);
+        // A shorter overlapping blackout must not truncate the outage (the
+        // old behaviour woke the nodes at its own, earlier, end).
+        sim.inject_blackout(&[0, 1], 3.0);
+        sim.run_until(16.0);
+        assert!(!sim.is_online(0), "shorter overlap truncated the blackout");
+        assert!(!sim.is_online(1));
+        sim.run_until(21.0);
+        assert_eq!(sim.online_count(), 60, "original wake still fires");
+        // A *longer* overlapping blackout extends the outage instead.
+        sim.inject_blackout(&[2], 5.0); // until t = 26
+        sim.run_until(22.0);
+        sim.inject_blackout(&[2], 10.0); // until t = 32
+        sim.run_until(27.0);
+        assert!(!sim.is_online(2), "extension supersedes the earlier wake");
+        sim.run_until(33.0);
+        assert!(sim.is_online(2));
+        // And afterwards the network is quiescent again: no stray events.
+        sim.run_until(80.0);
+        assert_eq!(sim.online_count(), 60);
+    }
+
+    #[test]
+    fn trivial_faulty_link_matches_ideal_exactly() {
+        let run = |link: LinkLayerConfig| {
+            let trust = trust_graph(60, 28);
+            let cfg = OverlayConfig {
+                cache_size: 50,
+                shuffle_length: 8,
+                target_links: 12,
+                link,
+                ..OverlayConfig::default()
+            };
+            let churn = ChurnConfig::from_availability(0.5, 10.0);
+            let mut sim = Simulation::new(trust, cfg, churn, 28).unwrap();
+            sim.enable_message_log();
+            sim.run_until(40.0);
+            (
+                sim.online_mask(),
+                sim.overlay_graph(),
+                sim.pseudonyms_minted(),
+                sim.take_message_log(),
+            )
+        };
+        let ideal = run(LinkLayerConfig::Ideal);
+        let faulty = run(LinkLayerConfig::Faulty(FaultConfig::none()));
+        assert_eq!(ideal, faulty, "zero-fault layer must be bit-identical");
+    }
+
+    #[test]
+    fn lossy_link_drops_and_retries_but_overlay_survives() {
+        let mut sim = faulty_sim(0.8, 29, FaultConfig::with_loss(0.2));
+        sim.run_until(80.0);
+        let sum = |f: &dyn Fn(&NodeStats) -> u64| -> u64 {
+            (0..sim.node_count()).map(|v| f(&sim.node_stats(v))).sum()
+        };
+        assert!(sum(&|s| s.dropped_requests) > 0, "losses must be observed");
+        assert!(sum(&|s| s.shuffle_retries) > 0, "timeouts must retry");
+        let links: usize = (0..sim.node_count())
+            .map(|v| sim.node(v).sampler.link_count())
+            .sum();
+        assert!(links > 60, "gossip still spreads under 20% loss: {links}");
+        let frac = veil_graph::metrics::fraction_disconnected(
+            &sim.overlay_graph(),
+            &sim.online_mask(),
+        );
+        assert!(frac < 0.1, "overlay fell apart under 20% loss: {frac}");
+    }
+
+    #[test]
+    fn total_loss_exhausts_retries_and_evicts() {
+        let mut sim = faulty_sim(1.0, 30, FaultConfig::with_loss(1.0));
+        sim.run_until(80.0);
+        let failures: u64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).shuffle_failures)
+            .sum();
+        assert!(failures > 0, "every exchange must eventually fail");
+        let responses: u64 = (0..sim.node_count())
+            .map(|v| sim.node_stats(v).responses_sent)
+            .sum();
+        assert_eq!(responses, 0, "nothing is ever delivered");
+    }
+
+    #[test]
+    fn faulty_link_is_deterministic() {
+        let run = || {
+            let fault = FaultConfig {
+                drop_probability: 0.15,
+                latency: veil_sim::fault::LatencyDist::Exponential { mean: 0.3 },
+                ..FaultConfig::none()
+            };
+            let mut sim = faulty_sim(0.5, 31, fault);
+            sim.run_until(50.0);
+            (
+                sim.online_mask(),
+                sim.overlay_graph(),
+                sim.pseudonyms_minted(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partition_episode_blocks_cross_traffic_then_heals() {
+        let fault = FaultConfig {
+            episodes: vec![veil_sim::fault::FaultEpisode {
+                start: 10.0,
+                end: 30.0,
+                effect: EpisodeEffect::Partition { boundary: 30 },
+            }],
+            ..FaultConfig::none()
+        };
+        let mut sim = faulty_sim(1.0, 32, fault);
+        sim.enable_message_log();
+        sim.run_until(60.0);
+        let log = sim.take_message_log();
+        let crossings: Vec<_> = log
+            .iter()
+            .filter(|m| (m.from < 30) != (m.to < 30))
+            .collect();
+        assert!(
+            crossings
+                .iter()
+                .filter(|m| m.time.as_f64() >= 10.0 && m.time.as_f64() < 30.0)
+                .all(|m| m.kind == MessageKind::Dropped),
+            "every cross-boundary message during the partition is dropped"
+        );
+        assert!(
+            crossings
+                .iter()
+                .any(|m| m.time.as_f64() >= 30.0 && m.kind != MessageKind::Dropped),
+            "cross-boundary traffic resumes after the partition heals"
+        );
+    }
+
+    #[test]
+    fn blackout_episode_forces_region_offline() {
+        let fault = FaultConfig {
+            episodes: vec![veil_sim::fault::FaultEpisode {
+                start: 10.0,
+                end: 20.0,
+                effect: EpisodeEffect::Blackout { first: 0, count: 20 },
+            }],
+            ..FaultConfig::none()
+        };
+        let mut sim = faulty_sim(1.0, 33, fault);
+        sim.run_until(15.0);
+        assert_eq!(sim.online_count(), 40, "region of 20 is dark");
+        sim.run_until(25.0);
+        assert_eq!(sim.online_count(), 60, "region reconnects at episode end");
+    }
+
+    #[test]
+    fn crashed_nodes_cause_failures_but_not_wedging() {
+        let fault = FaultConfig {
+            episodes: vec![veil_sim::fault::FaultEpisode {
+                start: 0.0,
+                end: f64::INFINITY,
+                effect: EpisodeEffect::Crash { first: 0, count: 15 },
+            }],
+            ..FaultConfig::none()
+        };
+        let mut sim = faulty_sim(1.0, 34, fault);
+        sim.run_until(80.0);
+        let crashed_requests: u64 = (0..15)
+            .map(|v| sim.node_stats(v).requests_sent)
+            .sum();
+        assert_eq!(crashed_requests, 0, "crashed nodes initiate nothing");
+        let failures: u64 = (15..60)
+            .map(|v| sim.node_stats(v).shuffle_failures)
+            .sum();
+        assert!(failures > 0, "peers of crashed nodes time out");
+        let live: Vec<usize> = (15..60).collect();
+        let links: usize = live
+            .iter()
+            .map(|&v| sim.node(v).sampler.link_count())
+            .sum();
+        assert!(links > 45, "live nodes keep gossiping: {links}");
     }
 }

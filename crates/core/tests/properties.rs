@@ -299,7 +299,7 @@ proptest! {
             let stats = sim.node_stats(v);
             prop_assert!(stats.online_time >= 0.0);
             prop_assert!(stats.online_time <= now.as_f64() + 1e-9);
-            prop_assert!(stats.requests_lost <= stats.requests_sent);
+            prop_assert!(stats.dropped_requests <= stats.requests_sent);
         }
         // 6. Overlay graph is simple and contains the trust edges.
         let overlay = sim.overlay_graph();

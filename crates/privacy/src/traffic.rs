@@ -48,7 +48,7 @@ pub fn observer_view(log: &[MessageRecord], target: u32) -> TrafficView {
         trusted_link_messages: 0,
     };
     for m in log {
-        if m.kind == MessageKind::RequestLost {
+        if m.kind == MessageKind::Dropped {
             continue;
         }
         if m.from == target {
@@ -99,7 +99,7 @@ pub fn rotation_exposure(sim: &mut Simulation, window: f64) -> RotationExposure 
     let n = sim.node_count();
     let mut distinct = vec![BTreeSet::<u32>::new(); n];
     for m in &log {
-        if m.kind == MessageKind::RequestLost {
+        if m.kind == MessageKind::Dropped {
             continue;
         }
         distinct[m.from as usize].insert(m.to);

@@ -36,10 +36,12 @@
 pub mod churn;
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod rng;
 pub mod time;
 
 pub use churn::{ChurnConfig, ChurnProcess, NodeState};
 pub use dist::{DurationDist, Exponential, Fixed, Pareto};
 pub use engine::Engine;
+pub use fault::{EpisodeEffect, FaultConfig, FaultEpisode, LatencyDist};
 pub use time::SimTime;

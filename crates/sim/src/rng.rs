@@ -28,6 +28,8 @@ pub enum Stream {
     Scheduler,
     /// Workload/attack generators layered on top of the overlay.
     Workload(u32),
+    /// Link-layer fault injection (message drops, latency sampling).
+    Fault,
 }
 
 impl Stream {
@@ -39,6 +41,7 @@ impl Stream {
             Stream::Pseudonym(i) => (0x04 << 32) | i as u64,
             Stream::Scheduler => 0x05 << 32,
             Stream::Workload(i) => (0x06 << 32) | i as u64,
+            Stream::Fault => 0x07 << 32,
         }
     }
 }
@@ -119,6 +122,7 @@ mod tests {
             Stream::Pseudonym(0).id(),
             Stream::Scheduler.id(),
             Stream::Workload(0).id(),
+            Stream::Fault.id(),
             Stream::Churn(1).id(),
         ];
         let mut sorted = ids.to_vec();

@@ -143,9 +143,33 @@ fn message_rate_matches_paper_accounting() {
     assert!((1.5..2.3).contains(&mean), "mean message rate {mean}");
     // With deliverability-aware peer selection, requests are never lost.
     let lost: u64 = (0..sim.node_count())
-        .map(|v| sim.node_stats(v).requests_lost)
+        .map(|v| sim.node_stats(v).dropped_requests)
         .sum();
     assert_eq!(lost, 0);
+}
+
+#[test]
+fn dropped_requests_are_counted_under_faults() {
+    use veil_core::config::LinkLayerConfig;
+    use veil_sim::fault::FaultConfig;
+    let mut params = tiny_params(9);
+    params.overlay.link = LinkLayerConfig::Faulty(FaultConfig::with_loss(0.25));
+    let trust = build_trust_graph(&params).unwrap();
+    let mut sim = build_simulation(trust, &params, 0.8).unwrap();
+    sim.run_until(60.0);
+    let sum = |f: fn(&veil_core::node::NodeStats) -> u64| -> u64 {
+        (0..sim.node_count()).map(|v| f(&sim.node(v).stats)).sum()
+    };
+    let requests = sum(|s| s.requests_sent);
+    let dropped = sum(|s| s.dropped_requests);
+    assert!(dropped > 0, "25% loss must drop some messages");
+    assert!(
+        dropped < requests,
+        "not every message is lost: {dropped} of {requests}"
+    );
+    // The same counter surfaces on overlay snapshots.
+    let snap = veil_core::metrics::snapshot(&sim);
+    assert_eq!(snap.dropped_requests, dropped);
 }
 
 #[test]

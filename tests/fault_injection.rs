@@ -1,0 +1,186 @@
+//! Acceptance tests for the fault-injecting link layer:
+//!
+//! 1. A `Faulty` link layer with the trivial (zero-fault) model is
+//!    byte-for-byte identical to the ideal layer, at every thread count.
+//! 2. Under increasing message loss the overlay degrades *gracefully*:
+//!    coverage declines near-monotonically with no cliff, and stays high
+//!    up to the documented 20% loss threshold.
+//! 3. Faulty runs are deterministic across thread counts.
+
+use veil_core::config::LinkLayerConfig;
+use veil_core::experiment::{
+    availability_sweep, build_trust_graph, degradation_latency_sweep, degradation_loss_sweep,
+    degradation_partition_sweep, ExperimentParams,
+};
+use veil_sim::fault::FaultConfig;
+
+const PARALLELISMS: [Option<usize>; 3] = [Some(1), Some(4), None];
+// Extends well past the documented 20% operating threshold so the decline
+// (which at test scale only becomes visible above ~50% loss, the trust
+// graph being a connectivity floor) is actually exercised.
+const LOSSES: [f64; 7] = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7];
+
+/// Availability the degradation experiments run at: high enough that the
+/// fault layer (not churn) dominates, low enough that churn still matters.
+const ALPHA: f64 = 0.8;
+
+fn tiny_params(seed: u64) -> ExperimentParams {
+    ExperimentParams {
+        nodes: 60,
+        warmup: 60.0,
+        seed,
+        source_multiplier: 5,
+        ..ExperimentParams::default()
+    }
+    .scaled_down(8)
+}
+
+fn with_link(
+    params: &ExperimentParams,
+    link: LinkLayerConfig,
+    parallelism: Option<usize>,
+) -> ExperimentParams {
+    let mut p = params.clone();
+    p.overlay.link = link;
+    p.overlay.parallelism = parallelism;
+    p
+}
+
+#[test]
+fn zero_fault_faulty_layer_is_byte_identical_to_ideal() {
+    for seed in [5, 23] {
+        let params = tiny_params(seed);
+        let trust = build_trust_graph(&params).expect("trust graph");
+        let alphas = [0.5, 1.0];
+        let ideal = with_link(&params, LinkLayerConfig::Ideal, Some(1));
+        let baseline = serde_json::to_string(
+            &availability_sweep(&trust, &ideal, &alphas, true).expect("ideal sweep"),
+        )
+        .expect("serialize");
+        for parallelism in PARALLELISMS {
+            let faulty = with_link(
+                &params,
+                LinkLayerConfig::Faulty(FaultConfig::none()),
+                parallelism,
+            );
+            let got = serde_json::to_string(
+                &availability_sweep(&trust, &faulty, &alphas, true).expect("faulty sweep"),
+            )
+            .expect("serialize");
+            assert_eq!(
+                baseline, got,
+                "zero-fault faulty layer diverged from ideal \
+                 (seed {seed}, parallelism {parallelism:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_degrades_gracefully_with_loss() {
+    let params = tiny_params(42);
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let points = degradation_loss_sweep(&trust, &params, ALPHA, &LOSSES).expect("sweep");
+    let coverages: Vec<f64> = points.iter().map(|p| p.coverage).collect();
+    // Near-monotone decline: later points may wobble up only within noise.
+    for w in coverages.windows(2) {
+        assert!(
+            w[1] <= w[0] + 0.10,
+            "coverage increased past noise: {coverages:?}"
+        );
+    }
+    // Cliff-free: no single loss step wipes out more than a quarter of the
+    // online nodes' coverage.
+    for w in coverages.windows(2) {
+        assert!(
+            w[0] - w[1] <= 0.25,
+            "coverage cliff between adjacent loss rates: {coverages:?}"
+        );
+    }
+    // Documented threshold: at up to 20% loss the overlay still reaches
+    // the large majority of online nodes, and stays essentially connected.
+    for p in points.iter().filter(|p| p.x <= 0.2) {
+        assert!(
+            p.coverage > 0.75,
+            "coverage {} at loss {} below threshold",
+            p.coverage,
+            p.x
+        );
+        assert!(
+            p.overlay_disconnected < 0.25,
+            "disconnection {} at loss {} above threshold",
+            p.overlay_disconnected,
+            p.x
+        );
+    }
+    // Loss must actually be exercised: drops and retries observed, and the
+    // repair machinery works harder as loss grows (monotone replacement
+    // effort, eviction-driven).
+    assert!(points[6].dropped_requests > points[1].dropped_requests);
+    assert!(points[6].shuffle_retries > points[1].shuffle_retries);
+    assert!(points[1].shuffle_retries > 0);
+    assert!(
+        points[6].replacement_rate > points[0].replacement_rate,
+        "heavy loss must force link replacement: {:?}",
+        points.iter().map(|p| p.replacement_rate).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn degradation_sweeps_are_deterministic_across_thread_counts() {
+    let params = tiny_params(7);
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let run = |parallelism: Option<usize>| {
+        let mut p = params.clone();
+        p.overlay.parallelism = parallelism;
+        let loss = degradation_loss_sweep(&trust, &p, ALPHA, &[0.1, 0.3]).expect("loss");
+        let lat = degradation_latency_sweep(&trust, &p, ALPHA, &[0.5, 2.0]).expect("latency");
+        let part = degradation_partition_sweep(&trust, &p, ALPHA, &[0.3]).expect("partition");
+        (loss, lat, part)
+    };
+    let serial = run(Some(1));
+    for parallelism in &PARALLELISMS[1..] {
+        assert_eq!(
+            serial,
+            run(*parallelism),
+            "faulty run diverged at parallelism {parallelism:?}"
+        );
+    }
+}
+
+#[test]
+fn latency_degradation_is_graceful() {
+    let params = tiny_params(11);
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let points =
+        degradation_latency_sweep(&trust, &params, ALPHA, &[0.0, 0.5, 1.0]).expect("sweep");
+    // Sub-timeout latencies barely hurt: the overlay stays useful.
+    for p in &points {
+        assert!(
+            p.coverage > 0.6,
+            "coverage {} at mean latency {}",
+            p.coverage,
+            p.x
+        );
+    }
+}
+
+#[test]
+fn partition_size_limits_coverage() {
+    let params = tiny_params(19);
+    let trust = build_trust_graph(&params).expect("trust graph");
+    let points =
+        degradation_partition_sweep(&trust, &params, 1.0, &[0.0, 0.25, 0.5]).expect("sweep");
+    // Coverage cannot exceed the fraction of nodes on the source's side
+    // (plus rounding); it must shrink as the cut grows toward an even
+    // split.
+    assert!(points[0].coverage > 0.95, "unpartitioned baseline");
+    assert!(
+        points[2].coverage < points[0].coverage,
+        "an even split must cut coverage: {} vs {}",
+        points[2].coverage,
+        points[0].coverage
+    );
+    // The disconnection metric sees the partition too.
+    assert!(points[2].overlay_disconnected > points[0].overlay_disconnected);
+}
