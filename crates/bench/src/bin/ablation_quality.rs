@@ -11,10 +11,10 @@
 //! Each variant runs the Figure 3 workload at a demanding availability and
 //! reports connectivity, path length and the degree spread of the overlay.
 
+use serde::Serialize;
 use veil_bench::{f3, paper_params, render_table, write_json};
 use veil_core::config::{DistanceMetric, OverlayConfig, SlotPolicy};
 use veil_core::experiment::{availability_sweep, build_trust_graph, ExperimentParams};
-use serde::Serialize;
 
 #[derive(Serialize)]
 struct AblationRow {
@@ -107,7 +107,10 @@ fn main() {
     println!("\nAblation: overlay quality by design variant");
     println!(
         "{}",
-        render_table(&["variant", "alpha", "disconnected", "norm. path len"], &rows)
+        render_table(
+            &["variant", "alpha", "disconnected", "norm. path len"],
+            &rows
+        )
     );
     write_json("ablation_quality", &json);
 }

@@ -80,7 +80,11 @@ fn main() {
 
     let latency =
         degradation_latency_sweep(&trust, &params, ALPHA, &LATENCIES).expect("latency sweep");
-    print_sweep("degradation vs mean latency (exponential)", "latency", &latency);
+    print_sweep(
+        "degradation vs mean latency (exponential)",
+        "latency",
+        &latency,
+    );
 
     let partition =
         degradation_partition_sweep(&trust, &params, ALPHA, &PARTITIONS).expect("partition sweep");

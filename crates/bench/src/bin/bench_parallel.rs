@@ -100,17 +100,25 @@ fn main() {
         ),
         compare(
             "fig8_connectivity_over_time",
-            || connectivity_over_time(&trust, &serial, 0.5, &RATIOS, horizon, 10.0)
-                .expect("series"),
-            || connectivity_over_time(&trust, &parallel, 0.5, &RATIOS, horizon, 10.0)
-                .expect("series"),
+            || {
+                connectivity_over_time(&trust, &serial, 0.5, &RATIOS, horizon, 10.0)
+                    .expect("series")
+            },
+            || {
+                connectivity_over_time(&trust, &parallel, 0.5, &RATIOS, horizon, 10.0)
+                    .expect("series")
+            },
         ),
         compare(
             "fig9_replacement_rate",
-            || replacement_rate_over_time(&trust, &serial, 0.5, &RATIOS, horizon, 10.0)
-                .expect("series"),
-            || replacement_rate_over_time(&trust, &parallel, 0.5, &RATIOS, horizon, 10.0)
-                .expect("series"),
+            || {
+                replacement_rate_over_time(&trust, &serial, 0.5, &RATIOS, horizon, 10.0)
+                    .expect("series")
+            },
+            || {
+                replacement_rate_over_time(&trust, &parallel, 0.5, &RATIOS, horizon, 10.0)
+                    .expect("series")
+            },
         ),
         compare(
             "metric_average_path_length",

@@ -10,8 +10,7 @@ fn main() {
     let mut results = Vec::new();
     for f in [1.0, 0.5] {
         let trust = build_trust_graph_with_f(&params, f).expect("trust graph");
-        let sweep =
-            availability_sweep(&trust, &params, &ALPHAS, true).expect("availability sweep");
+        let sweep = availability_sweep(&trust, &params, &ALPHAS, true).expect("availability sweep");
         let rows: Vec<Vec<String>> = sweep
             .iter()
             .map(|p| {

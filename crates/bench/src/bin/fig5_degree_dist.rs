@@ -26,8 +26,11 @@ fn main() {
         let trust = build_trust_graph_with_f(&params, f).expect("trust graph");
         let d = degree_distributions(&trust, &params, alpha).expect("degree distributions");
         println!("\nFigure 5 (f = {f}, alpha = {alpha}): degree distribution (5-wide bins)");
-        for (name, h) in [("trust graph", &d.trust), ("overlay", &d.overlay), ("random graph", &d.random)]
-        {
+        for (name, h) in [
+            ("trust graph", &d.trust),
+            ("overlay", &d.overlay),
+            ("random graph", &d.random),
+        ] {
             let rows: Vec<Vec<String>> = bucketed(h, 5)
                 .into_iter()
                 .map(|(deg, count)| vec![format!("{deg}-{}", deg + 4), count.to_string()])

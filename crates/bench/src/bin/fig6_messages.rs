@@ -30,16 +30,12 @@ fn main() {
                 ]
             })
             .collect();
-        let mean: f64 =
-            rows.iter().map(|r| r.messages_per_period).sum::<f64>() / rows.len() as f64;
+        let mean: f64 = rows.iter().map(|r| r.messages_per_period).sum::<f64>() / rows.len() as f64;
         println!("\nFigure 6 (f = {f}, alpha = {alpha}): message load by trust-degree rank");
         println!("mean messages per shuffle period per node: {mean:.2} (paper: 2)");
         println!(
             "{}",
-            render_table(
-                &["rank", "trust deg", "max out-deg", "msgs/sp"],
-                &shown
-            )
+            render_table(&["rank", "trust deg", "max out-deg", "msgs/sp"], &shown)
         );
         results.push((f, rows));
     }

@@ -19,11 +19,7 @@ struct SensitivityRow {
     overlay_npl: f64,
 }
 
-fn measure(
-    trust: &veil_graph::Graph,
-    params: &ExperimentParams,
-    alpha: f64,
-) -> (f64, f64) {
+fn measure(trust: &veil_graph::Graph, params: &ExperimentParams, alpha: f64) -> (f64, f64) {
     let sweep = availability_sweep(trust, params, &[alpha], true).expect("sweep");
     (sweep[0].overlay_disconnected, sweep[0].overlay_npl)
 }

@@ -184,7 +184,10 @@ mod tests {
     #[test]
     fn scaled_horizon_has_floor() {
         assert_eq!(scaled_horizon(1000.0, 50.0), 1000.0 / scale() as f64);
-        assert!(scaled_horizon(10.0, 50.0) >= 50.0 / scale() as f64 || scaled_horizon(10.0, 50.0) == 50.0);
+        assert!(
+            scaled_horizon(10.0, 50.0) >= 50.0 / scale() as f64
+                || scaled_horizon(10.0, 50.0) == 50.0
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ pub fn run(args: &Args) -> CmdResult {
             "  {k:>4} colluding: know {:.1}% of nodes, {:.1}% of edges{}",
             100.0 * report.node_fraction,
             100.0 * report.edge_fraction,
-            if report.is_vertex_cut { " (vertex cut)" } else { "" }
+            if report.is_vertex_cut {
+                " (vertex cut)"
+            } else {
+                ""
+            }
         )?;
     }
 

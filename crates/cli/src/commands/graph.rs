@@ -36,7 +36,11 @@ pub fn generate(args: &Args) -> CmdResult {
         "hk" => generators::holme_kim(nodes, degree, 0.9, &mut rng)?,
         "social" => generators::social_graph(nodes, degree, &mut rng)?,
         "community" => generators::community_social(nodes, CommunityParams::default(), &mut rng)?,
-        other => return Err(format!("unknown model {other:?} (try ba|er|ws|hk|social|community)").into()),
+        other => {
+            return Err(
+                format!("unknown model {other:?} (try ba|er|ws|hk|social|community)").into(),
+            )
+        }
     };
     let mut out = format!(
         "generated {model} graph: {} nodes, {} edges, avg degree {:.2}",
@@ -77,7 +81,11 @@ pub fn stats(args: &Args) -> CmdResult {
         "largest component: {}",
         components.first().copied().unwrap_or(0)
     )?;
-    writeln!(out, "clustering:        {:.4}", metrics::average_clustering(&g))?;
+    writeln!(
+        out,
+        "clustering:        {:.4}",
+        metrics::average_clustering(&g)
+    )?;
     writeln!(
         out,
         "assortativity:     {:.4}",

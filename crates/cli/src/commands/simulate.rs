@@ -47,7 +47,9 @@ fn parse_blackout(raw: &str) -> Result<(f64, f64, f64), String> {
 /// with the `--mean-latency` value into a latency distribution.
 fn parse_latency(dist: Option<&str>, mean: f64) -> Result<LatencyDist, String> {
     if !(mean.is_finite() && mean >= 0.0) {
-        return Err(format!("--mean-latency must be finite and >= 0, got {mean}"));
+        return Err(format!(
+            "--mean-latency must be finite and >= 0, got {mean}"
+        ));
     }
     if mean == 0.0 {
         return Ok(LatencyDist::Constant { value: 0.0 });
@@ -202,7 +204,11 @@ pub fn run(args: &Args) -> CmdResult {
         "overlay simulation: {nodes} nodes, alpha = {alpha}, horizon = {horizon} sp, seed = {seed}"
     )?;
     out.push_str(&blackout_note);
-    writeln!(out, "\n{:>10}  {:>18}  {:>18}", "time (sp)", "overlay disconnected", "trust disconnected")?;
+    writeln!(
+        out,
+        "\n{:>10}  {:>18}  {:>18}",
+        "time (sp)", "overlay disconnected", "trust disconnected"
+    )?;
     for ((t, o), (_, tr)) in collector
         .connectivity()
         .iter()
@@ -211,7 +217,11 @@ pub fn run(args: &Args) -> CmdResult {
         writeln!(out, "{t:>10.1}  {o:>18.3}  {tr:>18.3}")?;
     }
     writeln!(out)?;
-    writeln!(out, "final online nodes:        {}", final_snapshot.online_nodes)?;
+    writeln!(
+        out,
+        "final online nodes:        {}",
+        final_snapshot.online_nodes
+    )?;
     writeln!(
         out,
         "final overlay disconnected: {:.3}",
@@ -222,12 +232,28 @@ pub fn run(args: &Args) -> CmdResult {
         "final trust disconnected:   {:.3}",
         final_snapshot.fraction_disconnected_trust
     )?;
-    writeln!(out, "pseudonym links:           {}", final_snapshot.pseudonym_links)?;
+    writeln!(
+        out,
+        "pseudonym links:           {}",
+        final_snapshot.pseudonym_links
+    )?;
     writeln!(out, "normalized path length:    {npl:.3}")?;
     if final_snapshot.dropped_requests > 0 || final_snapshot.shuffle_retries > 0 {
-        writeln!(out, "dropped messages:          {}", final_snapshot.dropped_requests)?;
-        writeln!(out, "shuffle retries:           {}", final_snapshot.shuffle_retries)?;
-        writeln!(out, "shuffle failures:          {}", final_snapshot.shuffle_failures)?;
+        writeln!(
+            out,
+            "dropped messages:          {}",
+            final_snapshot.dropped_requests
+        )?;
+        writeln!(
+            out,
+            "shuffle retries:           {}",
+            final_snapshot.shuffle_retries
+        )?;
+        writeln!(
+            out,
+            "shuffle failures:          {}",
+            final_snapshot.shuffle_failures
+        )?;
     }
     Ok(out.trim_end().to_string())
 }

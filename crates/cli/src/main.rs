@@ -136,10 +136,7 @@ mod tests {
         .unwrap();
         let err = run_line(&["graph", "sample", path_str]).unwrap_err();
         assert!(err.contains("target"));
-        let ok = run_line(&[
-            "graph", "sample", path_str, "--target", "50", "--f", "0.5",
-        ])
-        .unwrap();
+        let ok = run_line(&["graph", "sample", path_str, "--target", "50", "--f", "0.5"]).unwrap();
         assert!(ok.contains("50"));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -147,7 +144,15 @@ mod tests {
     #[test]
     fn simulate_smoke() {
         let out = run_line(&[
-            "simulate", "--nodes", "60", "--alpha", "0.5", "--horizon", "30", "--seed", "5",
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.5",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
         ])
         .unwrap();
         assert!(out.contains("disconnected"));
@@ -156,10 +161,7 @@ mod tests {
 
     #[test]
     fn simulate_json_output_parses() {
-        let out = run_line(&[
-            "simulate", "--nodes", "50", "--horizon", "20", "--json",
-        ])
-        .unwrap();
+        let out = run_line(&["simulate", "--nodes", "50", "--horizon", "20", "--json"]).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
         assert!(v.get("final").is_some());
     }
@@ -167,7 +169,14 @@ mod tests {
     #[test]
     fn simulate_with_blackout() {
         let out = run_line(&[
-            "simulate", "--nodes", "60", "--alpha", "1.0", "--horizon", "40", "--blackout",
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "1.0",
+            "--horizon",
+            "40",
+            "--blackout",
             "20,5,0.5",
         ])
         .unwrap();
@@ -177,25 +186,55 @@ mod tests {
     #[test]
     fn simulate_with_faulty_link() {
         let out = run_line(&[
-            "simulate", "--nodes", "60", "--alpha", "0.8", "--horizon", "40", "--seed", "5",
-            "--loss", "0.2", "--mean-latency", "0.5", "--shuffle-timeout", "2",
-            "--shuffle-retries", "3",
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.8",
+            "--horizon",
+            "40",
+            "--seed",
+            "5",
+            "--loss",
+            "0.2",
+            "--mean-latency",
+            "0.5",
+            "--shuffle-timeout",
+            "2",
+            "--shuffle-retries",
+            "3",
         ])
         .unwrap();
-        assert!(out.contains("dropped messages"), "faulty run reports losses:\n{out}");
+        assert!(
+            out.contains("dropped messages"),
+            "faulty run reports losses:\n{out}"
+        );
         assert!(out.contains("shuffle retries"));
     }
 
     #[test]
     fn simulate_rejects_bad_fault_flags() {
         let err = run_line(&[
-            "simulate", "--nodes", "50", "--horizon", "20", "--loss", "1.5",
+            "simulate",
+            "--nodes",
+            "50",
+            "--horizon",
+            "20",
+            "--loss",
+            "1.5",
         ])
         .unwrap_err();
         assert!(err.contains("loss"));
         let err = run_line(&[
-            "simulate", "--nodes", "50", "--horizon", "20", "--mean-latency", "1",
-            "--latency-dist", "gaussian",
+            "simulate",
+            "--nodes",
+            "50",
+            "--horizon",
+            "20",
+            "--mean-latency",
+            "1",
+            "--latency-dist",
+            "gaussian",
         ])
         .unwrap_err();
         assert!(err.contains("gaussian"));
@@ -235,8 +274,8 @@ mod tests {
 
     #[test]
     fn generate_rejects_unknown_model() {
-        let err = run_line(&["graph", "generate", "--model", "mystery", "--nodes", "50"])
-            .unwrap_err();
+        let err =
+            run_line(&["graph", "generate", "--model", "mystery", "--nodes", "50"]).unwrap_err();
         assert!(err.contains("mystery"));
     }
 

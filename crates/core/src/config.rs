@@ -280,7 +280,10 @@ impl OverlayConfig {
         if !(self.link_latency.is_finite() && self.link_latency >= 0.0) {
             return Err(CoreError::InvalidConfig {
                 field: "link_latency",
-                reason: format!("latency must be finite and non-negative, got {}", self.link_latency),
+                reason: format!(
+                    "latency must be finite and non-negative, got {}",
+                    self.link_latency
+                ),
             });
         }
         if !(self.shuffle_timeout.is_finite() && self.shuffle_timeout > 0.0) {

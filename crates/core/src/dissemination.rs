@@ -156,11 +156,7 @@ pub fn gossip<R: Rng + ?Sized>(
 
 fn summarize(online: &[bool], source: usize, hops: &[usize], messages: usize) -> BroadcastReport {
     let online_nodes = online.iter().filter(|&&b| b).count();
-    let reached_hops: Vec<usize> = hops
-        .iter()
-        .copied()
-        .filter(|&h| h != usize::MAX)
-        .collect();
+    let reached_hops: Vec<usize> = hops.iter().copied().filter(|&h| h != usize::MAX).collect();
     let reached = reached_hops.len();
     let max_hops = reached_hops.iter().copied().max().unwrap_or(0);
     let non_source: Vec<usize> = reached_hops.iter().copied().filter(|&h| h > 0).collect();

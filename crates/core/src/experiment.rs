@@ -399,7 +399,10 @@ pub fn message_load(
     measure: f64,
     sample_every: f64,
 ) -> Result<Vec<MessageLoadRow>, CoreError> {
-    assert!(measure > 0.0 && sample_every > 0.0, "window must be positive");
+    assert!(
+        measure > 0.0 && sample_every > 0.0,
+        "window must be positive"
+    );
     let mut sim = build_simulation(trust.clone(), params, alpha)?;
     sim.run_until(params.warmup);
     let n = sim.node_count();
@@ -497,8 +500,7 @@ pub fn lifetime_sweep(
     let mut out = Vec::with_capacity(ratios.len());
     let mut it = points.into_iter();
     for &ratio in ratios {
-        let sweep: Result<Vec<SweepPoint>, CoreError> =
-            it.by_ref().take(alphas.len()).collect();
+        let sweep: Result<Vec<SweepPoint>, CoreError> = it.by_ref().take(alphas.len()).collect();
         out.push((ratio, sweep?));
     }
     Ok(out)
@@ -901,8 +903,7 @@ mod tests {
     fn availability_sweep_shapes() {
         let p = tiny_params(3);
         let trust = build_trust_graph(&p).unwrap();
-        let points =
-            availability_sweep(&trust, &p, &[0.25, 1.0], false).unwrap();
+        let points = availability_sweep(&trust, &p, &[0.25, 1.0], false).unwrap();
         assert_eq!(points.len(), 2);
         let low = &points[0];
         let full = &points[1];
@@ -954,8 +955,7 @@ mod tests {
             assert!(w[0].trust_degree >= w[1].trust_degree);
         }
         assert_eq!(rows[0].rank, 1);
-        let mean: f64 =
-            rows.iter().map(|r| r.messages_per_period).sum::<f64>() / rows.len() as f64;
+        let mean: f64 = rows.iter().map(|r| r.messages_per_period).sum::<f64>() / rows.len() as f64;
         assert!((mean - 2.0).abs() < 0.4, "mean message rate {mean}");
     }
 
@@ -986,8 +986,7 @@ mod tests {
     fn replacement_series_zero_for_infinite_lifetime_at_steady_state() {
         let p = tiny_params(9);
         let trust = build_trust_graph(&p).unwrap();
-        let series =
-            replacement_rate_over_time(&trust, &p, 1.0, &[None], 120.0, 10.0).unwrap();
+        let series = replacement_rate_over_time(&trust, &p, 1.0, &[None], 120.0, 10.0).unwrap();
         let (_, ts) = &series[0];
         let tail = ts.tail_mean(3).unwrap();
         assert!(tail < 1.0, "late replacement rate {tail} should be ~0");

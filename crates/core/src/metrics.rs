@@ -150,7 +150,8 @@ impl Collector {
 
     fn sample(&mut self, sim: &Simulation) {
         let snap = snapshot(sim);
-        self.connectivity.push(snap.time, snap.fraction_disconnected);
+        self.connectivity
+            .push(snap.time, snap.fraction_disconnected);
         self.connectivity_trust
             .push(snap.time, snap.fraction_disconnected_trust);
         if self.started {

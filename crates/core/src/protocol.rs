@@ -177,7 +177,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut node = Node::new(0, vec![], &cfg, &mut rng);
         for i in 1..=9 {
-            node.cache.insert(svc.mint(i, SimTime::ZERO, None), SimTime::ZERO);
+            node.cache
+                .insert(svc.mint(i, SimTime::ZERO, None), SimTime::ZERO);
         }
         let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::ZERO, &mut rng);
         assert_eq!(offer.entries.len(), 4);
@@ -202,8 +203,7 @@ mod tests {
         let mut svc = PseudonymService::new(5);
         let mut rng = StdRng::seed_from_u64(5);
         let mut node = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
-        let incoming: Vec<Pseudonym> =
-            (1..=3).map(|i| svc.mint(i, SimTime::ZERO, None)).collect();
+        let incoming: Vec<Pseudonym> = (1..=3).map(|i| svc.mint(i, SimTime::ZERO, None)).collect();
         let changed = receive_offer(&mut node, &incoming, &[], SimTime::ZERO, &mut rng);
         assert!(changed > 0);
         assert_eq!(node.cache.len(), 3);

@@ -25,9 +25,7 @@ use veil_sim::SimTime;
 ///
 /// Renewing a pseudonym produces a new instance with a fresh id and fresh
 /// random bits; the old instance stays distinct until it expires.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PseudonymId(pub u64);
 
 impl std::fmt::Display for PseudonymId {
@@ -205,7 +203,10 @@ mod tests {
         let mut svc = PseudonymService::new(6);
         let p = svc.mint(0, SimTime::ZERO, None);
         assert_eq!(p.distance_to(p.bits(), DistanceMetric::Xor), 0);
-        assert_eq!(p.distance_to(p.bits() ^ 0b1010, DistanceMetric::Xor), 0b1010);
+        assert_eq!(
+            p.distance_to(p.bits() ^ 0b1010, DistanceMetric::Xor),
+            0b1010
+        );
     }
 
     #[test]

@@ -351,9 +351,7 @@ mod tests {
         // minimum-distance one among all offered.
         let mut s = sampler(6, 4);
         let mut svc = PseudonymService::new(4);
-        let offered: Vec<Pseudonym> = (0..200)
-            .map(|i| svc.mint(i, SimTime::ZERO, None))
-            .collect();
+        let offered: Vec<Pseudonym> = (0..200).map(|i| svc.mint(i, SimTime::ZERO, None)).collect();
         for &p in &offered {
             s.offer(p, SimTime::ZERO);
         }
@@ -454,9 +452,7 @@ mod tests {
         let mut s = Sampler::new(3, DistanceMetric::Xor, true, &mut rng);
         let refs: Vec<u128> = s.slots.iter().map(|sl| sl.reference).collect();
         let mut svc = PseudonymService::new(10);
-        let offered: Vec<Pseudonym> = (0..100)
-            .map(|i| svc.mint(i, SimTime::ZERO, None))
-            .collect();
+        let offered: Vec<Pseudonym> = (0..100).map(|i| svc.mint(i, SimTime::ZERO, None)).collect();
         for &p in &offered {
             s.offer(p, SimTime::ZERO);
         }

@@ -465,9 +465,7 @@ impl Simulation {
     fn handle(&mut self, now: SimTime, event: Event) {
         match event {
             Event::Shuffle(v) => self.handle_shuffle(now, v as usize),
-            Event::Churn { node, generation } => {
-                self.handle_churn(now, node as usize, generation)
-            }
+            Event::Churn { node, generation } => self.handle_churn(now, node as usize, generation),
             Event::BlackoutEnd { node, generation } => {
                 self.handle_blackout_end(now, node as usize, generation)
             }
@@ -654,11 +652,12 @@ impl Simulation {
             (p.initiator, p.dest, p.trusted_link, p.attempt)
         };
         let v = initiator as usize;
-        let dropped = self
-            .fault
-            .as_ref()
-            .expect("faulty path")
-            .is_dropped(initiator, dest, now.as_f64(), &mut self.fault_rng);
+        let dropped = self.fault.as_ref().expect("faulty path").is_dropped(
+            initiator,
+            dest,
+            now.as_f64(),
+            &mut self.fault_rng,
+        );
         self.nodes[v].stats.requests_sent += 1;
         if dropped {
             self.nodes[v].stats.dropped_requests += 1;
@@ -782,7 +781,12 @@ impl Simulation {
         // absorbing the request (Cyclon semantics).
         let response = {
             let rng = &mut self.node_rngs[responder];
-            protocol::build_offer(&mut self.nodes[responder], self.cfg.shuffle_length, now, rng)
+            protocol::build_offer(
+                &mut self.nodes[responder],
+                self.cfg.shuffle_length,
+                now,
+                rng,
+            )
         };
         {
             let rng = &mut self.node_rngs[responder];
@@ -798,11 +802,12 @@ impl Simulation {
         if self.fault.is_some() {
             // The response is itself subject to loss and sampled latency;
             // a dropped response is recovered by the initiator's timeout.
-            let dropped = self
-                .fault
-                .as_ref()
-                .expect("faulty path")
-                .is_dropped(delivery.to, delivery.from, now.as_f64(), &mut self.fault_rng);
+            let dropped = self.fault.as_ref().expect("faulty path").is_dropped(
+                delivery.to,
+                delivery.from,
+                now.as_f64(),
+                &mut self.fault_rng,
+            );
             self.log_message(MessageRecord {
                 time: now,
                 from: delivery.to,
@@ -989,8 +994,8 @@ impl Simulation {
             return; // a newer blackout supersedes this recovery
         }
         self.blackout_until[v] = None;
-        let next = self.churn[v]
-            .force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
+        let next =
+            self.churn[v].force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
         if let Some(delay) = next {
             self.engine.schedule_at(
                 now + delay,
@@ -1522,7 +1527,10 @@ mod tests {
         // Natural churn resumes: some nodes drift offline again.
         sim.run_until(60.0);
         let online = sim.online_count();
-        assert!(online < sim.node_count(), "churn must resume, online={online}");
+        assert!(
+            online < sim.node_count(),
+            "churn must resume, online={online}"
+        );
         assert!(online > 0);
     }
 
@@ -1530,15 +1538,14 @@ mod tests {
     fn overlay_survives_blackout_better_than_trust_graph() {
         let mut sim = small_sim(1.0, 24);
         sim.run_until(40.0); // converge
-        // Blackout a random-ish half: every even node.
+                             // Blackout a random-ish half: every even node.
         let victims: Vec<usize> = (0..sim.node_count()).filter(|v| v % 2 == 0).collect();
         sim.inject_blackout(&victims, 10.0);
         sim.run_until(41.0);
         let online = sim.online_mask();
         let overlay_frac =
             veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &online);
-        let trust_frac =
-            veil_graph::metrics::fraction_disconnected(sim.trust_graph(), &online);
+        let trust_frac = veil_graph::metrics::fraction_disconnected(sim.trust_graph(), &online);
         assert!(
             overlay_frac <= trust_frac,
             "overlay {overlay_frac} vs trust {trust_frac} during blackout"
@@ -1652,10 +1659,8 @@ mod tests {
             .map(|v| sim.node(v).sampler.link_count())
             .sum();
         assert!(links > 60, "gossip still spreads under 20% loss: {links}");
-        let frac = veil_graph::metrics::fraction_disconnected(
-            &sim.overlay_graph(),
-            &sim.online_mask(),
-        );
+        let frac =
+            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask());
         assert!(frac < 0.1, "overlay fell apart under 20% loss: {frac}");
     }
 
@@ -1731,7 +1736,10 @@ mod tests {
             episodes: vec![veil_sim::fault::FaultEpisode {
                 start: 10.0,
                 end: 20.0,
-                effect: EpisodeEffect::Blackout { first: 0, count: 20 },
+                effect: EpisodeEffect::Blackout {
+                    first: 0,
+                    count: 20,
+                },
             }],
             ..FaultConfig::none()
         };
@@ -1748,25 +1756,21 @@ mod tests {
             episodes: vec![veil_sim::fault::FaultEpisode {
                 start: 0.0,
                 end: f64::INFINITY,
-                effect: EpisodeEffect::Crash { first: 0, count: 15 },
+                effect: EpisodeEffect::Crash {
+                    first: 0,
+                    count: 15,
+                },
             }],
             ..FaultConfig::none()
         };
         let mut sim = faulty_sim(1.0, 34, fault);
         sim.run_until(80.0);
-        let crashed_requests: u64 = (0..15)
-            .map(|v| sim.node_stats(v).requests_sent)
-            .sum();
+        let crashed_requests: u64 = (0..15).map(|v| sim.node_stats(v).requests_sent).sum();
         assert_eq!(crashed_requests, 0, "crashed nodes initiate nothing");
-        let failures: u64 = (15..60)
-            .map(|v| sim.node_stats(v).shuffle_failures)
-            .sum();
+        let failures: u64 = (15..60).map(|v| sim.node_stats(v).shuffle_failures).sum();
         assert!(failures > 0, "peers of crashed nodes time out");
         let live: Vec<usize> = (15..60).collect();
-        let links: usize = live
-            .iter()
-            .map(|&v| sim.node(v).sampler.link_count())
-            .sum();
+        let links: usize = live.iter().map(|&v| sim.node(v).sampler.link_count()).sum();
         assert!(links > 45, "live nodes keep gossiping: {links}");
     }
 }

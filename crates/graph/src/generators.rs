@@ -24,11 +24,17 @@ use std::collections::HashSet;
 /// # Errors
 ///
 /// Returns an error if `m` exceeds `n(n-1)/2`.
-pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn erdos_renyi_gnm<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
     if m > max_edges {
         return Err(GraphError::InvalidParameter {
-            reason: format!("{m} edges requested but a simple graph on {n} nodes holds at most {max_edges}"),
+            reason: format!(
+                "{m} edges requested but a simple graph on {n} nodes holds at most {max_edges}"
+            ),
         });
     }
     let mut g = Graph::new(n);
@@ -53,7 +59,11 @@ pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Resu
 /// # Errors
 ///
 /// Returns an error if `p` is not in `[0, 1]`.
-pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn erdos_renyi_gnp<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) {
         return Err(GraphError::InvalidParameter {
             reason: format!("edge probability {p} not in [0, 1]"),
@@ -95,7 +105,10 @@ pub fn erdos_renyi_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Result
 ///
 /// Propagates [`erdos_renyi_gnm`] errors (cannot occur for a valid
 /// `reference`).
-pub fn erdos_renyi_like<R: Rng + ?Sized>(reference: &Graph, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn erdos_renyi_like<R: Rng + ?Sized>(
+    reference: &Graph,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     erdos_renyi_gnm(reference.node_count(), reference.edge_count(), rng)
 }
 
@@ -107,7 +120,11 @@ pub fn erdos_renyi_like<R: Rng + ?Sized>(reference: &Graph, rng: &mut R) -> Resu
 /// # Errors
 ///
 /// Returns an error if `m == 0` or `n <= m`.
-pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
     holme_kim(n, m, 0.0, rng)
 }
 
@@ -444,7 +461,10 @@ pub fn community_social<R: Rng + ?Sized>(
     }
     if !(0.0..=1.0).contains(&params.p_intra) {
         return Err(GraphError::InvalidParameter {
-            reason: format!("intra-community probability {} not in [0, 1]", params.p_intra),
+            reason: format!(
+                "intra-community probability {} not in [0, 1]",
+                params.p_intra
+            ),
         });
     }
     if n < params.min_community {
@@ -505,10 +525,7 @@ pub fn community_social<R: Rng + ?Sized>(
             } else {
                 targets[rng.gen_range(0..targets.len())]
             };
-            if candidate < v
-                && community[candidate] != community[v]
-                && !g.has_edge(v, candidate)
-            {
+            if candidate < v && community[candidate] != community[v] && !g.has_edge(v, candidate) {
                 g.add_edge(v, candidate).expect("inter edge in range");
                 targets.push(v);
                 targets.push(candidate);
@@ -626,7 +643,11 @@ mod tests {
         let g = configuration_model(&degrees, &mut rng(10)).unwrap();
         // Stub matching may lose a few edges to loops/duplicates.
         assert!(g.edge_count() <= 200);
-        assert!(g.edge_count() >= 180, "lost too many edges: {}", g.edge_count());
+        assert!(
+            g.edge_count() >= 180,
+            "lost too many edges: {}",
+            g.edge_count()
+        );
     }
 
     #[test]
@@ -661,7 +682,10 @@ mod tests {
         assert_eq!(g.node_count(), 2000);
         assert_eq!(metrics::component_count(&g), 1);
         let clustering = metrics::average_clustering(&g);
-        assert!(clustering > 0.1, "clustering {clustering} too low for a social graph");
+        assert!(
+            clustering > 0.1,
+            "clustering {clustering} too low for a social graph"
+        );
     }
 
     #[test]

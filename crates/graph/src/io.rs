@@ -46,13 +46,12 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, EdgeListError> {
         }
         if let Some(rest) = line.strip_prefix('#') {
             if let Some(n) = rest.trim().strip_prefix("nodes:") {
-                declared_nodes =
-                    Some(n.trim().parse::<usize>().map_err(|e| {
-                        EdgeListError::Graph(GraphError::Parse {
-                            line: lineno,
-                            reason: format!("bad node count: {e}"),
-                        })
-                    })?);
+                declared_nodes = Some(n.trim().parse::<usize>().map_err(|e| {
+                    EdgeListError::Graph(GraphError::Parse {
+                        line: lineno,
+                        reason: format!("bad node count: {e}"),
+                    })
+                })?);
             }
             continue;
         }

@@ -79,7 +79,10 @@ pub fn component_sizes_masked(g: &Graph, mask: Option<&[bool]>) -> Vec<usize> {
 
 /// Size of the largest connected component among masked-in vertices.
 pub fn largest_component_size_masked(g: &Graph, mask: Option<&[bool]>) -> usize {
-    component_sizes_masked(g, mask).first().copied().unwrap_or(0)
+    component_sizes_masked(g, mask)
+        .first()
+        .copied()
+        .unwrap_or(0)
 }
 
 /// Membership mask of the largest connected component among online vertices.
@@ -826,7 +829,10 @@ mod tests {
             seed += 7;
             seed
         });
-        assert!((exact - approx).abs() < 0.5, "exact={exact} approx={approx}");
+        assert!(
+            (exact - approx).abs() < 0.5,
+            "exact={exact} approx={approx}"
+        );
     }
 
     #[test]
@@ -876,10 +882,7 @@ mod tests {
 
     #[test]
     fn bridges_of_known_graphs() {
-        assert_eq!(
-            bridges(&generators::path(4)),
-            vec![(0, 1), (1, 2), (2, 3)]
-        );
+        assert_eq!(bridges(&generators::path(4)), vec![(0, 1), (1, 2), (2, 3)]);
         assert!(bridges(&generators::cycle(5)).is_empty());
         let g = generators::two_cliques_bridge(4, 3);
         assert_eq!(bridges(&g), vec![(3, 4)]);
@@ -992,7 +995,10 @@ mod tests {
         let profile = robustness_profile(&g, &[0]); // remove the hub
         assert_eq!(profile.len(), 2);
         assert_eq!(profile[0], 1.0);
-        assert!((profile[1] - 1.0 / 9.0).abs() < 1e-12, "only singletons left");
+        assert!(
+            (profile[1] - 1.0 / 9.0).abs() < 1e-12,
+            "only singletons left"
+        );
     }
 
     #[test]

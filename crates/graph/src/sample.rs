@@ -74,9 +74,9 @@ pub fn sample_trust_graph<R: Rng + ?Sized>(
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     let admit = |v: usize,
-                     sampled: &mut Vec<bool>,
-                     selected: &mut Vec<usize>,
-                     queue: &mut VecDeque<usize>| {
+                 sampled: &mut Vec<bool>,
+                 selected: &mut Vec<usize>,
+                 queue: &mut VecDeque<usize>| {
         sampled[v] = true;
         selected.push(v);
         queue.push_back(v);

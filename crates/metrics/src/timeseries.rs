@@ -209,9 +209,15 @@ mod tests {
 
     #[test]
     fn settling_time_requires_staying_below() {
-        let ts: TimeSeries = [(0.0, 1.0), (1.0, 0.05), (2.0, 0.5), (3.0, 0.01), (4.0, 0.02)]
-            .into_iter()
-            .collect();
+        let ts: TimeSeries = [
+            (0.0, 1.0),
+            (1.0, 0.05),
+            (2.0, 0.5),
+            (3.0, 0.01),
+            (4.0, 0.02),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(ts.settling_time(0.1), Some(3.0));
         assert_eq!(ts.settling_time(0.001), None);
     }

@@ -97,7 +97,10 @@ pub fn run<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> InjectionOutcome {
     assert!(attack.window > 0.0, "attack window must be positive");
-    assert!(attack.check_every > 0.0, "check granularity must be positive");
+    assert!(
+        attack.check_every > 0.0,
+        "check granularity must be positive"
+    );
     let n = sim.node_count();
     for idx in [
         attack.observer_near_a,
@@ -113,9 +116,7 @@ pub fn run<R: Rng + ?Sized>(
     // Ground truth snapshot before the attack perturbs anything.
     let overlay = sim.overlay_graph();
     let overlay_link_existed = overlay.has_edge(attack.target_a, attack.target_b);
-    let trust_edge_exists = sim
-        .trust_graph()
-        .has_edge(attack.target_a, attack.target_b);
+    let trust_edge_exists = sim.trust_graph().has_edge(attack.target_a, attack.target_b);
 
     // Plant the marker at `a` (a shuffle from the observer that offers
     // exactly one pseudonym). `absorb` handles a full cache gracefully.
@@ -256,7 +257,10 @@ mod tests {
         let (detections, trials) = detection_rate(&mut s, 0, 1, 2.0, 20, &mut rng);
         assert!(trials > 0);
         let rate = detections as f64 / trials as f64;
-        assert!(rate < 0.5, "two-round detection rate {rate} suspiciously high");
+        assert!(
+            rate < 0.5,
+            "two-round detection rate {rate} suspiciously high"
+        );
     }
 
     #[test]

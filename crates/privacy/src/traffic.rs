@@ -105,8 +105,7 @@ pub fn rotation_exposure(sim: &mut Simulation, window: f64) -> RotationExposure 
         distinct[m.from as usize].insert(m.to);
         distinct[m.to as usize].insert(m.from);
     }
-    let mean_distinct =
-        distinct.iter().map(|s| s.len() as f64).sum::<f64>() / n as f64;
+    let mean_distinct = distinct.iter().map(|s| s.len() as f64).sum::<f64>() / n as f64;
     let now = sim.now();
     let mean_degree = (0..n)
         .map(|v| sim.node(v).out_degree(now) as f64)
@@ -189,8 +188,7 @@ mod tests {
         assert!(e.mean_distinct_counterparties > 0.0);
         assert!(e.mean_concurrent_degree > 0.0);
         assert!(
-            (e.rotation_factor - e.mean_distinct_counterparties / e.mean_concurrent_degree)
-                .abs()
+            (e.rotation_factor - e.mean_distinct_counterparties / e.mean_concurrent_degree).abs()
                 < 1e-12
         );
         assert_eq!(e.window, 30.0);

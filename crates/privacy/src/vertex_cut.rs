@@ -96,7 +96,10 @@ mod tests {
         let g = generators::cycle(8);
         assert!(!is_vertex_cut(&g, &ObserverSet::new([0])));
         assert!(is_vertex_cut(&g, &ObserverSet::new([0, 4])));
-        assert!(!is_vertex_cut(&g, &ObserverSet::new([0, 1])), "adjacent pair only shortens the cycle");
+        assert!(
+            !is_vertex_cut(&g, &ObserverSet::new([0, 1])),
+            "adjacent pair only shortens the cycle"
+        );
     }
 
     #[test]

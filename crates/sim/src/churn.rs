@@ -224,11 +224,7 @@ impl ChurnProcess {
     /// Unlike [`ChurnProcess::transition`], this works on permanently
     /// online processes too: forcing one offline returns a residence delay
     /// drawn from the offline distribution.
-    pub fn force_state<R: Rng + ?Sized>(
-        &mut self,
-        state: NodeState,
-        rng: &mut R,
-    ) -> Option<f64> {
+    pub fn force_state<R: Rng + ?Sized>(&mut self, state: NodeState, rng: &mut R) -> Option<f64> {
         self.state = state;
         self.sample_residence(rng)
     }
@@ -354,8 +350,8 @@ mod tests {
 
     #[test]
     fn pareto_churn_also_converges() {
-        let cfg = ChurnConfig::from_availability(0.75, 30.0)
-            .with_kind(DistKind::Pareto { shape: 2.5 });
+        let cfg =
+            ChurnConfig::from_availability(0.75, 30.0).with_kind(DistKind::Pareto { shape: 2.5 });
         let mut rng = StdRng::seed_from_u64(6);
         let horizon = 400_000.0;
         let timeline = simulate_timeline(&cfg, horizon, &mut rng);

@@ -204,7 +204,10 @@ mod tests {
         let mut e: Engine<u32> = Engine::new();
         e.schedule_at(SimTime::new(1.0), 1);
         e.schedule_at(SimTime::new(5.0), 2);
-        assert_eq!(e.pop_before(SimTime::new(3.0)), Some((SimTime::new(1.0), 1)));
+        assert_eq!(
+            e.pop_before(SimTime::new(3.0)),
+            Some((SimTime::new(1.0), 1))
+        );
         assert_eq!(e.pop_before(SimTime::new(3.0)), None);
         assert_eq!(e.pending(), 1);
         // Clock did not jump to 5.0.

@@ -336,8 +336,7 @@ mod tests {
         ] {
             dist.validate().unwrap();
             assert_eq!(dist.mean(), 0.5);
-            let m: f64 =
-                (0..100_000).map(|_| dist.sample(&mut rng)).sum::<f64>() / 100_000.0;
+            let m: f64 = (0..100_000).map(|_| dist.sample(&mut rng)).sum::<f64>() / 100_000.0;
             assert!((m - 0.5).abs() < 0.05, "{dist:?} sample mean {m}");
         }
     }

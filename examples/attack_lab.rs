@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {k:>3} colluding observers know {:>5.1}% of nodes, {:>5.1}% of edges{}",
             100.0 * report.node_fraction,
             100.0 * report.edge_fraction,
-            if report.is_vertex_cut { "  (vertex cut!)" } else { "" }
+            if report.is_vertex_cut {
+                "  (vertex cut!)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -50,14 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cut_vertices.len(),
         trust.node_count()
     );
-    if let Some(&worst) = cut_vertices
-        .iter()
-        .max_by(|&&a, &&b| {
-            vertex_cut::minority_fraction(&trust, &ObserverSet::new([a]))
-                .partial_cmp(&vertex_cut::minority_fraction(&trust, &ObserverSet::new([b])))
-                .unwrap()
-        })
-    {
+    if let Some(&worst) = cut_vertices.iter().max_by(|&&a, &&b| {
+        vertex_cut::minority_fraction(&trust, &ObserverSet::new([a]))
+            .partial_cmp(&vertex_cut::minority_fraction(
+                &trust,
+                &ObserverSet::new([b]),
+            ))
+            .unwrap()
+    }) {
         let obs = ObserverSet::new([worst]);
         println!(
             "  worst single cut (node {worst}) mediates {:.1}% of the graph; certain pairs: {:?}",

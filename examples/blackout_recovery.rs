@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Regional blackout: nodes 0..150 lose power for 20 periods.
     let victims: Vec<usize> = (0..150).collect();
     sim.inject_blackout(&victims, 20.0);
-    println!("\n*** blackout: {} members offline for 20 periods ***\n", victims.len());
+    println!(
+        "\n*** blackout: {} members offline for 20 periods ***\n",
+        victims.len()
+    );
 
     // A second item is published by a surviving member during the outage.
     let survivor = (150..300).find(|&v| sim.is_online(v)).expect("survivor");

@@ -13,9 +13,7 @@
 //! cargo run --release -p veil-core --example patient_community
 //! ```
 
-use veil_core::experiment::{
-    build_simulation, build_trust_graph_with_f, ExperimentParams,
-};
+use veil_core::experiment::{build_simulation, build_trust_graph_with_f, ExperimentParams};
 use veil_graph::metrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Pseudonym turnover: how much material an observer could ever
             // correlate, expressed as fresh pseudonyms per node per 48 sp
             // ("per day" at 30-minute shuffle periods).
-            let per_day = sim.pseudonyms_minted() as f64 / sim.node_count() as f64
+            let per_day = sim.pseudonyms_minted() as f64
+                / sim.node_count() as f64
                 / (sim.now().as_f64() / 48.0);
             let label = match ratio {
                 Some(r) => format!("{} sp (r = {r})", r * params.mean_offline),

@@ -41,13 +41,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.online_count(),
         sim.node_count()
     );
-    println!("disconnected over trust graph alone: {:.1}%", 100.0 * trust_disc);
-    println!("disconnected over maintained overlay: {:.1}%", 100.0 * overlay_disc);
+    println!(
+        "disconnected over trust graph alone: {:.1}%",
+        100.0 * trust_disc
+    );
+    println!(
+        "disconnected over maintained overlay: {:.1}%",
+        100.0 * overlay_disc
+    );
     println!(
         "overlay edges: {} ({} from trust, rest privacy-preserving pseudonym links)",
         overlay.edge_count(),
         trust.edge_count()
     );
-    assert!(overlay_disc <= trust_disc, "the overlay should not be worse");
+    assert!(
+        overlay_disc <= trust_disc,
+        "the overlay should not be worse"
+    );
     Ok(())
 }

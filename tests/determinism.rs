@@ -4,8 +4,8 @@
 use veil_core::experiment::{
     availability_sweep, build_simulation, build_trust_graph, ExperimentParams,
 };
-use veil_sim::rng::{derive_rng, Stream};
 use veil_graph::generators;
+use veil_sim::rng::{derive_rng, Stream};
 
 fn params(seed: u64) -> ExperimentParams {
     ExperimentParams {

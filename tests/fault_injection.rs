@@ -122,7 +122,10 @@ fn coverage_degrades_gracefully_with_loss() {
     assert!(
         points[6].replacement_rate > points[0].replacement_rate,
         "heavy loss must force link replacement: {:?}",
-        points.iter().map(|p| p.replacement_rate).collect::<Vec<_>>()
+        points
+            .iter()
+            .map(|p| p.replacement_rate)
+            .collect::<Vec<_>>()
     );
 }
 
