@@ -8,7 +8,7 @@
 //! `VEIL_PARALLELISM`.
 
 use serde::Serialize;
-use veil_bench::{f3, paper_params, render_table, write_json};
+use veil_bench::{f3, paper_params, render_table, write_bench_json};
 use veil_core::experiment::{
     build_trust_graph, degradation_latency_sweep, degradation_loss_sweep,
     degradation_partition_sweep, DegradationPoint,
@@ -24,7 +24,6 @@ const PARTITIONS: [f64; 4] = [0.0, 0.1, 0.25, 0.5];
 
 #[derive(Serialize)]
 struct Report {
-    scale: usize,
     alpha: f64,
     loss: Vec<DegradationPoint>,
     latency: Vec<DegradationPoint>,
@@ -91,11 +90,10 @@ fn main() {
     print_sweep("degradation vs partition size", "fraction", &partition);
 
     let report = Report {
-        scale: veil_bench::scale(),
         alpha: ALPHA,
         loss,
         latency,
         partition,
     };
-    write_json("BENCH_faults", &report);
+    write_bench_json("faults", &report);
 }

@@ -11,7 +11,7 @@
 
 use serde::Serialize;
 use std::time::Instant;
-use veil_bench::{paper_params, write_json, ALPHAS, RATIOS};
+use veil_bench::{paper_params, write_bench_json, ALPHAS, RATIOS};
 use veil_core::experiment::{
     availability_sweep, build_trust_graph, connectivity_over_time, lifetime_sweep,
     replacement_rate_over_time, ExperimentParams,
@@ -29,8 +29,6 @@ struct Entry {
 
 #[derive(Serialize)]
 struct Report {
-    available_cores: usize,
-    scale: usize,
     entries: Vec<Entry>,
 }
 
@@ -139,10 +137,6 @@ fn main() {
             e.figure
         );
     }
-    let report = Report {
-        available_cores: veil_par::effective_parallelism(None),
-        scale: veil_bench::scale(),
-        entries,
-    };
-    write_json("BENCH_parallel", &report);
+    let report = Report { entries };
+    write_bench_json("parallel", &report);
 }

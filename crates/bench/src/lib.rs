@@ -136,6 +136,96 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     eprintln!("wrote {}", path.display());
 }
 
+/// Serializes a benchmark report into `target/figures/BENCH_<name>.json`,
+/// wrapped in the envelope shared by every `bench_*` binary: the benchmark
+/// name, the `VEIL_SCALE` divisor and the available core count, with the
+/// benchmark-specific payload under `"report"`. Keeping the envelope in
+/// one place keeps the `BENCH_*.json` files mutually comparable.
+pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) {
+    let doc = serde::Content::Map(vec![
+        ("bench".to_string(), serde::Content::Str(name.to_string())),
+        ("scale".to_string(), serde::Content::U64(scale() as u64)),
+        (
+            "available_cores".to_string(),
+            serde::Content::U64(veil_par::effective_parallelism(None) as u64),
+        ),
+        ("report".to_string(), payload.to_content()),
+    ]);
+    write_json(&format!("BENCH_{name}"), &doc);
+}
+
+/// Observability artifacts requested through the environment, written when
+/// [`ObsSession::finish`] runs.
+#[derive(Debug)]
+pub struct ObsSession {
+    recorder: veil_obs::Recorder,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    chrome_out: Option<String>,
+}
+
+/// Installs a global full recorder when any of `VEIL_TRACE_OUT`,
+/// `VEIL_METRICS_OUT` or `VEIL_CHROME_TRACE` names an output file;
+/// otherwise the global recorder stays a no-op and the figure binaries run
+/// exactly as before. Call [`ObsSession::finish`] after the experiment to
+/// write the requested files. Tracing never draws randomness, so figure
+/// outputs are byte-identical whether or not these knobs are set.
+pub fn init_observability() -> ObsSession {
+    let var = |k: &str| std::env::var(k).ok().filter(|v| !v.trim().is_empty());
+    let trace_out = var("VEIL_TRACE_OUT");
+    let metrics_out = var("VEIL_METRICS_OUT");
+    let chrome_out = var("VEIL_CHROME_TRACE");
+    let recorder = if trace_out.is_some() || metrics_out.is_some() || chrome_out.is_some() {
+        let r = veil_obs::Recorder::full();
+        veil_obs::install_global(r.clone());
+        r
+    } else {
+        veil_obs::Recorder::disabled()
+    };
+    ObsSession {
+        recorder,
+        trace_out,
+        metrics_out,
+        chrome_out,
+    }
+}
+
+impl ObsSession {
+    /// Whether this run records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The recorder driving this session (no-op when disabled).
+    pub fn recorder(&self) -> &veil_obs::Recorder {
+        &self.recorder
+    }
+
+    /// Writes the artifacts requested via the environment. A `.prom`
+    /// extension on `VEIL_METRICS_OUT` selects Prometheus text format,
+    /// anything else the JSON snapshot.
+    pub fn finish(self) {
+        let write = |path: &str, text: String| {
+            std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        };
+        if let Some(path) = &self.trace_out {
+            write(path, self.recorder.events_jsonl());
+        }
+        if let Some(path) = &self.metrics_out {
+            let text = if path.ends_with(".prom") {
+                self.recorder.prometheus_text()
+            } else {
+                self.recorder.metrics_json()
+            };
+            write(path, text);
+        }
+        if let Some(path) = &self.chrome_out {
+            write(path, self.recorder.chrome_trace());
+        }
+    }
+}
+
 /// Formats a float with 3 decimal places.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")

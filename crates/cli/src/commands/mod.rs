@@ -2,6 +2,7 @@
 
 pub mod attack;
 pub mod graph;
+pub mod obs;
 pub mod simulate;
 
 /// Convenience alias for command results.

@@ -1,0 +1,38 @@
+//! `veil obs` — inspect and validate observability artifacts produced by
+//! `veil simulate --trace-out` (or the `VEIL_TRACE_OUT` bench knob).
+
+use super::CmdResult;
+use crate::args::Args;
+use std::fmt::Write as _;
+
+/// `veil obs validate FILE` — check a JSONL trace file against the event
+/// schema, reporting the number of valid events or the first offending
+/// line.
+pub fn validate(args: &Args) -> CmdResult {
+    args.check_known(&[])?;
+    let Some(path) = args.positional(2) else {
+        return Err("obs validate requires a trace file argument".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let count = veil_obs::validate_events_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!("{path}: {count} events, all valid"))
+}
+
+/// `veil obs schema` — print the trace-event schema (one line per event
+/// kind with its typed fields).
+pub fn schema(args: &Args) -> CmdResult {
+    args.check_known(&[])?;
+    let mut out = String::new();
+    writeln!(out, "trace event schema (JSONL, one event per line)")?;
+    writeln!(
+        out,
+        "common fields: t (f64 simulated time), tid (u32 recording thread),"
+    )?;
+    writeln!(
+        out,
+        "seq (u64 per-thread sequence), node (u32 or null), kind (tagged payload)"
+    )?;
+    writeln!(out)?;
+    out.push_str(&veil_obs::schema_text());
+    Ok(out.trim_end().to_string())
+}

@@ -96,6 +96,10 @@ pub fn run(args: &Args) -> CmdResult {
         "shuffle-retries",
         "parallelism",
         "json",
+        "trace-out",
+        "metrics-out",
+        "chrome-trace",
+        "flight-recorder",
     ])?;
     let nodes: usize = args.require("nodes", "integer")?;
     let alpha: f64 = args.get_or("alpha", 0.5, "float in (0,1]")?;
@@ -154,8 +158,39 @@ pub fn run(args: &Args) -> CmdResult {
         },
         ..ExperimentParams::default()
     };
+    // Observability: any of the obs flags switches on an in-process
+    // recorder. Tracing never draws randomness, so the simulation output
+    // is byte-identical with and without these flags.
+    let trace_out = args.flag("trace-out").map(str::to_string);
+    let metrics_out = args.flag("metrics-out").map(str::to_string);
+    let chrome_trace = args.flag("chrome-trace").map(str::to_string);
+    let flight_recorder = args
+        .flag("flight-recorder")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("--flight-recorder: {e}"))
+        })
+        .transpose()?;
+    let obs_enabled = trace_out.is_some()
+        || metrics_out.is_some()
+        || chrome_trace.is_some()
+        || flight_recorder.is_some();
+    let recorder = match flight_recorder {
+        _ if !obs_enabled => veil_obs::Recorder::disabled(),
+        Some(capacity) => veil_obs::Recorder::flight_recorder(capacity),
+        None => veil_obs::Recorder::full(),
+    };
+
     let trust = build_trust_graph(&params)?;
-    let mut sim = build_simulation(trust, &params, alpha)?;
+    // Install globally before construction: `Simulation::new` emits the
+    // initial pseudonym mints, which would otherwise be missed. Restore
+    // the previous global immediately — the simulation holds its own
+    // handle from here on.
+    let prev = veil_obs::install_global(recorder.clone());
+    let sim = build_simulation(trust, &params, alpha);
+    veil_obs::install_global(prev);
+    let mut sim = sim?;
+    sim.set_recorder(recorder.clone());
     let mut collector = Collector::new(interval);
     let mut blackout_note = String::new();
     if let Some((t, duration, fraction)) = blackout {
@@ -181,6 +216,42 @@ pub fn run(args: &Args) -> CmdResult {
         gm::normalized_avg_path_length(&sim.overlay_graph(), Some(&online))
     };
 
+    let mut obs_note = String::new();
+    if obs_enabled {
+        sim.publish_metrics();
+        if let Some(path) = &trace_out {
+            std::fs::write(path, recorder.events_jsonl())
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            writeln!(
+                obs_note,
+                "trace: {path} ({} events, {} dropped)",
+                recorder.events_seen() - recorder.events_dropped(),
+                recorder.events_dropped()
+            )?;
+        } else if flight_recorder.is_some() {
+            writeln!(
+                obs_note,
+                "flight recorder retained {} of {} events (use --trace-out to save them)",
+                recorder.events().len(),
+                recorder.events_seen()
+            )?;
+        }
+        if let Some(path) = &metrics_out {
+            let text = if path.ends_with(".prom") {
+                recorder.prometheus_text()
+            } else {
+                recorder.metrics_json()
+            };
+            std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            writeln!(obs_note, "metrics: {path}")?;
+        }
+        if let Some(path) = &chrome_trace {
+            std::fs::write(path, recorder.chrome_trace())
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            writeln!(obs_note, "chrome trace: {path}")?;
+        }
+    }
+
     if args.has("json") {
         let series: Vec<(f64, f64, f64)> = collector
             .connectivity()
@@ -204,6 +275,7 @@ pub fn run(args: &Args) -> CmdResult {
         "overlay simulation: {nodes} nodes, alpha = {alpha}, horizon = {horizon} sp, seed = {seed}"
     )?;
     out.push_str(&blackout_note);
+    out.push_str(&obs_note);
     writeln!(
         out,
         "\n{:>10}  {:>18}  {:>18}",

@@ -47,8 +47,20 @@ COMMANDS:
                                          metrics; 0 = all cores (default,
                                          or VEIL_PARALLELISM); results
                                          are identical for every K
+                     [--trace-out FILE]  write the structured event trace
+                                         as JSONL (never perturbs results)
+                     [--metrics-out FILE] write the metrics registry; a
+                                         .prom extension selects Prometheus
+                                         text format, anything else JSON
+                     [--chrome-trace FILE] write profiling spans as Chrome
+                                         trace_event JSON (chrome://tracing)
+                     [--flight-recorder N] keep only the last N events per
+                                         recording thread (flight recorder)
     attack           run the Section III-E threat models
                      --nodes N [--seed S]
+    obs validate     check a JSONL trace file against the event schema
+                     <FILE>
+    obs schema       print the trace-event schema
     help             show this message
 ";
 
@@ -80,6 +92,11 @@ fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         (Some("graph"), Some("sample")) => commands::graph::sample(&args),
         (Some("simulate"), _) => commands::simulate::run(&args),
         (Some("attack"), _) => commands::attack::run(&args),
+        (Some("obs"), Some("validate")) => commands::obs::validate(&args),
+        (Some("obs"), Some("schema")) => commands::obs::schema(&args),
+        (Some("obs"), other) => {
+            Err(format!("obs: expected validate or schema, got {other:?}").into())
+        }
         (Some("help"), _) | (None, _) => Ok(USAGE.to_string()),
         (Some(other), _) => Err(format!("unknown command {other:?}").into()),
     }
@@ -238,6 +255,79 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("gaussian"));
+    }
+
+    #[test]
+    fn simulate_trace_export_round_trips_through_validate() {
+        let dir = std::env::temp_dir().join("veil-cli-test-obs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let metrics = dir.join("metrics.prom");
+        let chrome = dir.join("spans.json");
+        let out = run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace:"), "obs note present:\n{out}");
+        let validated = run_line(&["obs", "validate", trace.to_str().unwrap()]).unwrap();
+        assert!(validated.contains("all valid"));
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("veil_sim_shuffles_started_total"), "{prom}");
+        let spans: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        assert!(spans.get("traceEvents").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_flight_recorder_reports_retention() {
+        let out = run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--flight-recorder",
+            "16",
+        ])
+        .unwrap();
+        assert!(out.contains("flight recorder retained"), "{out}");
+    }
+
+    #[test]
+    fn obs_schema_lists_event_kinds() {
+        let out = run_line(&["obs", "schema"]).unwrap();
+        assert!(out.contains("ShuffleStart"));
+        assert!(out.contains("BroadcastDeliver"));
+    }
+
+    #[test]
+    fn obs_validate_rejects_garbage() {
+        let dir = std::env::temp_dir().join("veil-cli-test-obs-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"not\": \"an event\"}\n").unwrap();
+        let err = run_line(&["obs", "validate", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

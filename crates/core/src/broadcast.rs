@@ -21,6 +21,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use veil_obs::{EventKind as Obs, Recorder};
 use veil_sim::rng::{derive_rng, Stream};
 
 /// Identifier of a published message.
@@ -172,6 +173,10 @@ impl EpidemicSession {
         let state = &mut self.nodes[publisher];
         state.inbox.insert(id, Delivery { time: now, hops: 0 });
         state.active.insert(id, self.cfg.push_rounds);
+        sim.recorder()
+            .event(now, Some(publisher as u32), || Obs::BroadcastPublish {
+                message: id.0,
+            });
         Some(id)
     }
 
@@ -180,6 +185,9 @@ impl EpidemicSession {
     /// simulation time is a no-op (no rounds run).
     pub fn advance(&mut self, sim: &mut Simulation, until: f64) {
         self.ensure_sized(sim);
+        let _span = sim
+            .recorder()
+            .span_with("broadcast.advance", || format!("until={until}"));
         let mut t = sim.now().as_f64();
         while t < until {
             t = (t + self.cfg.round_length).min(until);
@@ -191,6 +199,7 @@ impl EpidemicSession {
     /// One application round: epidemic pushes, then anti-entropy pulls for
     /// nodes that came back online since the previous round.
     fn round(&mut self, sim: &Simulation) {
+        let _span = sim.recorder().span("broadcast.round");
         let now = sim.now();
         let n = sim.node_count();
         // Pushes: collect transfers first so state mutations don't alias.
@@ -254,7 +263,7 @@ impl EpidemicSession {
             }
         }
         for (target, id, delivery) in transfers {
-            self.deliver(target, id, delivery);
+            self.deliver(sim.recorder(), target, id, delivery);
         }
         // Anti-entropy pulls by rejoining nodes.
         if self.cfg.pull_on_rejoin {
@@ -292,7 +301,7 @@ impl EpidemicSession {
                     .collect();
                 self.messages_sent += missing.len() as u64;
                 for (id, d) in missing {
-                    self.deliver(v, id, d);
+                    self.deliver(sim.recorder(), v, id, d);
                 }
             }
         } else {
@@ -302,13 +311,18 @@ impl EpidemicSession {
         }
     }
 
-    fn deliver(&mut self, v: usize, id: MessageId, delivery: Delivery) {
+    fn deliver(&mut self, recorder: &Recorder, v: usize, id: MessageId, delivery: Delivery) {
         let state = &mut self.nodes[v];
         if state.inbox.contains_key(&id) {
             return;
         }
         state.inbox.insert(id, delivery);
         state.active.insert(id, self.cfg.push_rounds);
+        recorder.event(delivery.time, Some(v as u32), || Obs::BroadcastDeliver {
+            message: id.0,
+            hops: u64::from(delivery.hops),
+        });
+        recorder.observe("broadcast.hops", delivery.hops as usize);
     }
 
     /// Fraction of all nodes (online or not) that have received `id`.

@@ -243,6 +243,9 @@ pub fn availability_sweep(
     alphas: &[f64],
     with_path_length: bool,
 ) -> Result<Vec<SweepPoint>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.availability_sweep", || {
+        format!("points={}", alphas.len())
+    });
     // Each α is an independent simulation whose randomness derives from
     // `(params.seed, stream)` alone, so the points can run on worker
     // threads; collecting in index order keeps the output byte-identical
@@ -262,6 +265,8 @@ fn availability_point(
     alpha: f64,
     with_path_length: bool,
 ) -> Result<SweepPoint, CoreError> {
+    let _span =
+        veil_obs::global().span_with("experiment.availability_point", || format!("alpha={alpha}"));
     // Connectivity under churn fluctuates snapshot to snapshot; average a
     // few spaced snapshots after warm-up, as "results show the state of the
     // system after the reported metrics have reached stable values".
@@ -356,6 +361,9 @@ pub fn degree_distributions_multi(
     params: &ExperimentParams,
     alphas: &[f64],
 ) -> Result<Vec<DegreeDistributions>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.degree_distributions_multi", || {
+        format!("points={}", alphas.len())
+    });
     veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
         degree_distributions(trust, params, alpha)
     })
@@ -457,6 +465,9 @@ pub fn message_load_multi(
     measure: f64,
     sample_every: f64,
 ) -> Result<Vec<Vec<MessageLoadRow>>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.message_load_multi", || {
+        format!("points={}", alphas.len())
+    });
     veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
         message_load(trust, params, alpha, measure, sample_every)
     })
@@ -482,6 +493,9 @@ pub fn lifetime_sweep(
     alphas: &[f64],
     ratios: &[Option<f64>],
 ) -> Result<RatioSweeps, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.lifetime_sweep", || {
+        format!("points={}", alphas.len() * ratios.len())
+    });
     // Flatten the (ratio × α) grid into one job list so the thread pool
     // stays busy even when one axis is short, then regroup by ratio. Jobs
     // are ordered ratio-major, exactly like the nested serial loops, so
@@ -521,6 +535,9 @@ pub fn connectivity_over_time(
     horizon: f64,
     interval: f64,
 ) -> Result<ConvergenceSeries, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.connectivity_over_time", || {
+        format!("ratios={} horizon={horizon}", ratios.len())
+    });
     // One independent simulation per ratio; the trust-graph baseline is
     // overlay-independent, so it is taken from the first ratio's run just
     // like the serial loop did.
@@ -567,6 +584,9 @@ pub fn replacement_rate_over_time(
     horizon: f64,
     interval: f64,
 ) -> Result<Vec<(Option<f64>, TimeSeries)>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.replacement_rate_over_time", || {
+        format!("ratios={} horizon={horizon}", ratios.len())
+    });
     veil_par::map(ratios, params.overlay.parallelism, |&ratio| {
         let p = ExperimentParams {
             lifetime_ratio: ratio,
@@ -625,6 +645,9 @@ pub fn steady_state_broadcast_multi(
     params: &ExperimentParams,
     alphas: &[f64],
 ) -> Result<Vec<crate::dissemination::BroadcastReport>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.steady_state_broadcast_multi", || {
+        format!("points={}", alphas.len())
+    });
     veil_par::map(alphas, params.overlay.parallelism, |&alpha| {
         steady_state_broadcast(trust, params, alpha)
     })
@@ -677,6 +700,7 @@ pub fn degradation_point(
     x: f64,
     link: LinkLayerConfig,
 ) -> Result<DegradationPoint, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.degradation_point", || format!("x={x}"));
     const SNAPSHOTS: usize = 5;
     const SNAPSHOT_SPACING: f64 = 10.0;
     let mut p = params.clone();
@@ -769,6 +793,9 @@ pub fn degradation_loss_sweep(
     alpha: f64,
     losses: &[f64],
 ) -> Result<Vec<DegradationPoint>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.degradation_loss_sweep", || {
+        format!("points={}", losses.len())
+    });
     veil_par::map(losses, params.overlay.parallelism, |&loss| {
         let link = LinkLayerConfig::Faulty(FaultConfig::with_loss(loss));
         degradation_point(trust, params, alpha, loss, link)
@@ -791,6 +818,9 @@ pub fn degradation_latency_sweep(
     alpha: f64,
     means: &[f64],
 ) -> Result<Vec<DegradationPoint>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.degradation_latency_sweep", || {
+        format!("points={}", means.len())
+    });
     veil_par::map(means, params.overlay.parallelism, |&mean| {
         let latency = if mean > 0.0 {
             LatencyDist::Exponential { mean }
@@ -821,6 +851,9 @@ pub fn degradation_partition_sweep(
     alpha: f64,
     fractions: &[f64],
 ) -> Result<Vec<DegradationPoint>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.degradation_partition_sweep", || {
+        format!("points={}", fractions.len())
+    });
     let n = trust.node_count();
     veil_par::map(fractions, params.overlay.parallelism, |&frac| {
         let boundary = (frac * n as f64).round() as u32;

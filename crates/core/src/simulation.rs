@@ -29,6 +29,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use veil_graph::Graph;
+use veil_obs::{EventKind as Obs, Recorder};
 use veil_sim::churn::{ChurnConfig, ChurnProcess};
 use veil_sim::engine::Engine;
 use veil_sim::fault::{EpisodeEffect, FaultConfig};
@@ -187,6 +188,10 @@ pub struct Simulation {
     /// overlapping blackouts from scheduling duplicate wake events or
     /// truncating a longer outage.
     blackout_until: Vec<Option<SimTime>>,
+    /// Observability sink; disabled by default (a single branch per hook)
+    /// and never a source of randomness, so enabling it cannot perturb the
+    /// simulation.
+    recorder: Recorder,
 }
 
 impl Simulation {
@@ -221,6 +226,7 @@ impl Simulation {
         let mut churn_rngs = Vec::with_capacity(n);
         let mut svc = PseudonymService::new(master_seed);
         let mut sched_rng = derive_rng(master_seed, Stream::Scheduler);
+        let recorder = veil_obs::global();
 
         for v in 0..n {
             let trusted: Vec<u32> = trust.neighbors(v).to_vec();
@@ -235,6 +241,9 @@ impl Simulation {
                 // has no availability observations yet and falls back to
                 // the global lifetime here.)
                 node.renew_pseudonym(&mut svc, SimTime::ZERO, cfg.pseudonym_lifetime);
+                recorder.event(0.0, Some(v as u32), || Obs::PseudonymMinted {
+                    lifetime: cfg.pseudonym_lifetime,
+                });
                 online_since.push(Some(SimTime::ZERO));
                 offline_since.push(None);
             } else {
@@ -305,7 +314,73 @@ impl Simulation {
             pending: HashMap::new(),
             next_exchange: 1,
             blackout_until: vec![None; n],
+            recorder,
         })
+    }
+
+    /// Replaces the observability sink (taken from [`veil_obs::global`] at
+    /// construction). Pass [`Recorder::disabled`] to switch recording off.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The active observability sink.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Publishes end-of-run engine and protocol aggregates into the
+    /// recorder as gauges and histograms (no-op when recording is off).
+    /// Call after the run, before exporting the recorder's metrics.
+    ///
+    /// Aggregates read from simulation state use a `sim.stats_` prefix
+    /// (without a `_total` suffix): in the Prometheus exposition only
+    /// counters carry `_total`, and a gauge named `sim.X_total` would
+    /// collide with the family the event-derived counter `sim.X` exports.
+    pub fn publish_metrics(&self) {
+        let r = &self.recorder;
+        if !r.is_enabled() {
+            return;
+        }
+        r.gauge("engine.events_processed", self.engine.processed() as f64);
+        r.gauge(
+            "engine.queue_high_water",
+            self.engine.high_water_mark() as f64,
+        );
+        r.gauge("engine.pending_events", self.engine.pending() as f64);
+        r.gauge("sim.nodes", self.nodes.len() as f64);
+        r.gauge("sim.online_nodes", self.online_count() as f64);
+        r.gauge("sim.stats_pseudonyms_minted", self.svc.minted() as f64);
+        r.gauge(
+            "sim.stats_churn_transitions",
+            self.churn
+                .iter()
+                .map(ChurnProcess::transitions)
+                .sum::<u64>() as f64,
+        );
+        r.gauge("sim.stats_link_removals", self.total_link_removals() as f64);
+        let mut agg = NodeStats::default();
+        for v in 0..self.nodes.len() {
+            let s = self.node_stats(v);
+            agg.requests_sent += s.requests_sent;
+            agg.responses_sent += s.responses_sent;
+            agg.dropped_requests += s.dropped_requests;
+            agg.shuffle_retries += s.shuffle_retries;
+            agg.shuffle_failures += s.shuffle_failures;
+            agg.shuffles_suppressed += s.shuffles_suppressed;
+            agg.online_time += s.online_time;
+            r.observe("sim.node_links", self.nodes[v].sampler.link_count());
+        }
+        r.gauge("sim.stats_requests_sent", agg.requests_sent as f64);
+        r.gauge("sim.stats_responses_sent", agg.responses_sent as f64);
+        r.gauge("sim.stats_dropped_requests", agg.dropped_requests as f64);
+        r.gauge("sim.stats_shuffle_retries", agg.shuffle_retries as f64);
+        r.gauge("sim.stats_shuffle_failures", agg.shuffle_failures as f64);
+        r.gauge(
+            "sim.stats_shuffles_suppressed",
+            agg.shuffles_suppressed as f64,
+        );
+        r.gauge("sim.stats_online_time", agg.online_time);
     }
 
     /// Starts recording every protocol message into an in-memory log
@@ -448,6 +523,9 @@ impl Simulation {
             "cannot run backwards: {horizon} < {}",
             self.current_time
         );
+        let _span = self
+            .recorder
+            .span_with("sim.run_until", || format!("until={t}"));
         while let Some((now, event)) = self.engine.pop_before(horizon) {
             self.handle(now, event);
         }
@@ -487,8 +565,18 @@ impl Simulation {
         if self.nodes[v].needs_pseudonym(now) {
             let lifetime = self.lifetime_for(v);
             self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
+            self.recorder
+                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymMinted {
+                    lifetime,
+                });
         }
-        self.nodes[v].purge_expired(now);
+        let purged = self.nodes[v].purge_expired(now);
+        if purged > 0 {
+            self.recorder
+                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymsExpired {
+                    count: purged as u64,
+                });
+        }
         // Adaptive shuffle suppression: once the link set has been stable
         // for the configured number of periods, skip initiating (responses
         // still happen, and any change re-arms the node).
@@ -535,10 +623,20 @@ impl Simulation {
         let dest = target.resolve() as usize;
         debug_assert_ne!(dest, v, "nodes never link to themselves");
         let trusted_link = target.is_trusted();
+        self.recorder
+            .event(now.as_f64(), Some(v as u32), || Obs::ShuffleStart {
+                target: dest as u64,
+                trusted: trusted_link,
+            });
         if !self.churn[dest].is_online() {
             // Request sent into the anonymity service but never delivered.
             self.nodes[v].stats.requests_sent += 1;
             self.nodes[v].stats.dropped_requests += 1;
+            self.recorder
+                .event(now.as_f64(), Some(v as u32), || Obs::MessageDropped {
+                    exchange: 0,
+                    response: false,
+                });
             self.log_message(MessageRecord {
                 time: now,
                 from: v as u32,
@@ -581,6 +679,10 @@ impl Simulation {
         let (initiator, responder) = two_mut(&mut self.nodes, v, dest);
         protocol::execute_shuffle(initiator, responder, self.cfg.shuffle_length, now, &mut rng);
         self.node_rngs[v] = rng;
+        self.recorder
+            .event(now.as_f64(), Some(v as u32), || Obs::ShuffleComplete {
+                exchange: 0,
+            });
         self.log_message(MessageRecord {
             time: now,
             from: v as u32,
@@ -628,6 +730,11 @@ impl Simulation {
         };
         let exchange = self.next_exchange;
         self.next_exchange += 1;
+        self.recorder
+            .event(now.as_f64(), Some(v as u32), || Obs::ShuffleStart {
+                target: u64::from(dest),
+                trusted: target.is_trusted(),
+            });
         self.pending.insert(
             exchange,
             PendingExchange {
@@ -661,6 +768,11 @@ impl Simulation {
         self.nodes[v].stats.requests_sent += 1;
         if dropped {
             self.nodes[v].stats.dropped_requests += 1;
+            self.recorder
+                .event(now.as_f64(), Some(initiator), || Obs::MessageDropped {
+                    exchange,
+                    response: false,
+                });
         }
         self.log_message(MessageRecord {
             time: now,
@@ -719,12 +831,22 @@ impl Simulation {
             self.pending.remove(&exchange);
             return;
         }
+        self.recorder
+            .event(now.as_f64(), Some(initiator), || Obs::ShuffleTimeout {
+                exchange,
+                attempt: u64::from(attempt),
+            });
         if attempt < self.cfg.shuffle_retry_budget {
             self.pending
                 .get_mut(&exchange)
                 .expect("checked above")
                 .attempt += 1;
             self.nodes[v].stats.shuffle_retries += 1;
+            self.recorder
+                .event(now.as_f64(), Some(initiator), || Obs::ShuffleRetry {
+                    exchange,
+                    attempt: u64::from(attempt) + 1,
+                });
             self.transmit_request(now, exchange);
             return;
         }
@@ -733,9 +855,17 @@ impl Simulation {
         // of the social graph and are never evicted).
         let p = self.pending.remove(&exchange).expect("checked above");
         self.nodes[v].stats.shuffle_failures += 1;
+        self.recorder
+            .event(now.as_f64(), Some(initiator), || Obs::ShuffleFailure {
+                exchange,
+            });
         if let Some(id) = p.target_pseudonym {
             self.nodes[v].cache.remove(id);
             self.nodes[v].sampler.evict(id);
+            self.recorder
+                .event(now.as_f64(), Some(initiator), || Obs::PeerEvicted {
+                    pseudonym: id.0,
+                });
         }
     }
 
@@ -751,6 +881,11 @@ impl Simulation {
         else {
             return;
         };
+        self.recorder
+            .event(now.as_f64(), None, || Obs::EpisodeStart {
+                index: idx as u64,
+                kind: ep.effect.kind_str().to_string(),
+            });
         if let EpisodeEffect::Blackout { first, count } = ep.effect {
             let n = self.nodes.len();
             let lo = (first as usize).min(n);
@@ -821,6 +956,11 @@ impl Simulation {
             });
             if dropped {
                 self.nodes[responder].stats.dropped_requests += 1;
+                self.recorder
+                    .event(now.as_f64(), Some(delivery.to), || Obs::MessageDropped {
+                        exchange: delivery.exchange,
+                        response: true,
+                    });
                 return;
             }
             let latency = self
@@ -884,6 +1024,10 @@ impl Simulation {
             now,
             rng,
         );
+        self.recorder
+            .event(now.as_f64(), Some(delivery.to), || Obs::ShuffleComplete {
+                exchange: delivery.exchange,
+            });
     }
 
     fn handle_churn(&mut self, now: SimTime, v: usize, generation: u32) {
@@ -910,6 +1054,8 @@ impl Simulation {
     /// Bookkeeping for a node coming online: session tracking, adaptive
     /// lifetime observation, expired-state purge and pseudonym renewal.
     fn rejoin(&mut self, now: SimTime, v: usize) {
+        self.recorder
+            .event(now.as_f64(), Some(v as u32), || Obs::NodeOnline);
         self.online_since[v] = Some(now);
         if let Some(since) = self.offline_since[v].take() {
             // Feed the adaptive lifetime policy with the node's own
@@ -923,15 +1069,27 @@ impl Simulation {
         }
         // Rejoining is a state change: re-arm suppressed shuffling.
         self.stable_ticks[v] = 0;
-        self.nodes[v].purge_expired(now);
+        let purged = self.nodes[v].purge_expired(now);
+        if purged > 0 {
+            self.recorder
+                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymsExpired {
+                    count: purged as u64,
+                });
+        }
         if self.nodes[v].needs_pseudonym(now) {
             let lifetime = self.lifetime_for(v);
             self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
+            self.recorder
+                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymMinted {
+                    lifetime,
+                });
         }
     }
 
     /// Bookkeeping for a node going offline: close the online session.
     fn depart(&mut self, now: SimTime, v: usize) {
+        self.recorder
+            .event(now.as_f64(), Some(v as u32), || Obs::NodeOffline);
         self.offline_since[v] = Some(now);
         if let Some(since) = self.online_since[v].take() {
             self.nodes[v].stats.online_time += now.since(since);
@@ -972,6 +1130,10 @@ impl Simulation {
                 }
             }
             self.blackout_until[v] = Some(until);
+            self.recorder
+                .event(now.as_f64(), Some(v as u32), || Obs::BlackoutStart {
+                    until: until.as_f64(),
+                });
             self.churn_generation[v] = self.churn_generation[v].wrapping_add(1);
             if self.churn[v].is_online() {
                 self.depart(now, v);
@@ -994,6 +1156,8 @@ impl Simulation {
             return; // a newer blackout supersedes this recovery
         }
         self.blackout_until[v] = None;
+        self.recorder
+            .event(now.as_f64(), Some(v as u32), || Obs::BlackoutEnd);
         let next =
             self.churn[v].force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
         if let Some(delay) = next {

@@ -96,6 +96,35 @@ impl Histogram {
         below as f64 / self.total as f64
     }
 
+    /// Nearest-rank `q`-quantile: the smallest observed value whose
+    /// cumulative count reaches a fraction `q` of the total.
+    ///
+    /// Defined for every histogram — it never panics and never produces
+    /// NaN. Returns `None` only when the histogram is empty; a
+    /// single-sample histogram returns that sample for every `q`. `q` is
+    /// clamped to `[0, 1]` (a NaN `q` is treated as `0`, yielding the
+    /// minimum).
+    pub fn quantile(&self, q: f64) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (v, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if c > 0 && cum >= rank {
+                return Some(v);
+            }
+        }
+        self.max_value()
+    }
+
+    /// Median observation (`quantile(0.5)`); `None` when empty.
+    pub fn median(&self) -> Option<usize> {
+        self.quantile(0.5)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.bins.len() > self.bins.len() {
@@ -246,6 +275,43 @@ mod tests {
         let h: Histogram = [0, 4].into_iter().collect();
         let pairs: Vec<_> = h.iter().collect();
         assert_eq!(pairs, vec![(0, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn quantile_on_empty_is_none_not_panic() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.median(), None);
+    }
+
+    #[test]
+    fn quantile_on_single_sample_returns_the_sample() {
+        let h: Histogram = [7].into_iter().collect();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7));
+        }
+        assert_eq!(h.median(), Some(7));
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let h: Histogram = [1, 2, 3, 4, 5].into_iter().collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.2), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.9), Some(5));
+        assert_eq!(h.quantile(1.0), Some(5));
+    }
+
+    #[test]
+    fn quantile_handles_degenerate_q() {
+        let h: Histogram = [2, 9].into_iter().collect();
+        // Out-of-range and NaN q are clamped, never panic or yield NaN.
+        assert_eq!(h.quantile(-3.0), Some(2));
+        assert_eq!(h.quantile(42.0), Some(9));
+        assert_eq!(h.quantile(f64::NAN), Some(2));
     }
 
     #[test]

@@ -221,6 +221,24 @@ impl Summary {
     }
 }
 
+/// Total, non-panicking quantile of an unsorted sample.
+///
+/// Sorts a copy of `samples` (NaN entries are discarded), clamps `q` to
+/// `[0, 1]` (NaN `q` behaves as `0`), and linearly interpolates. Returns
+/// `None` only when no finite-comparable sample remains; a single-sample
+/// slice returns that sample for every `q`. This is the safe counterpart
+/// to [`quantile_sorted`] for callers that cannot guarantee a clean,
+/// non-empty input.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    Some(quantile_sorted(&sorted, q))
+}
+
 /// Linearly interpolated quantile of an already sorted, non-empty slice.
 ///
 /// `q` must lie in `[0, 1]`.
@@ -321,6 +339,20 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_panics() {
         quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn safe_quantile_is_total() {
+        // Empty and all-NaN inputs yield None instead of panicking.
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+        // A single sample is every quantile.
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(quantile(&[7.5], q), Some(7.5));
+        }
+        // NaN samples are discarded, NaN/out-of-range q clamped.
+        assert_eq!(quantile(&[4.0, f64::NAN, 2.0], 1.0), Some(4.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.5), Some(2.5));
     }
 
     #[test]

@@ -208,6 +208,29 @@ mod tests {
     }
 
     #[test]
+    fn resample_single_sample_is_defined() {
+        // An on-grid single point resamples to itself.
+        let ts: TimeSeries = [(2.0, 5.0)].into_iter().collect();
+        assert_eq!(ts.resample(1.0).as_slice(), &[(2.0, 5.0)]);
+        // An off-grid single point has no grid point inside [t0, t0]; the
+        // result is empty rather than a panic or an extrapolated value.
+        let off: TimeSeries = [(0.5, 5.0)].into_iter().collect();
+        assert!(off.resample(1.0).is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_sample_aggregates_are_defined() {
+        let empty = TimeSeries::new();
+        assert_eq!(empty.window_mean(0.0, 10.0), None);
+        assert_eq!(empty.tail_mean(1), None);
+        assert_eq!(empty.settling_time(0.5), None);
+        let one: TimeSeries = [(1.0, 2.0)].into_iter().collect();
+        assert_eq!(one.window_mean(0.0, 10.0), Some(2.0));
+        assert_eq!(one.tail_mean(1), Some(2.0));
+        assert_eq!(one.settling_time(5.0), Some(1.0));
+    }
+
+    #[test]
     fn settling_time_requires_staying_below() {
         let ts: TimeSeries = [
             (0.0, 1.0),

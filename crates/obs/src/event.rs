@@ -1,0 +1,541 @@
+//! Typed trace events and the JSONL schema validator.
+//!
+//! Every event the simulator can emit is a variant of [`EventKind`]; an
+//! [`TraceEvent`] wraps a kind with its simulated timestamp, the emitting
+//! node (when there is one) and a `(tid, seq)` pair that identifies the
+//! recording thread shard and the per-shard emission order.
+//!
+//! The JSONL export writes one serialized [`TraceEvent`] per line. The
+//! [`validate_events_jsonl`] function checks such a file against the
+//! schema table ([`schema`]) without needing the original Rust types, so
+//! CI can verify an emitted trace from the outside.
+
+use serde::{Deserialize, Serialize};
+
+/// What happened. Serialized externally tagged: a unit variant becomes the
+/// bare variant-name string, a struct variant a single-key map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A node initiated a shuffle with a partner drawn from its cache
+    /// (`trusted = false`) or its trusted ring (`trusted = true`).
+    ShuffleStart {
+        /// Resolved node id of the shuffle partner.
+        target: u64,
+        /// Whether the partner came from the trusted ring rather than the cache.
+        trusted: bool,
+    },
+    /// A shuffle exchange completed (response merged at the initiator).
+    ShuffleComplete {
+        /// Exchange id of the completed request/response pair.
+        exchange: u64,
+    },
+    /// An in-flight shuffle request timed out before its response arrived.
+    ShuffleTimeout {
+        /// Exchange id of the request that timed out.
+        exchange: u64,
+        /// Attempt number that timed out (0-based).
+        attempt: u64,
+    },
+    /// A timed-out shuffle request was retransmitted.
+    ShuffleRetry {
+        /// Exchange id being retried.
+        exchange: u64,
+        /// The new attempt number (0-based).
+        attempt: u64,
+    },
+    /// A shuffle exchange exhausted its retry budget and was abandoned.
+    ShuffleFailure {
+        /// Exchange id that failed.
+        exchange: u64,
+    },
+    /// An unresponsive partner was evicted from the cache and sampler
+    /// after a failed exchange (Cyclon-style replacement).
+    PeerEvicted {
+        /// Pseudonym id of the evicted partner.
+        pseudonym: u64,
+    },
+    /// The fault layer dropped a message in flight.
+    MessageDropped {
+        /// Exchange id the message belonged to.
+        exchange: u64,
+        /// `true` for a shuffle response, `false` for a request.
+        response: bool,
+    },
+    /// A node minted a fresh pseudonym (birth).
+    PseudonymMinted {
+        /// Configured lifetime in shuffle periods; `None` = immortal.
+        lifetime: Option<f64>,
+    },
+    /// Expired pseudonyms were purged from a node's cache.
+    PseudonymsExpired {
+        /// How many cache entries were dropped.
+        count: u64,
+    },
+    /// A node came online (churn up-transition or blackout recovery).
+    NodeOnline,
+    /// A node went offline (churn down-transition or fault episode).
+    NodeOffline,
+    /// A regional blackout forced this node offline until `until`.
+    BlackoutStart {
+        /// Simulated time at which the blackout lifts.
+        until: f64,
+    },
+    /// A blackout lifted for this node.
+    BlackoutEnd,
+    /// A scripted fault episode began.
+    EpisodeStart {
+        /// Index of the episode in the fault schedule.
+        index: u64,
+        /// Effect kind (`"blackout"`, `"partition"`, `"crash"`, ...).
+        kind: String,
+    },
+    /// A broadcast message was published by its origin.
+    BroadcastPublish {
+        /// Message id.
+        message: u64,
+    },
+    /// A broadcast message reached a new node.
+    BroadcastDeliver {
+        /// Message id.
+        message: u64,
+        /// Hop count at delivery (0 at the publisher).
+        hops: u64,
+    },
+}
+
+/// Number of [`EventKind`] variants; the range of [`EventKind::index`].
+pub(crate) const KIND_COUNT: usize = 16;
+
+/// Counter name per kind index (aligned with [`EventKind::index`]); `None`
+/// for kinds that do not feed a counter. Pinned against
+/// [`EventKind::counter`] by a unit test.
+pub(crate) const COUNTER_NAMES: [Option<&str>; KIND_COUNT] = [
+    Some("sim.shuffles_started"),
+    Some("sim.shuffles_completed"),
+    Some("sim.shuffle_timeouts"),
+    Some("sim.shuffle_retries"),
+    Some("sim.shuffle_failures"),
+    Some("sim.evictions"),
+    Some("sim.messages_dropped"),
+    Some("sim.pseudonyms_minted"),
+    Some("sim.pseudonyms_expired"),
+    None, // NodeOnline
+    None, // NodeOffline
+    Some("sim.blackouts"),
+    None, // BlackoutEnd
+    None, // EpisodeStart
+    Some("broadcast.published"),
+    Some("broadcast.delivered"),
+];
+
+impl EventKind {
+    /// Dense variant index, in [`schema`] order.
+    pub(crate) fn index(&self) -> usize {
+        match self {
+            EventKind::ShuffleStart { .. } => 0,
+            EventKind::ShuffleComplete { .. } => 1,
+            EventKind::ShuffleTimeout { .. } => 2,
+            EventKind::ShuffleRetry { .. } => 3,
+            EventKind::ShuffleFailure { .. } => 4,
+            EventKind::PeerEvicted { .. } => 5,
+            EventKind::MessageDropped { .. } => 6,
+            EventKind::PseudonymMinted { .. } => 7,
+            EventKind::PseudonymsExpired { .. } => 8,
+            EventKind::NodeOnline => 9,
+            EventKind::NodeOffline => 10,
+            EventKind::BlackoutStart { .. } => 11,
+            EventKind::BlackoutEnd => 12,
+            EventKind::EpisodeStart { .. } => 13,
+            EventKind::BroadcastPublish { .. } => 14,
+            EventKind::BroadcastDeliver { .. } => 15,
+        }
+    }
+
+    /// The counter this event feeds, as `(name, increment)`, or `None`.
+    ///
+    /// Counters derive from the event stream at emission time — the
+    /// recorder accumulates them per kind when the event is recorded, so
+    /// the metrics can never disagree with the trace, and flight-recorder
+    /// ring eviction does not un-count.
+    pub fn counter(&self) -> Option<(&'static str, u64)> {
+        let delta = match self {
+            EventKind::PseudonymsExpired { count } => *count,
+            _ => 1,
+        };
+        COUNTER_NAMES[self.index()].map(|name| (name, delta))
+    }
+
+    /// Stable variant name, matching the serialized tag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ShuffleStart { .. } => "ShuffleStart",
+            EventKind::ShuffleComplete { .. } => "ShuffleComplete",
+            EventKind::ShuffleTimeout { .. } => "ShuffleTimeout",
+            EventKind::ShuffleRetry { .. } => "ShuffleRetry",
+            EventKind::ShuffleFailure { .. } => "ShuffleFailure",
+            EventKind::PeerEvicted { .. } => "PeerEvicted",
+            EventKind::MessageDropped { .. } => "MessageDropped",
+            EventKind::PseudonymMinted { .. } => "PseudonymMinted",
+            EventKind::PseudonymsExpired { .. } => "PseudonymsExpired",
+            EventKind::NodeOnline => "NodeOnline",
+            EventKind::NodeOffline => "NodeOffline",
+            EventKind::BlackoutStart { .. } => "BlackoutStart",
+            EventKind::BlackoutEnd => "BlackoutEnd",
+            EventKind::EpisodeStart { .. } => "EpisodeStart",
+            EventKind::BroadcastPublish { .. } => "BroadcastPublish",
+            EventKind::BroadcastDeliver { .. } => "BroadcastDeliver",
+        }
+    }
+}
+
+/// One recorded event: simulated time, emitting node, shard/order id and
+/// the typed payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time in shuffle periods.
+    pub t: f64,
+    /// Recorder shard (thread) id that captured the event.
+    pub tid: u32,
+    /// Emission order within the shard (monotone per `tid`).
+    pub seq: u64,
+    /// Node the event concerns; `None` for global events.
+    pub node: Option<u32>,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+/// Field types the schema can require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// Non-negative integer.
+    U64,
+    /// Any JSON number.
+    F64,
+    /// Boolean.
+    Bool,
+    /// String.
+    Str,
+    /// Number or `null`.
+    NullableF64,
+}
+
+/// The event schema: variant name → required fields and their types.
+///
+/// Unit variants have an empty field list and serialize as a bare string.
+pub fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldType)])] {
+    use FieldType::*;
+    &[
+        ("ShuffleStart", &[("target", U64), ("trusted", Bool)]),
+        ("ShuffleComplete", &[("exchange", U64)]),
+        ("ShuffleTimeout", &[("exchange", U64), ("attempt", U64)]),
+        ("ShuffleRetry", &[("exchange", U64), ("attempt", U64)]),
+        ("ShuffleFailure", &[("exchange", U64)]),
+        ("PeerEvicted", &[("pseudonym", U64)]),
+        ("MessageDropped", &[("exchange", U64), ("response", Bool)]),
+        ("PseudonymMinted", &[("lifetime", NullableF64)]),
+        ("PseudonymsExpired", &[("count", U64)]),
+        ("NodeOnline", &[]),
+        ("NodeOffline", &[]),
+        ("BlackoutStart", &[("until", F64)]),
+        ("BlackoutEnd", &[]),
+        ("EpisodeStart", &[("index", U64), ("kind", Str)]),
+        ("BroadcastPublish", &[("message", U64)]),
+        ("BroadcastDeliver", &[("message", U64), ("hops", U64)]),
+    ]
+}
+
+/// Human-readable schema listing (one line per event kind), for
+/// `veil obs schema` and the documentation.
+pub fn schema_text() -> String {
+    let mut out = String::new();
+    out.push_str("TraceEvent: {t: f64, tid: u64, seq: u64, node: u64|null, kind: <event>}\n");
+    for (name, fields) in schema() {
+        if fields.is_empty() {
+            out.push_str(&format!("  {name}\n"));
+        } else {
+            let fs: Vec<String> = fields
+                .iter()
+                .map(|(f, ty)| {
+                    let ty = match ty {
+                        FieldType::U64 => "u64",
+                        FieldType::F64 => "f64",
+                        FieldType::Bool => "bool",
+                        FieldType::Str => "string",
+                        FieldType::NullableF64 => "f64|null",
+                    };
+                    format!("{f}: {ty}")
+                })
+                .collect();
+            out.push_str(&format!("  {name} {{{}}}\n", fs.join(", ")));
+        }
+    }
+    out
+}
+
+fn check_field(value: &serde_json::Value, ty: FieldType) -> Result<(), String> {
+    let ok = match ty {
+        FieldType::U64 => value.as_u64().is_some(),
+        FieldType::F64 => value.as_f64().is_some(),
+        FieldType::Bool => value.as_bool().is_some(),
+        FieldType::Str => value.as_str().is_some(),
+        FieldType::NullableF64 => value.is_null() || value.as_f64().is_some(),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("wrong type, expected {ty:?}"))
+    }
+}
+
+fn validate_kind(kind: &serde_json::Value) -> Result<(), String> {
+    // Unit variant: bare string tag.
+    if let Some(tag) = kind.as_str() {
+        return match schema().iter().find(|(name, _)| *name == tag) {
+            Some((_, [])) => Ok(()),
+            Some(_) => Err(format!("kind {tag} requires a payload map")),
+            None => Err(format!("unknown event kind {tag:?}")),
+        };
+    }
+    // Struct variant: single-key map.
+    let entries = kind
+        .as_map()
+        .ok_or_else(|| "kind must be a string or a single-key map".to_string())?;
+    if entries.len() != 1 {
+        return Err(format!(
+            "kind map must have exactly 1 key, got {}",
+            entries.len()
+        ));
+    }
+    let (tag, payload) = &entries[0];
+    let (_, fields) = schema()
+        .iter()
+        .find(|(name, _)| name == tag)
+        .ok_or_else(|| format!("unknown event kind {tag:?}"))?;
+    let payload_map = payload
+        .as_map()
+        .ok_or_else(|| format!("payload of {tag} must be a map"))?;
+    for (field, ty) in fields.iter() {
+        let v = payload
+            .get(field)
+            .ok_or_else(|| format!("{tag} is missing field {field:?}"))?;
+        check_field(v, *ty).map_err(|e| format!("{tag}.{field}: {e}"))?;
+    }
+    for (k, _) in payload_map {
+        if !fields.iter().any(|(f, _)| f == k) {
+            return Err(format!("{tag} has unknown field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates one parsed JSONL event object against the schema.
+pub fn validate_event_value(v: &serde_json::Value) -> Result<(), String> {
+    let t = v.get("t").ok_or("missing field \"t\"")?;
+    let t = t.as_f64().ok_or("\"t\" must be a number")?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(format!("\"t\" must be finite and non-negative, got {t}"));
+    }
+    v.get("tid")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("missing or non-integer field \"tid\"")?;
+    v.get("seq")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or("missing or non-integer field \"seq\"")?;
+    let node = v.get("node").ok_or("missing field \"node\"")?;
+    if !node.is_null() && node.as_u64().is_none() {
+        return Err("\"node\" must be an integer or null".to_string());
+    }
+    let kind = v.get("kind").ok_or("missing field \"kind\"")?;
+    validate_kind(kind)
+}
+
+/// Validates a whole JSONL trace (one event object per non-empty line).
+///
+/// Returns the number of validated events, or the first error annotated
+/// with its 1-based line number.
+pub fn validate_events_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        validate_event_value(&v).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t: 1.5,
+            tid: 0,
+            seq: 3,
+            node: Some(7),
+            kind,
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips_and_validates() {
+        let kinds = vec![
+            EventKind::ShuffleStart {
+                target: 9,
+                trusted: false,
+            },
+            EventKind::ShuffleComplete { exchange: 1 },
+            EventKind::ShuffleTimeout {
+                exchange: 1,
+                attempt: 0,
+            },
+            EventKind::ShuffleRetry {
+                exchange: 1,
+                attempt: 1,
+            },
+            EventKind::ShuffleFailure { exchange: 1 },
+            EventKind::PeerEvicted { pseudonym: 4 },
+            EventKind::MessageDropped {
+                exchange: 2,
+                response: true,
+            },
+            EventKind::PseudonymMinted {
+                lifetime: Some(90.0),
+            },
+            EventKind::PseudonymMinted { lifetime: None },
+            EventKind::PseudonymsExpired { count: 3 },
+            EventKind::NodeOnline,
+            EventKind::NodeOffline,
+            EventKind::BlackoutStart { until: 12.0 },
+            EventKind::BlackoutEnd,
+            EventKind::EpisodeStart {
+                index: 0,
+                kind: "partition".to_string(),
+            },
+            EventKind::BroadcastPublish { message: 5 },
+            EventKind::BroadcastDeliver {
+                message: 5,
+                hops: 2,
+            },
+        ];
+        assert_eq!(kinds.len(), schema().len() + 1); // PseudonymMinted twice
+        for kind in kinds {
+            let ev = event(kind.clone());
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev);
+            let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+            validate_event_value(&value).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        }
+    }
+
+    #[test]
+    fn kind_index_and_counters_align_with_schema() {
+        let kinds = [
+            EventKind::ShuffleStart {
+                target: 0,
+                trusted: false,
+            },
+            EventKind::ShuffleComplete { exchange: 0 },
+            EventKind::ShuffleTimeout {
+                exchange: 0,
+                attempt: 0,
+            },
+            EventKind::ShuffleRetry {
+                exchange: 0,
+                attempt: 0,
+            },
+            EventKind::ShuffleFailure { exchange: 0 },
+            EventKind::PeerEvicted { pseudonym: 0 },
+            EventKind::MessageDropped {
+                exchange: 0,
+                response: false,
+            },
+            EventKind::PseudonymMinted { lifetime: None },
+            EventKind::PseudonymsExpired { count: 1 },
+            EventKind::NodeOnline,
+            EventKind::NodeOffline,
+            EventKind::BlackoutStart { until: 0.0 },
+            EventKind::BlackoutEnd,
+            EventKind::EpisodeStart {
+                index: 0,
+                kind: String::new(),
+            },
+            EventKind::BroadcastPublish { message: 0 },
+            EventKind::BroadcastDeliver {
+                message: 0,
+                hops: 0,
+            },
+        ];
+        assert_eq!(kinds.len(), KIND_COUNT);
+        assert_eq!(schema().len(), KIND_COUNT);
+        for (i, kind) in kinds.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{} index", kind.name());
+            assert_eq!(schema()[i].0, kind.name(), "schema order");
+            assert_eq!(
+                kind.counter().map(|(name, _)| name),
+                COUNTER_NAMES[i],
+                "{} counter name",
+                kind.name()
+            );
+        }
+        // Purge events add the purge size, not 1.
+        assert_eq!(
+            EventKind::PseudonymsExpired { count: 4 }.counter(),
+            Some(("sim.pseudonyms_expired", 4))
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        // Not JSON at all.
+        assert!(validate_events_jsonl("not json").is_err());
+        // Missing required envelope field.
+        assert!(validate_events_jsonl(r#"{"t":0,"tid":0,"seq":0,"kind":"NodeOnline"}"#).is_err());
+        // Unknown kind.
+        assert!(
+            validate_events_jsonl(r#"{"t":0,"tid":0,"seq":0,"node":null,"kind":"Nonsense"}"#)
+                .is_err()
+        );
+        // Wrong payload field type.
+        assert!(validate_events_jsonl(
+            r#"{"t":0,"tid":0,"seq":0,"node":1,"kind":{"ShuffleStart":{"target":"x","trusted":true}}}"#
+        )
+        .is_err());
+        // Missing payload field.
+        assert!(validate_events_jsonl(
+            r#"{"t":0,"tid":0,"seq":0,"node":1,"kind":{"ShuffleStart":{"target":3}}}"#
+        )
+        .is_err());
+        // Unknown extra payload field.
+        assert!(validate_events_jsonl(
+            r#"{"t":0,"tid":0,"seq":0,"node":1,"kind":{"ShuffleFailure":{"exchange":3,"extra":1}}}"#
+        )
+        .is_err());
+        // Negative time.
+        assert!(validate_events_jsonl(
+            r#"{"t":-1,"tid":0,"seq":0,"node":null,"kind":"NodeOnline"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validator_counts_events_and_skips_blank_lines() {
+        let text = "\n{\"t\":0,\"tid\":0,\"seq\":0,\"node\":null,\"kind\":\"NodeOnline\"}\n\n{\"t\":1,\"tid\":0,\"seq\":1,\"node\":2,\"kind\":\"NodeOffline\"}\n";
+        assert_eq!(validate_events_jsonl(text), Ok(2));
+        assert_eq!(validate_events_jsonl(""), Ok(0));
+    }
+
+    #[test]
+    fn schema_text_lists_every_kind() {
+        let text = schema_text();
+        for (name, _) in schema() {
+            assert!(text.contains(name), "{name} missing from schema text");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Zero-overhead-when-off observability for the veil overlay simulator.
+//!
+//! Three facilities share one handle, the [`Recorder`]:
+//!
+//! * **Structured event tracing** — typed [`TraceEvent`]s (shuffle
+//!   start/complete/timeout/retry/eviction, pseudonym birth/expiry, churn
+//!   transitions, fault episodes, broadcast hops) captured into per-thread
+//!   buffers, either unbounded (full JSONL sink) or as a bounded
+//!   flight-recorder ring. Export as JSONL; validate with
+//!   [`validate_events_jsonl`].
+//! * **Metrics** — named counters, gauges and `veil-metrics` histograms
+//!   ([`MetricsRegistry`]) with Prometheus text and JSON export.
+//! * **Profiling spans** — RAII [`Span`]s measuring wall-clock time,
+//!   exportable as Chrome `trace_event` JSON for `about:tracing`/Perfetto.
+//!
+//! # Zero overhead when off
+//!
+//! The default recorder is disabled: every recording call is one branch on
+//! an `Option` and event payloads / span details are taken as closures, so
+//! nothing is built or allocated. `bench_obs` in `veil-bench` checks the
+//! no-op path costs nothing measurable.
+//!
+//! # RNG isolation
+//!
+//! The recorder never draws randomness: simulations behave byte-identically
+//! with tracing on or off (pinned by the `obs_equivalence` test suite).
+//!
+//! # Example
+//!
+//! ```rust,ignore
+//! let rec = veil_obs::Recorder::full();
+//! {
+//!     let _phase = rec.span("warmup");
+//!     rec.event(0.0, Some(3), || veil_obs::EventKind::NodeOnline);
+//!     rec.count("sim.churn_transitions", 1);
+//! }
+//! std::fs::write("trace.jsonl", rec.events_jsonl()).unwrap();
+//! std::fs::write("chrome.json", rec.chrome_trace()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use event::{
+    schema, schema_text, validate_event_value, validate_events_jsonl, EventKind, TraceEvent,
+};
+pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{ObsConfig, Recorder, Span};
+pub use span::{chrome_trace_json, SpanRecord};
+
+use std::sync::RwLock;
+
+static GLOBAL: RwLock<Option<Recorder>> = RwLock::new(None);
+
+/// The process-global recorder (disabled unless [`install_global`] was
+/// called). Cheap to call: clones an `Option<Arc>`.
+///
+/// Library code that has no recorder threaded to it (experiment sweeps,
+/// `veil-par` workers) consults this so a CLI- or bench-installed recorder
+/// sees the whole run.
+pub fn global() -> Recorder {
+    GLOBAL
+        .read()
+        .map(|guard| guard.clone().unwrap_or_default())
+        .unwrap_or_default()
+}
+
+/// Installs `recorder` as the process-global recorder, returning the
+/// previous one. Pass [`Recorder::disabled`] to switch global recording
+/// back off.
+pub fn install_global(recorder: Recorder) -> Recorder {
+    match GLOBAL.write() {
+        Ok(mut guard) => guard.replace(recorder).unwrap_or_default(),
+        Err(_) => Recorder::disabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_defaults_to_disabled_and_round_trips() {
+        // Note: other tests in this binary do not touch the global, so the
+        // install/uninstall below cannot race with them.
+        assert!(!global().is_enabled());
+        let prev = install_global(Recorder::full());
+        assert!(!prev.is_enabled());
+        assert!(global().is_enabled());
+        global().count("g", 2);
+        let installed = install_global(prev);
+        assert_eq!(installed.metrics().counter("g"), 2);
+        assert!(!global().is_enabled());
+    }
+}

@@ -1,0 +1,590 @@
+//! The [`Recorder`]: a cheap handle that is either disabled (every
+//! operation is a single branch on `None`) or backed by per-thread shards.
+//!
+//! # Lock-free-per-thread sharding
+//!
+//! Each recording thread lazily registers its own shard in a thread-local
+//! registry keyed by the recorder's unique id. A shard *is* protected by a
+//! `Mutex`, but the mutex is uncontended by construction: only the owning
+//! thread ever records into it, and other threads touch it only at export
+//! time, after the workers have finished. This gives the practical
+//! behavior of thread-local buffers without `unsafe` (the workspace
+//! forbids it) and without a hard dependency on thread lifetimes.
+//!
+//! # RNG isolation
+//!
+//! The recorder never draws randomness and never consumes an RNG stream;
+//! enabling it cannot perturb any simulation. This is the invariant the
+//! `obs_equivalence` integration tests pin.
+
+use crate::event::{EventKind, TraceEvent, COUNTER_NAMES, KIND_COUNT};
+use crate::metrics::MetricsRegistry;
+use crate::span::{chrome_trace_json, SpanRecord};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Observability configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Maximum trace events retained *per recording thread*; older events
+    /// are evicted ring-buffer style. `None` (the default) keeps
+    /// everything (full JSONL sink mode).
+    pub ring_capacity: Option<usize>,
+}
+
+impl ObsConfig {
+    /// Keep every event (full-sink mode).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Keep only the last `capacity` events per recording thread
+    /// (flight-recorder mode).
+    pub fn flight_recorder(capacity: usize) -> Self {
+        Self {
+            ring_capacity: Some(capacity),
+        }
+    }
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+#[derive(Default)]
+struct ShardState {
+    label: Option<String>,
+    events: VecDeque<TraceEvent>,
+    seen: u64,
+    next_seq: u64,
+    spans: Vec<SpanRecord>,
+    metrics: MetricsRegistry,
+    /// Counters auto-derived from recorded events, accumulated per
+    /// [`EventKind::index`] so the hot path never hashes a counter name.
+    /// Folded into `metrics` under [`COUNTER_NAMES`] at export time.
+    kind_counts: [u64; KIND_COUNT],
+}
+
+struct Shard {
+    tid: u32,
+    state: Mutex<ShardState>,
+}
+
+struct Inner {
+    id: u64,
+    epoch: Instant,
+    ring_capacity: Option<usize>,
+    next_tid: AtomicU32,
+    shards: Mutex<Vec<Arc<Shard>>>,
+    dropped: AtomicU64,
+}
+
+thread_local! {
+    /// Per-thread shard cache: recorder id → shard. Holds a strong handle
+    /// so the recording hot path pays no atomics (no `Weak::upgrade`, no
+    /// `Arc` clone); the matching registry entry in [`Inner::shards`] is
+    /// the export-side handle, so once the recorder itself is dropped the
+    /// cached entry is the last owner (`strong_count == 1`), which is how
+    /// stale entries are recognized and pruned.
+    static SHARDS: RefCell<Vec<(u64, Arc<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Inner {
+    /// Runs `f` with the calling thread's shard for this recorder,
+    /// creating and registering the shard on first use.
+    fn with_shard<R>(&self, f: impl FnOnce(&Arc<Shard>) -> R) -> R {
+        SHARDS.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            if let Some((_, shard)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return f(shard);
+            }
+            let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
+            // Preallocate the event buffer: growth-by-doubling reallocs on
+            // the recording hot path are a measurable fraction of the
+            // tracing overhead budget.
+            let capacity = match self.ring_capacity {
+                Some(cap) => cap.min(65_536) + 1,
+                None => 4_096,
+            };
+            let shard = Arc::new(Shard {
+                tid,
+                state: Mutex::new(ShardState {
+                    events: VecDeque::with_capacity(capacity),
+                    ..ShardState::default()
+                }),
+            });
+            self.shards
+                .lock()
+                .expect("shard registry")
+                .push(Arc::clone(&shard));
+            // Drop stale entries (dead recorders) while we are here.
+            cache.retain(|(id, shard)| *id != self.id && Arc::strong_count(shard) > 1);
+            cache.push((self.id, shard));
+            f(&cache.last().expect("just pushed").1)
+        })
+    }
+
+    /// The calling thread's shard as an owned handle (for spans, which
+    /// outlive the borrow).
+    fn shard(&self) -> Arc<Shard> {
+        self.with_shard(Arc::clone)
+    }
+
+    fn shards_by_tid(&self) -> Vec<Arc<Shard>> {
+        let mut shards = self.shards.lock().expect("shard registry").clone();
+        shards.sort_by_key(|s| s.tid);
+        shards
+    }
+}
+
+/// A handle to the observability subsystem.
+///
+/// Cloning is cheap (an `Option<Arc>`); the disabled recorder —
+/// [`Recorder::disabled`], also the `Default` — reduces every recording
+/// call to one branch and allocates nothing, which is what makes "off"
+/// free. All recording methods take event payloads and span arguments as
+/// closures so the cost of *building* them is only paid when enabled.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "Recorder(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Recorder(id={}, ring={:?})",
+                inner.id, inner.ring_capacity
+            ),
+        }
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled recorder with the given configuration.
+    pub fn new(config: ObsConfig) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                ring_capacity: config.ring_capacity,
+                next_tid: AtomicU32::new(0),
+                shards: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// An enabled recorder that keeps every event.
+    pub fn full() -> Self {
+        Self::new(ObsConfig::full())
+    }
+
+    /// An enabled recorder keeping the last `capacity` events per thread.
+    pub fn flight_recorder(capacity: usize) -> Self {
+        Self::new(ObsConfig::flight_recorder(capacity))
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a trace event at simulated time `t`. The payload closure
+    /// runs only when the recorder is enabled.
+    pub fn event(&self, t: f64, node: Option<u32>, kind: impl FnOnce() -> EventKind) {
+        let Some(inner) = &self.inner else { return };
+        let kind = kind();
+        inner.with_shard(|shard| {
+            let mut st = shard.state.lock().expect("shard state");
+            if let Some((_, delta)) = kind.counter() {
+                st.kind_counts[kind.index()] += delta;
+            }
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.seen += 1;
+            st.events.push_back(TraceEvent {
+                t,
+                tid: shard.tid,
+                seq,
+                node,
+                kind,
+            });
+            if let Some(cap) = inner.ring_capacity {
+                while st.events.len() > cap {
+                    st.events.pop_front();
+                    inner.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+
+    /// Adds `delta` to a named counter. Counters paired with trace events
+    /// need no explicit call — [`Recorder::event`] accumulates those
+    /// automatically (see [`EventKind::counter`]).
+    pub fn count(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.with_shard(|shard| {
+            let mut st = shard.state.lock().expect("shard state");
+            st.metrics.count(name, delta);
+        });
+    }
+
+    /// Sets a named gauge.
+    pub fn gauge(&self, name: &str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.with_shard(|shard| {
+            let mut st = shard.state.lock().expect("shard state");
+            st.metrics.gauge(name, value);
+        });
+    }
+
+    /// Records one observation into a named histogram.
+    pub fn observe(&self, name: &str, value: usize) {
+        let Some(inner) = &self.inner else { return };
+        inner.with_shard(|shard| {
+            let mut st = shard.state.lock().expect("shard state");
+            st.metrics.observe(name, value);
+        });
+    }
+
+    /// Names the calling thread's shard (shown as the Chrome-trace thread
+    /// name). The closure runs only when enabled.
+    pub fn label_thread(&self, label: impl FnOnce() -> String) {
+        let Some(inner) = &self.inner else { return };
+        inner.with_shard(|shard| {
+            let mut st = shard.state.lock().expect("shard state");
+            st.label = Some(label());
+        });
+    }
+
+    /// Opens a profiling span; it closes (and records) when dropped.
+    #[must_use = "a span measures until it is dropped"]
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_inner(name, None)
+    }
+
+    /// Opens a profiling span with a lazily built detail string.
+    #[must_use = "a span measures until it is dropped"]
+    pub fn span_with(&self, name: &'static str, args: impl FnOnce() -> String) -> Span {
+        let args = self.inner.is_some().then(args);
+        self.span_inner(name, args)
+    }
+
+    fn span_inner(&self, name: &'static str, args: Option<String>) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span(None);
+        };
+        Span(Some(ActiveSpan {
+            shard: inner.shard(),
+            epoch: inner.epoch,
+            name,
+            args,
+            start: Instant::now(),
+        }))
+    }
+
+    // --- export -----------------------------------------------------------
+
+    /// All retained events, merged across shards and sorted by
+    /// `(t, tid, seq)`. Simulated times are never NaN, so the order is
+    /// total; with a single recording thread it is exactly emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for shard in inner.shards_by_tid() {
+            let st = shard.state.lock().expect("shard state");
+            events.extend(st.events.iter().cloned());
+        }
+        events.sort_by(|a, b| {
+            a.t.partial_cmp(&b.t)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.tid.cmp(&b.tid))
+                .then(a.seq.cmp(&b.seq))
+        });
+        events
+    }
+
+    /// The retained events as JSONL (one event object per line).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&serde_json::to_string(&ev).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// All completed spans, sorted by `(start_us, tid)`.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for shard in inner.shards_by_tid() {
+            let st = shard.state.lock().expect("shard state");
+            spans.extend(st.spans.iter().cloned());
+        }
+        spans.sort_by(|a, b| a.start_us.cmp(&b.start_us).then(a.tid.cmp(&b.tid)));
+        spans
+    }
+
+    /// Shard id → display label (defaulting to `shard-<tid>`).
+    pub fn thread_labels(&self) -> Vec<(u32, String)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        inner
+            .shards_by_tid()
+            .iter()
+            .map(|shard| {
+                let st = shard.state.lock().expect("shard state");
+                let label = st
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("shard-{}", shard.tid));
+                (shard.tid, label)
+            })
+            .collect()
+    }
+
+    /// The spans as Chrome `trace_event` JSON (loads in `about:tracing`
+    /// and Perfetto).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.spans(), &self.thread_labels())
+    }
+
+    /// The metrics, merged across shards in thread-id order.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let Some(inner) = &self.inner else {
+            return MetricsRegistry::new();
+        };
+        let mut merged = MetricsRegistry::new();
+        for shard in inner.shards_by_tid() {
+            let st = shard.state.lock().expect("shard state");
+            merged.merge(&st.metrics);
+            for (i, &total) in st.kind_counts.iter().enumerate() {
+                if total > 0 {
+                    if let Some(name) = COUNTER_NAMES[i] {
+                        merged.count(name, total);
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// The merged metrics as pretty JSON.
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics().snapshot()).expect("metrics serialize")
+    }
+
+    /// The merged metrics in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.metrics().prometheus_text()
+    }
+
+    /// Total events emitted (including any evicted from rings).
+    pub fn events_seen(&self) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        inner
+            .shards_by_tid()
+            .iter()
+            .map(|s| s.state.lock().expect("shard state").seen)
+            .sum()
+    }
+
+    /// Events evicted by flight-recorder rings (0 in full-sink mode).
+    pub fn events_dropped(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ActiveSpan {
+    shard: Arc<Shard>,
+    epoch: Instant,
+    name: &'static str,
+    args: Option<String>,
+    start: Instant,
+}
+
+/// RAII profiling span; records its wall-clock duration on drop.
+/// Obtained from [`Recorder::span`]; a disabled recorder returns an inert
+/// span that does nothing.
+pub struct Span(Option<ActiveSpan>);
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let end = Instant::now();
+            let ActiveSpan {
+                shard,
+                epoch,
+                name,
+                args,
+                start,
+            } = active;
+            let start_us = start.duration_since(epoch).as_micros() as u64;
+            let dur_us = end.duration_since(start).as_micros() as u64;
+            let mut st = shard.state.lock().expect("shard state");
+            st.spans.push(SpanRecord {
+                name: name.to_string(),
+                tid: shard.tid,
+                start_us,
+                dur_us,
+                args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.event(1.0, Some(2), || EventKind::NodeOnline);
+        r.count("c", 1);
+        r.observe("h", 3);
+        {
+            let _span = r.span("phase");
+        }
+        assert!(r.events().is_empty());
+        assert!(r.spans().is_empty());
+        assert!(r.metrics().is_empty());
+        assert_eq!(r.events_seen(), 0);
+    }
+
+    #[test]
+    fn event_payload_closure_is_lazy() {
+        let r = Recorder::disabled();
+        let mut built = false;
+        r.event(0.0, None, || {
+            built = true;
+            EventKind::NodeOnline
+        });
+        assert!(!built, "disabled recorder must not build payloads");
+        let r = Recorder::full();
+        r.event(0.0, None, || {
+            built = true;
+            EventKind::NodeOnline
+        });
+        assert!(built);
+    }
+
+    #[test]
+    fn events_are_recorded_in_order() {
+        let r = Recorder::full();
+        r.event(0.5, Some(1), || EventKind::NodeOffline);
+        r.event(0.5, Some(2), || EventKind::NodeOnline);
+        r.event(1.5, None, || EventKind::BlackoutEnd);
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].node, Some(1));
+        assert_eq!(events[1].node, Some(2));
+        assert_eq!(events[2].t, 1.5);
+        assert_eq!(r.events_seen(), 3);
+        assert_eq!(r.events_dropped(), 0);
+        // Single-threaded recording: one shard, contiguous seqs.
+        assert!(events.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_tail() {
+        let r = Recorder::flight_recorder(2);
+        for i in 0..5u64 {
+            r.event(i as f64, None, || EventKind::BroadcastPublish {
+                message: i,
+            });
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(r.events_seen(), 5);
+        assert_eq!(r.events_dropped(), 3);
+        assert_eq!(events[0].kind, EventKind::BroadcastPublish { message: 3 });
+        assert_eq!(events[1].kind, EventKind::BroadcastPublish { message: 4 });
+    }
+
+    #[test]
+    fn spans_nest_and_export_to_chrome_trace() {
+        let r = Recorder::full();
+        r.label_thread(|| "main".to_string());
+        {
+            let _outer = r.span("outer");
+            let _inner = r.span_with("inner", || "detail".to_string());
+        }
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first, outer encloses it.
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert!(outer.start_us <= inner.start_us);
+        assert_eq!(inner.args.as_deref(), Some("detail"));
+        let trace = r.chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        assert_eq!(
+            v.get("traceEvents").unwrap().as_seq().unwrap().len(),
+            3 // thread_name metadata + 2 spans
+        );
+    }
+
+    #[test]
+    fn jsonl_export_validates_against_schema() {
+        let r = Recorder::full();
+        r.event(0.0, Some(3), || EventKind::ShuffleStart {
+            target: 5,
+            trusted: true,
+        });
+        r.event(3.0, Some(3), || EventKind::ShuffleComplete { exchange: 0 });
+        let jsonl = r.events_jsonl();
+        assert_eq!(crate::event::validate_events_jsonl(&jsonl), Ok(2));
+    }
+
+    #[test]
+    fn metrics_merge_across_threads() {
+        let r = Recorder::full();
+        r.count("c", 1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    r.count("c", 10);
+                    r.observe("h", 2);
+                });
+            }
+        });
+        assert_eq!(r.metrics().counter("c"), 41);
+        assert_eq!(r.metrics().histogram("h").unwrap().total(), 4);
+        let prom = r.prometheus_text();
+        assert!(prom.contains("veil_c_total 41"));
+    }
+
+    #[test]
+    fn shards_are_per_recorder() {
+        let a = Recorder::full();
+        let b = Recorder::full();
+        a.event(0.0, None, || EventKind::NodeOnline);
+        b.event(0.0, None, || EventKind::NodeOffline);
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(a.events()[0].kind, EventKind::NodeOnline);
+        assert_eq!(b.events()[0].kind, EventKind::NodeOffline);
+    }
+}

@@ -60,21 +60,36 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let threads = effective_parallelism(parallelism).min(n.max(1));
+    // Observability only: spans attribute each unit to the worker thread
+    // that ran it. The recorder is a no-op unless one is installed, and it
+    // never draws randomness, so results stay byte-identical either way.
+    let obs = veil_obs::global();
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let _span = obs.span_with("par.unit", || format!("unit={i}"));
+                f(i)
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for k in 0..threads {
+            let (obs, next, slots, f) = (&obs, &next, &slots, &f);
+            scope.spawn(move || {
+                obs.label_thread(|| format!("worker-{k}"));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let _span = obs.span_with("par.unit", || format!("unit={i}"));
+                    let value = f(i);
+                    drop(_span);
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
                 }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
             });
         }
     });

@@ -33,6 +33,15 @@ impl NodeState {
     pub fn is_online(self) -> bool {
         self == NodeState::Online
     }
+
+    /// Stable lower-case name (observability seam: used as an event and
+    /// metric label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeState::Online => "online",
+            NodeState::Offline => "offline",
+        }
+    }
 }
 
 /// How node states are initialized at time zero.
@@ -144,6 +153,7 @@ pub struct ChurnProcess {
     online_dist: Option<Box<dyn DurationDist + Send + Sync>>,
     offline_dist: Box<dyn DurationDist + Send + Sync>,
     state: NodeState,
+    transitions: u64,
 }
 
 impl std::fmt::Debug for ChurnProcess {
@@ -175,6 +185,7 @@ impl ChurnProcess {
             online_dist,
             offline_dist,
             state,
+            transitions: 0,
         };
         let delay = process.sample_residence(rng);
         (process, delay)
@@ -188,6 +199,13 @@ impl ChurnProcess {
     /// Whether the node is online.
     pub fn is_online(&self) -> bool {
         self.state.is_online()
+    }
+
+    /// How many state changes this process has performed (natural
+    /// transitions plus forced ones; observability seam, summed into the
+    /// `sim.churn_transitions` counter).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
     }
 
     fn sample_residence<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
@@ -213,6 +231,7 @@ impl ChurnProcess {
             "permanently online node has no transitions"
         );
         self.state = self.state.flipped();
+        self.transitions += 1;
         self.sample_residence(rng)
     }
 
@@ -225,6 +244,9 @@ impl ChurnProcess {
     /// online processes too: forcing one offline returns a residence delay
     /// drawn from the offline distribution.
     pub fn force_state<R: Rng + ?Sized>(&mut self, state: NodeState, rng: &mut R) -> Option<f64> {
+        if self.state != state {
+            self.transitions += 1;
+        }
         self.state = state;
         self.sample_residence(rng)
     }

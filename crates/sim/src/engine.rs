@@ -60,6 +60,7 @@ pub struct Engine<E> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    high_water: usize,
 }
 
 impl<E> Engine<E> {
@@ -70,6 +71,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            high_water: 0,
         }
     }
 
@@ -86,6 +88,12 @@ impl<E> Engine<E> {
     /// Total number of events delivered so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Largest queue depth ever reached (observability seam: exported as
+    /// the `engine.queue_high_water` gauge).
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
     }
 
     /// Whether no events are pending.
@@ -110,6 +118,7 @@ impl<E> Engine<E> {
             event,
         });
         self.seq += 1;
+        self.high_water = self.high_water.max(self.queue.len());
     }
 
     /// Schedules `event` after `delay` shuffle periods.
@@ -212,6 +221,21 @@ mod tests {
         assert_eq!(e.pending(), 1);
         // Clock did not jump to 5.0.
         assert_eq!(e.now(), SimTime::new(1.0));
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_depth() {
+        let mut e: Engine<u32> = Engine::new();
+        assert_eq!(e.high_water_mark(), 0);
+        for i in 0..5 {
+            e.schedule_at(SimTime::new(f64::from(i)), i);
+        }
+        assert_eq!(e.high_water_mark(), 5);
+        while e.pop().is_some() {}
+        // Draining does not lower the mark.
+        assert_eq!(e.high_water_mark(), 5);
+        e.schedule_in(1.0, 9);
+        assert_eq!(e.high_water_mark(), 5);
     }
 
     #[test]

@@ -142,6 +142,18 @@ pub enum EpisodeEffect {
     },
 }
 
+impl EpisodeEffect {
+    /// Stable lower-case effect name (observability seam: used as the
+    /// `EpisodeStart` event label).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            EpisodeEffect::Blackout { .. } => "blackout",
+            EpisodeEffect::Partition { .. } => "partition",
+            EpisodeEffect::Crash { .. } => "crash",
+        }
+    }
+}
+
 /// One scripted fault episode: an effect active over `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultEpisode {

@@ -1,0 +1,155 @@
+//! Observability-determinism harness: the recorder must be a pure
+//! observer. Every simulation and sweep output must be byte-identical
+//! whether tracing is off, on in full mode, or on as a bounded flight
+//! recorder — at every parallelism level — because the recorder never
+//! draws from any RNG stream and never reorders events.
+//!
+//! Also exercises the export surface end to end: the JSONL trace
+//! validates against the event schema, the Chrome trace parses, and the
+//! flight-recorder ring honors its capacity.
+
+use std::sync::Mutex;
+use veil_core::experiment::{
+    availability_sweep, build_simulation, build_trust_graph, ExperimentParams,
+};
+use veil_core::metrics::snapshot;
+use veil_obs::Recorder;
+
+/// Serializes the tests that install a *global* recorder: the global is
+/// process-wide state, and the test harness runs tests on concurrent
+/// threads.
+static GLOBAL_RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn params(seed: u64, parallelism: Option<usize>) -> ExperimentParams {
+    let mut p = ExperimentParams {
+        nodes: 80,
+        warmup: 60.0,
+        seed,
+        lifetime_ratio: Some(3.0),
+        source_multiplier: 5,
+        ..ExperimentParams::default()
+    }
+    .scaled_down(4);
+    p.overlay.parallelism = parallelism;
+    p
+}
+
+/// Runs one simulation under `recorder` and returns the serialized final
+/// snapshot — the byte-identity witness.
+fn witness(seed: u64, recorder: Recorder) -> String {
+    let p = params(seed, Some(1));
+    let trust = build_trust_graph(&p).expect("trust graph");
+    let mut sim = build_simulation(trust, &p, 0.5).expect("simulation");
+    sim.set_recorder(recorder);
+    sim.run_until(40.0);
+    serde_json::to_string(&snapshot(&sim)).expect("snapshot serializes")
+}
+
+#[test]
+fn tracing_never_changes_simulation_output() {
+    for seed in [3, 19] {
+        let off = witness(seed, Recorder::disabled());
+        let full = witness(seed, Recorder::full());
+        let ring = witness(seed, Recorder::flight_recorder(64));
+        assert_eq!(off, full, "full tracing perturbed the run (seed {seed})");
+        assert_eq!(off, ring, "flight recorder perturbed the run (seed {seed})");
+    }
+}
+
+#[test]
+fn global_tracing_never_changes_sweep_output() {
+    let _guard = GLOBAL_RECORDER_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let alphas = [0.25, 0.5, 1.0];
+    for parallelism in [Some(1), Some(4)] {
+        let p = params(7, parallelism);
+        let trust = build_trust_graph(&p).expect("trust graph");
+        let baseline = {
+            let prev = veil_obs::install_global(Recorder::disabled());
+            let out = availability_sweep(&trust, &p, &alphas, false).expect("sweep");
+            veil_obs::install_global(prev);
+            serde_json::to_string(&out).expect("sweep serializes")
+        };
+        let recorder = Recorder::full();
+        let prev = veil_obs::install_global(recorder.clone());
+        let out = availability_sweep(&trust, &p, &alphas, false).expect("sweep");
+        veil_obs::install_global(prev);
+        let traced = serde_json::to_string(&out).expect("sweep serializes");
+        assert_eq!(
+            baseline, traced,
+            "tracing perturbed the sweep at parallelism {parallelism:?}"
+        );
+        assert!(
+            !recorder.spans().is_empty(),
+            "the traced sweep should have recorded spans"
+        );
+    }
+}
+
+#[test]
+fn traced_run_exports_load_cleanly() {
+    let recorder = Recorder::full();
+    witness(5, recorder.clone());
+
+    // JSONL validates against the event schema, line by line.
+    let jsonl = recorder.events_jsonl();
+    let count = veil_obs::validate_events_jsonl(&jsonl).expect("trace validates");
+    assert_eq!(count as u64, recorder.events_seen());
+    assert!(count > 0, "an eventful run must produce events");
+    assert_eq!(recorder.events_dropped(), 0, "full mode never drops");
+
+    // The Chrome trace parses and contains the run_until phase spans.
+    let chrome = recorder.chrome_trace();
+    let doc: serde_json::Value = serde_json::from_str(&chrome).expect("chrome trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("traceEvents array");
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("sim.run_until")));
+
+    // The metrics registry counts the same story the events tell.
+    let minted_events = recorder
+        .events()
+        .iter()
+        .filter(|e| e.kind.name() == "PseudonymMinted")
+        .count() as u64;
+    assert_eq!(
+        recorder.metrics().counter("sim.pseudonyms_minted"),
+        minted_events,
+        "counter and event stream must agree"
+    );
+}
+
+#[test]
+fn flight_recorder_honors_its_capacity() {
+    let cap = 32;
+    let recorder = Recorder::flight_recorder(cap);
+    witness(5, recorder.clone());
+    let retained = recorder.events();
+    assert!(
+        retained.len() <= cap,
+        "ring retained {} events, capacity {cap}",
+        retained.len()
+    );
+    assert!(
+        recorder.events_seen() > cap as u64,
+        "workload overflows the ring"
+    );
+    assert_eq!(
+        recorder.events_dropped(),
+        recorder.events_seen() - retained.len() as u64,
+        "seen = retained + dropped"
+    );
+    // The ring keeps the *tail*: retained events are the most recent ones.
+    let full = Recorder::full();
+    witness(5, full.clone());
+    let all = full.events();
+    assert_eq!(
+        retained,
+        all[all.len() - retained.len()..],
+        "flight recorder must retain the suffix of the full trace"
+    );
+}
