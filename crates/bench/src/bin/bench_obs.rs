@@ -1,7 +1,8 @@
 //! Observability overhead benchmark: times the same simulation run with
-//! the recorder disabled, enabled in full mode, and enabled as a bounded
-//! flight recorder, verifies the simulation output is byte-identical in
-//! all three modes, and writes `target/figures/BENCH_obs.json`.
+//! the recorder disabled, enabled in full mode, enabled as a bounded
+//! flight recorder, and enabled in full mode with the online health
+//! monitor running, verifies the simulation output is byte-identical in
+//! all modes, and writes `target/figures/BENCH_obs.json`.
 //!
 //! The no-op path is the contract to protect: a disabled recorder costs a
 //! single branch per instrumentation point, so "disabled" and a second
@@ -56,8 +57,12 @@ fn run_batch(
     alpha: f64,
     horizon: f64,
     iters: usize,
+    health: bool,
 ) -> (String, f64, u64) {
-    let params = paper_params();
+    let mut params = paper_params();
+    // The health monitor is read-only over the event stream and draws no
+    // randomness, so enabling it must keep the witness byte-identical.
+    params.overlay.health.enabled = health;
     let trust = build_trust_graph(&params).expect("trust graph");
     let mut snap = String::new();
     let mut seen = 0;
@@ -79,7 +84,7 @@ fn run_batch(
 /// few-millisecond measurement at small `VEIL_SCALE`.
 fn calibrate(alpha: f64, horizon: f64) -> usize {
     const TARGET_BATCH_MS: f64 = 30.0;
-    let (_, est_ms, _) = run_batch(&Recorder::disabled, alpha, horizon, 1);
+    let (_, est_ms, _) = run_batch(&Recorder::disabled, alpha, horizon, 1, false);
     ((TARGET_BATCH_MS / est_ms.max(0.1)).ceil() as usize).clamp(1, 500)
 }
 
@@ -92,11 +97,16 @@ fn main() {
     );
 
     type MakeRecorder = fn() -> Recorder;
-    let modes: Vec<(&str, MakeRecorder)> = vec![
-        ("disabled", Recorder::disabled),
-        ("disabled_again", Recorder::disabled),
-        ("full", Recorder::full),
-        ("flight_recorder_1k", || Recorder::flight_recorder(1024)),
+    let modes: Vec<(&str, MakeRecorder, bool)> = vec![
+        ("disabled", Recorder::disabled, false),
+        ("disabled_again", Recorder::disabled, false),
+        ("full", Recorder::full, false),
+        (
+            "flight_recorder_1k",
+            || Recorder::flight_recorder(1024),
+            false,
+        ),
+        ("full_health", Recorder::full, true),
     ];
     // The calibration batch doubles as cache/allocator warmup.
     let iters = calibrate(alpha, horizon);
@@ -112,8 +122,8 @@ fn main() {
         let mut witnesses = vec![String::new(); modes.len()];
         let mut events = vec![0u64; modes.len()];
         for rep in 0..REPS {
-            for (i, (name, make)) in modes.iter().enumerate() {
-                let (snap, ms, seen) = run_batch(make, alpha, horizon, iters);
+            for (i, (name, make, health)) in modes.iter().enumerate() {
+                let (snap, ms, seen) = run_batch(make, alpha, horizon, iters, *health);
                 timings[i].push(ms);
                 witnesses[i] = snap;
                 events[i] = seen;
@@ -125,7 +135,7 @@ fn main() {
         let measured = modes
             .iter()
             .enumerate()
-            .map(|(i, (name, _))| {
+            .map(|(i, (name, _, _))| {
                 let min_ms = min_of(&timings[i]);
                 Mode {
                     name: name.to_string(),
@@ -192,7 +202,7 @@ fn main() {
             // Budget from DESIGN.md: full tracing stays under 5% on the
             // simulation workload (the no-op path was already shown to be
             // within the <2% noise floor by the resolvability gate).
-            for name in ["full", "flight_recorder_1k"] {
+            for name in ["full", "flight_recorder_1k", "full_health"] {
                 assert!(
                     pct(name) < BUDGET_PCT,
                     "{name} tracing exceeds the {BUDGET_PCT}% budget: {:+.1}%",

@@ -133,7 +133,9 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = output_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serialize result");
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    eprintln!("wrote {}", path.display());
+    // On stdout so scripts copying artifacts (e.g. into benchmarks/baseline/)
+    // can capture the path.
+    println!("wrote {}", path.display());
 }
 
 /// Serializes a benchmark report into `target/figures/BENCH_<name>.json`,
@@ -207,7 +209,7 @@ impl ObsSession {
     pub fn finish(self) {
         let write = |path: &str, text: String| {
             std::fs::write(path, text).unwrap_or_else(|e| panic!("write {path}: {e}"));
-            eprintln!("wrote {path}");
+            println!("wrote {path}");
         };
         if let Some(path) = &self.trace_out {
             write(path, self.recorder.events_jsonl());

@@ -7,3 +7,17 @@ pub mod simulate;
 
 /// Convenience alias for command results.
 pub type CmdResult = Result<String, Box<dyn std::error::Error>>;
+
+/// Raised by `veil obs diff` when the candidate run regresses beyond the
+/// tolerance bands. Carries the rendered comparison; `main` prints it
+/// without the usage banner and exits with code 2 so CI can gate on it.
+#[derive(Debug)]
+pub struct Regression(pub String);
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Regression {}

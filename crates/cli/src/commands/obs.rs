@@ -1,9 +1,11 @@
-//! `veil obs` — inspect and validate observability artifacts produced by
-//! `veil simulate --trace-out` (or the `VEIL_TRACE_OUT` bench knob).
+//! `veil obs` — inspect, validate, analyze and diff observability
+//! artifacts produced by `veil simulate --trace-out` (or the
+//! `VEIL_TRACE_OUT` bench knob).
 
-use super::CmdResult;
+use super::{CmdResult, Regression};
 use crate::args::Args;
 use std::fmt::Write as _;
+use veil_obs::{analyze_trace, diff_reports, DiffConfig, EventKind, TraceEvent, TraceReport};
 
 /// `veil obs validate FILE` — check a JSONL trace file against the event
 /// schema, reporting the number of valid events or the first offending
@@ -16,6 +18,180 @@ pub fn validate(args: &Args) -> CmdResult {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
     let count = veil_obs::validate_events_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
     Ok(format!("{path}: {count} events, all valid"))
+}
+
+/// Loads a positional argument as a [`TraceReport`]: either a `.json`
+/// analysis report written by `obs analyze --out`, or a raw `.jsonl` trace
+/// which is analyzed on the fly.
+fn load_report(path: &str) -> Result<TraceReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    if let Ok(report) = serde_json::from_str::<TraceReport>(&text) {
+        return Ok(report);
+    }
+    analyze_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `veil obs analyze FILE [--json] [--out FILE]` — replay a JSONL trace
+/// into per-round overlay state and report derived health series: shuffle
+/// success rate, per-round drop breakdown, the alert timeline and
+/// time-to-recover after blackouts. `--out` saves the machine-readable
+/// report (the format `obs diff` consumes) alongside the printed text.
+pub fn analyze(args: &Args) -> CmdResult {
+    args.check_known(&["json", "out"])?;
+    let Some(path) = args.positional(2) else {
+        return Err("obs analyze requires a trace file argument".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+    let report = analyze_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = if args.has("json") {
+        serde_json::to_string_pretty(&report)?
+    } else {
+        report.render_text().trim_end().to_string()
+    };
+    if let Some(dest) = args.flag("out") {
+        std::fs::write(dest, serde_json::to_string_pretty(&report)?)
+            .map_err(|e| format!("cannot write {dest:?}: {e}"))?;
+        if !args.has("json") {
+            write!(out, "\n\nreport written to {dest}")?;
+        }
+    }
+    Ok(out)
+}
+
+/// `veil obs diff BASELINE CANDIDATE [--rel-tolerance F] [--abs-tolerance F]
+/// [--rate-tolerance F] [--json]` — compare two runs (traces or saved
+/// analysis reports) under tolerance bands. Worsened metrics beyond the
+/// bands are regressions: the command prints the comparison and exits
+/// with code 2, which is what lets CI gate on overlay health.
+pub fn diff(args: &Args) -> CmdResult {
+    args.check_known(&["rel-tolerance", "abs-tolerance", "rate-tolerance", "json"])?;
+    let (Some(base_path), Some(cand_path)) = (args.positional(2), args.positional(3)) else {
+        return Err("obs diff requires BASELINE and CANDIDATE file arguments".into());
+    };
+    let cfg = DiffConfig {
+        rel_tolerance: args.get_or(
+            "rel-tolerance",
+            DiffConfig::default().rel_tolerance,
+            "float",
+        )?,
+        abs_tolerance: args.get_or(
+            "abs-tolerance",
+            DiffConfig::default().abs_tolerance,
+            "float",
+        )?,
+        rate_tolerance: args.get_or(
+            "rate-tolerance",
+            DiffConfig::default().rate_tolerance,
+            "float",
+        )?,
+    };
+    let baseline = load_report(base_path)?;
+    let candidate = load_report(cand_path)?;
+    let diff = diff_reports(&baseline, &candidate, cfg);
+    let rendered = if args.has("json") {
+        serde_json::to_string_pretty(&diff)?
+    } else {
+        format!(
+            "baseline:  {base_path}\ncandidate: {cand_path}\n\n{}",
+            diff.render_text().trim_end()
+        )
+    };
+    if diff.passes() {
+        Ok(rendered)
+    } else {
+        Err(Box::new(Regression(rendered)))
+    }
+}
+
+/// Formats one trace event for `obs tail`.
+fn format_event(ev: &TraceEvent) -> String {
+    match &ev.kind {
+        EventKind::HealthAlert {
+            detector,
+            severity,
+            value,
+            threshold,
+        } => format!(
+            "[t={:>8.1}] {severity:>8} {detector}: value {value:.3} vs threshold {threshold:.3}",
+            ev.t
+        ),
+        other => {
+            let node = match ev.node {
+                Some(v) => format!("node {v}"),
+                None => "-".to_string(),
+            };
+            format!("[t={:>8.1}] {:>8} {}", ev.t, node, other.name())
+        }
+    }
+}
+
+/// `veil obs tail FILE [--all] [--no-follow] [--poll-ms N] [--timeout-s T]`
+/// — follow a growing trace file and print `HealthAlert` events as they
+/// are appended (every event with `--all`). `--no-follow` drains what is
+/// already there and exits; `--timeout-s` bounds a follow.
+pub fn tail(args: &Args) -> CmdResult {
+    args.check_known(&["all", "no-follow", "poll-ms", "timeout-s"])?;
+    let Some(path) = args.positional(2) else {
+        return Err("obs tail requires a trace file argument".into());
+    };
+    let all = args.has("all");
+    let follow = !args.has("no-follow");
+    let poll_ms: u64 = args.get_or("poll-ms", 200, "integer")?;
+    let timeout_s: f64 = args.get_or("timeout-s", 0.0, "float (0 = unbounded)")?;
+    let started = std::time::Instant::now();
+    let mut offset = 0usize;
+    let mut header_seen = false;
+    let mut printed = 0u64;
+    let mut scanned = 0u64;
+    loop {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+        // Only complete (newline-terminated) lines past the last offset are
+        // consumed; a partially written tail line waits for the next poll.
+        let complete = match text[offset.min(text.len())..].rfind('\n') {
+            Some(rel) => offset + rel + 1,
+            None => offset,
+        };
+        for line in text[offset.min(text.len())..complete].lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if !header_seen {
+                header_seen = true;
+                if let Some(version) = veil_obs::parse_trace_header(line) {
+                    if version != u64::from(veil_obs::TRACE_SCHEMA_VERSION) {
+                        return Err(format!(
+                            "{path}: unsupported trace version {version} (this build reads \
+                             version {})",
+                            veil_obs::TRACE_SCHEMA_VERSION
+                        )
+                        .into());
+                    }
+                    continue;
+                }
+            }
+            let Ok(ev) = serde_json::from_str::<TraceEvent>(line) else {
+                continue;
+            };
+            scanned += 1;
+            if all || matches!(ev.kind, EventKind::HealthAlert { .. }) {
+                println!("{}", format_event(&ev));
+                printed += 1;
+            }
+        }
+        offset = complete;
+        if !follow {
+            break;
+        }
+        if timeout_s > 0.0 && started.elapsed().as_secs_f64() >= timeout_s {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(10)));
+    }
+    Ok(format!(
+        "tail: printed {printed} of {scanned} event(s) from {path}"
+    ))
 }
 
 /// `veil obs schema` — print the trace-event schema (one line per event

@@ -100,6 +100,7 @@ pub fn run(args: &Args) -> CmdResult {
         "metrics-out",
         "chrome-trace",
         "flight-recorder",
+        "health",
     ])?;
     let nodes: usize = args.require("nodes", "integer")?;
     let alpha: f64 = args.get_or("alpha", 0.5, "float in (0,1]")?;
@@ -154,6 +155,10 @@ pub fn run(args: &Args) -> CmdResult {
             link,
             shuffle_timeout,
             shuffle_retry_budget,
+            health: veil_core::config::HealthConfig {
+                enabled: args.has("health"),
+                ..veil_core::config::HealthConfig::default()
+            },
             ..veil_core::config::OverlayConfig::default()
         },
         ..ExperimentParams::default()
@@ -171,10 +176,13 @@ pub fn run(args: &Args) -> CmdResult {
                 .map_err(|e| format!("--flight-recorder: {e}"))
         })
         .transpose()?;
+    // --health needs a live recorder: the monitor reads the event stream
+    // and publishes its alerts back into it.
     let obs_enabled = trace_out.is_some()
         || metrics_out.is_some()
         || chrome_trace.is_some()
-        || flight_recorder.is_some();
+        || flight_recorder.is_some()
+        || args.has("health");
     let recorder = match flight_recorder {
         _ if !obs_enabled => veil_obs::Recorder::disabled(),
         Some(capacity) => veil_obs::Recorder::flight_recorder(capacity),
@@ -219,6 +227,9 @@ pub fn run(args: &Args) -> CmdResult {
     let mut obs_note = String::new();
     if obs_enabled {
         sim.publish_metrics();
+        if let Some(alerts) = sim.health_alerts() {
+            writeln!(obs_note, "health monitor: {alerts} alert(s) emitted")?;
+        }
         if let Some(path) = &trace_out {
             std::fs::write(path, recorder.events_jsonl())
                 .map_err(|e| format!("cannot write {path:?}: {e}"))?;

@@ -58,9 +58,22 @@ COMMANDS:
                                          recording thread (flight recorder)
     attack           run the Section III-E threat models
                      --nodes N [--seed S]
+                     [--health]          enable the online overlay health
+                                         monitor (rolling-window detectors
+                                         emitting HealthAlert events);
+                                         implies the full recorder
     obs validate     check a JSONL trace file against the event schema
                      <FILE>
     obs schema       print the trace-event schema
+    obs analyze      replay a trace into per-round health analytics
+                     <FILE> [--json] [--out REPORT.json]
+    obs diff         compare two runs (traces or saved reports); exits
+                     with code 2 on regression beyond tolerance
+                     <BASELINE> <CANDIDATE> [--rel-tolerance F]
+                     [--abs-tolerance F] [--rate-tolerance F] [--json]
+    obs tail         follow a growing trace, printing health alerts live
+                     <FILE> [--all] [--no-follow] [--poll-ms N]
+                     [--timeout-s T]
     help             show this message
 ";
 
@@ -72,6 +85,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // A regression from `obs diff` is a clean, expected outcome:
+            // print the comparison (no usage banner) and exit with a
+            // distinct code so scripts and CI can gate on it.
+            if let Some(regression) = e.downcast_ref::<commands::Regression>() {
+                println!("{regression}");
+                return ExitCode::from(2);
+            }
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -83,7 +103,14 @@ fn main() -> ExitCode {
 /// to print. Extracted from `main` so tests can drive it directly.
 fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let args = Args::parse(raw.iter().cloned())?;
-    if args.positionals().len() > 3 {
+    // `obs diff` takes two file positionals after the two command words;
+    // everything else takes at most one.
+    let max_positionals = if args.positional(1) == Some("diff") {
+        4
+    } else {
+        3
+    };
+    if args.positionals().len() > max_positionals {
         return Err(format!("too many arguments: {:?}", args.positionals()).into());
     }
     match (args.positional(0), args.positional(1)) {
@@ -94,9 +121,13 @@ fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         (Some("attack"), _) => commands::attack::run(&args),
         (Some("obs"), Some("validate")) => commands::obs::validate(&args),
         (Some("obs"), Some("schema")) => commands::obs::schema(&args),
-        (Some("obs"), other) => {
-            Err(format!("obs: expected validate or schema, got {other:?}").into())
-        }
+        (Some("obs"), Some("analyze")) => commands::obs::analyze(&args),
+        (Some("obs"), Some("diff")) => commands::obs::diff(&args),
+        (Some("obs"), Some("tail")) => commands::obs::tail(&args),
+        (Some("obs"), other) => Err(format!(
+            "obs: expected validate, schema, analyze, diff or tail, got {other:?}"
+        )
+        .into()),
         (Some("help"), _) | (None, _) => Ok(USAGE.to_string()),
         (Some(other), _) => Err(format!("unknown command {other:?}").into()),
     }
@@ -310,6 +341,135 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("flight recorder retained"), "{out}");
+    }
+
+    #[test]
+    fn simulate_health_monitor_reports_alert_count() {
+        let out = run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--health",
+        ])
+        .unwrap();
+        assert!(out.contains("health monitor:"), "{out}");
+    }
+
+    #[test]
+    fn obs_analyze_reports_success_rate_and_writes_report() {
+        let dir = std::env::temp_dir().join("veil-cli-test-analyze");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let report = dir.join("report.json");
+        run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_line(&[
+            "obs",
+            "analyze",
+            trace.to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("% success"), "{out}");
+        let saved: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert!(saved.get("totals").is_some());
+        let json_out = run_line(&["obs", "analyze", trace.to_str().unwrap(), "--json"]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json_out).expect("valid JSON");
+        assert!(v.get("shuffle_success_rate").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_diff_passes_identical_and_flags_faulty_run() {
+        let dir = std::env::temp_dir().join("veil-cli-test-diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.jsonl");
+        let faulty = dir.join("faulty.jsonl");
+        let base = &[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+        ];
+        let mut clean_cmd: Vec<&str> = base.to_vec();
+        clean_cmd.extend(["--trace-out", clean.to_str().unwrap()]);
+        run_line(&clean_cmd).unwrap();
+        let mut faulty_cmd: Vec<&str> = base.to_vec();
+        faulty_cmd.extend([
+            "--trace-out",
+            faulty.to_str().unwrap(),
+            "--loss",
+            "0.3",
+            "--mean-latency",
+            "0.5",
+        ]);
+        run_line(&faulty_cmd).unwrap();
+        let same = run_line(&[
+            "obs",
+            "diff",
+            clean.to_str().unwrap(),
+            clean.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(same.contains("no regressions"), "{same}");
+        let err = run_line(&[
+            "obs",
+            "diff",
+            clean.to_str().unwrap(),
+            faulty.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_tail_drains_existing_trace() {
+        let dir = std::env::temp_dir().join("veil-cli-test-tail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_line(&["obs", "tail", trace.to_str().unwrap(), "--no-follow"]).unwrap();
+        assert!(out.starts_with("tail: printed"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

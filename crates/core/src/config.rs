@@ -153,6 +153,105 @@ pub struct OverlayConfig {
     /// from the master seed and its own stream, and results are reduced in
     /// index order, so the output is byte-identical for every value.
     pub parallelism: Option<usize>,
+    /// Online health monitoring: rolling-window degradation detectors over
+    /// the observability event stream (see [`crate::health`]). Disabled by
+    /// default; the monitor only ever *reads* events and emits
+    /// `HealthAlert` trace events and `health.*` gauges, so enabling it
+    /// cannot perturb the simulation.
+    pub health: HealthConfig,
+}
+
+/// Thresholds of the rolling-window health detectors in
+/// [`crate::health::HealthMonitor`]. All windows and thresholds are in
+/// shuffle periods / events per window; see the field docs for each
+/// detector's semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Master switch. Even when `true`, the monitor only runs while a
+    /// recorder is attached — alerts are trace events, so there is nowhere
+    /// to put them otherwise.
+    pub enabled: bool,
+    /// Rolling window length in shuffle periods. Detector counters reset at
+    /// every window boundary (boundaries lie on a fixed grid, so results do
+    /// not depend on event timing).
+    pub window: f64,
+    /// `shuffle_failure_burst` fires when `failures / starts` within a
+    /// window exceeds this rate.
+    pub failure_burst_rate: f64,
+    /// Minimum shuffle starts in a window before the failure-burst rate is
+    /// meaningful (suppresses noise from nearly idle windows).
+    pub failure_burst_min_starts: u64,
+    /// `eviction_storm` fires when more than this many Cyclon evictions
+    /// happen within one window.
+    pub eviction_storm_count: u64,
+    /// `pseudonym_expiry_stampede` fires when the fraction of nodes that
+    /// purged expired pseudonyms within one window exceeds this value (the
+    /// synchronized-expiry transient of the paper's Figure 9).
+    pub expiry_stampede_fraction: f64,
+    /// `starved_nodes` fires when the fraction of online nodes that have
+    /// not completed a shuffle for this many shuffle periods exceeds
+    /// [`HealthConfig::starved_fraction`].
+    pub starvation_periods: f64,
+    /// Fraction of online nodes allowed to be starved before alerting.
+    pub starved_fraction: f64,
+    /// `indegree_skew` fires when `max_degree / mean_degree` over online
+    /// nodes (trusted + pseudonym links) exceeds this ratio — the topology
+    /// skew that F2F-overlay analyses flag as the onset of hub formation.
+    pub indegree_skew_ratio: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            window: 5.0,
+            failure_burst_rate: 0.25,
+            failure_burst_min_starts: 20,
+            eviction_storm_count: 50,
+            expiry_stampede_fraction: 0.5,
+            starvation_periods: 15.0,
+            starved_fraction: 0.10,
+            indegree_skew_ratio: 8.0,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Checks internal consistency (only meaningful values; the config is
+    /// validated even when `enabled` is false so a latent bad config cannot
+    /// hide until someone switches monitoring on).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let positive = [
+            ("health.window", self.window),
+            ("health.failure_burst_rate", self.failure_burst_rate),
+            ("health.starvation_periods", self.starvation_periods),
+            ("health.indegree_skew_ratio", self.indegree_skew_ratio),
+        ];
+        for (field, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    field,
+                    reason: format!("must be finite and positive, got {v}"),
+                });
+            }
+        }
+        let fractions = [
+            (
+                "health.expiry_stampede_fraction",
+                self.expiry_stampede_fraction,
+            ),
+            ("health.starved_fraction", self.starved_fraction),
+        ];
+        for (field, v) in fractions {
+            if !(v.is_finite() && v > 0.0 && v <= 1.0) {
+                return Err(CoreError::InvalidConfig {
+                    field,
+                    reason: format!("must be in (0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for OverlayConfig {
@@ -174,6 +273,7 @@ impl Default for OverlayConfig {
             shuffle_timeout: 3.0,
             shuffle_retry_budget: 2,
             parallelism: None,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -309,6 +409,7 @@ impl OverlayConfig {
                 reason: "stability threshold of zero would suppress all shuffling".into(),
             });
         }
+        self.health.validate()?;
         if let LifetimePolicy::Adaptive { multiplier, floor } = self.lifetime_policy {
             if !(multiplier.is_finite() && multiplier > 0.0) {
                 return Err(CoreError::InvalidConfig {
@@ -469,6 +570,40 @@ mod tests {
             ..OverlayConfig::default()
         };
         ok.validate().unwrap();
+    }
+
+    #[test]
+    fn health_config_validation() {
+        let defaults = HealthConfig::default();
+        assert!(!defaults.enabled, "monitoring is opt-in");
+        defaults.validate().unwrap();
+        let bad_window = OverlayConfig {
+            health: HealthConfig {
+                window: 0.0,
+                ..HealthConfig::default()
+            },
+            ..OverlayConfig::default()
+        };
+        assert!(bad_window.validate().is_err());
+        let bad_fraction = OverlayConfig {
+            health: HealthConfig {
+                starved_fraction: 1.5,
+                ..HealthConfig::default()
+            },
+            ..OverlayConfig::default()
+        };
+        assert!(bad_fraction.validate().is_err());
+        let enabled = OverlayConfig {
+            health: HealthConfig {
+                enabled: true,
+                ..HealthConfig::default()
+            },
+            ..OverlayConfig::default()
+        };
+        enabled.validate().unwrap();
+        let json = serde_json::to_string(&enabled).unwrap();
+        let back: OverlayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(enabled, back);
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Online overlay health monitoring.
+//!
+//! A [`HealthMonitor`] watches the observability event stream of a running
+//! [`crate::simulation::Simulation`] through rolling windows and raises
+//! typed `HealthAlert` trace events when a degradation detector crosses its
+//! configured threshold ([`HealthConfig`]):
+//!
+//! * `shuffle_failure_burst` — failures / starts within a window;
+//! * `eviction_storm` — Cyclon evictions per window;
+//! * `pseudonym_expiry_stampede` — fraction of nodes purging expired
+//!   pseudonyms in one window (the synchronized-expiry transient);
+//! * `starved_nodes` — online nodes that have not completed a shuffle for
+//!   a configured number of periods;
+//! * `isolated_nodes` — online nodes with no overlay links at all
+//!   (partition onset);
+//! * `indegree_skew` — max/mean overlay degree over online nodes (hub
+//!   formation).
+//!
+//! # Alerts are events
+//!
+//! The monitor is strictly read-only with respect to the simulation: it
+//! never draws randomness, never touches protocol state, and its only
+//! outputs are `HealthAlert` events and `health.*` gauges pushed into the
+//! recorder it was built with. That keeps the `off == full == ring`
+//! byte-identity of `tests/obs_equivalence.rs` intact whether monitoring is
+//! enabled or not, and means disabling the recorder disables the monitor
+//! for free (there is nowhere to put an alert without a trace).
+//!
+//! # Determinism
+//!
+//! Window boundaries lie on the fixed grid `k * window`, so detector
+//! decisions depend only on the event stream, not on when the simulation
+//! happens to poll. All state lives in plain vectors — no hash-map
+//! iteration order can leak into the alert sequence.
+
+use crate::config::HealthConfig;
+use veil_obs::{EventKind as Obs, Recorder};
+
+/// Severity threshold: a value at least this multiple of its threshold is
+/// reported as `critical` rather than `warning`.
+const CRITICAL_FACTOR: f64 = 2.0;
+
+/// Rolling-window health detector bank over the simulation event stream.
+///
+/// Construct with [`HealthMonitor::maybe_new`]; feed every emitted event
+/// through [`HealthMonitor::observe`]; let the simulation call
+/// [`HealthMonitor::due`] / [`HealthMonitor::rotate`] when event time
+/// crosses a window boundary.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    recorder: Recorder,
+    /// Start of the currently accumulating window (on the `k * window`
+    /// grid).
+    window_start: f64,
+    // Counts accumulated over the current window.
+    starts: u64,
+    completes: u64,
+    failures: u64,
+    evictions: u64,
+    /// Number of `PseudonymsExpired` purges seen this window (one per node
+    /// per purge, which is what the stampede detector wants).
+    expiry_purges: u64,
+    /// Per node: time of the last completed shuffle, or of coming online —
+    /// a rejoining node gets a fresh grace period before counting as
+    /// starved.
+    last_progress: Vec<f64>,
+    alerts_emitted: u64,
+}
+
+impl HealthMonitor {
+    /// Builds a monitor when `cfg.enabled` and the recorder can actually
+    /// receive alerts; `None` otherwise. `now` seeds the window grid and
+    /// the per-node starvation clocks.
+    pub fn maybe_new(
+        cfg: &HealthConfig,
+        recorder: &Recorder,
+        nodes: usize,
+        now: f64,
+    ) -> Option<Self> {
+        if !cfg.enabled || !recorder.is_enabled() {
+            return None;
+        }
+        Some(Self {
+            cfg: cfg.clone(),
+            recorder: recorder.clone(),
+            window_start: (now / cfg.window).floor() * cfg.window,
+            starts: 0,
+            completes: 0,
+            failures: 0,
+            evictions: 0,
+            expiry_purges: 0,
+            last_progress: vec![now; nodes],
+            alerts_emitted: 0,
+        })
+    }
+
+    /// Total `HealthAlert` events emitted so far.
+    pub fn alerts_emitted(&self) -> u64 {
+        self.alerts_emitted
+    }
+
+    /// Feeds one emitted event into the window counters.
+    pub fn observe(&mut self, t: f64, node: Option<u32>, kind: &Obs) {
+        match kind {
+            Obs::ShuffleStart { .. } => self.starts += 1,
+            Obs::ShuffleComplete { .. } => {
+                self.completes += 1;
+                if let Some(v) = node {
+                    if let Some(slot) = self.last_progress.get_mut(v as usize) {
+                        *slot = t;
+                    }
+                }
+            }
+            Obs::ShuffleFailure { .. } => self.failures += 1,
+            Obs::PeerEvicted { .. } => self.evictions += 1,
+            Obs::PseudonymsExpired { .. } => self.expiry_purges += 1,
+            // Coming online (or back from a blackout) restarts the
+            // starvation clock; the node cannot have completed a shuffle
+            // while away.
+            Obs::NodeOnline | Obs::BlackoutEnd => {
+                if let Some(v) = node {
+                    if let Some(slot) = self.last_progress.get_mut(v as usize) {
+                        *slot = t;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether event time `now` has crossed the current window's end.
+    pub fn due(&self, now: f64) -> bool {
+        now >= self.window_start + self.cfg.window
+    }
+
+    /// Closes the elapsed window(s): runs every detector against the
+    /// accumulated counts and the caller-supplied topology view, emits
+    /// `HealthAlert` events stamped at the window boundary, refreshes the
+    /// `health.*` gauges, and resets the counters.
+    ///
+    /// `online[v]` / `degrees[v]` describe the current node states and
+    /// total overlay degree (trusted + pseudonym links) per node.
+    pub fn rotate(&mut self, now: f64, online: &[bool], degrees: &[usize]) {
+        let w = self.cfg.window;
+        // Jump straight to the grid point at or below `now`: an idle gap
+        // spanning several windows is closed as one evaluation instead of
+        // replaying empty windows one by one.
+        let boundary = (now / w).floor() * w;
+        if boundary <= self.window_start {
+            return;
+        }
+
+        let online_count = online.iter().filter(|o| **o).count();
+        let nodes = online.len().max(1);
+
+        // 1. Shuffle failure burst.
+        if self.starts >= self.cfg.failure_burst_min_starts {
+            let rate = self.failures as f64 / self.starts as f64;
+            self.gauge("health.shuffle_failure_rate", rate);
+            if rate > self.cfg.failure_burst_rate {
+                self.alert(
+                    boundary,
+                    "shuffle_failure_burst",
+                    rate,
+                    self.cfg.failure_burst_rate,
+                );
+            }
+        } else if self.starts > 0 {
+            self.gauge(
+                "health.shuffle_failure_rate",
+                self.failures as f64 / self.starts as f64,
+            );
+        }
+
+        // 2. Eviction storm.
+        self.gauge("health.window_evictions", self.evictions as f64);
+        if self.evictions > self.cfg.eviction_storm_count {
+            self.alert(
+                boundary,
+                "eviction_storm",
+                self.evictions as f64,
+                self.cfg.eviction_storm_count as f64,
+            );
+        }
+
+        // 3. Pseudonym expiry stampede.
+        let expiry_fraction = self.expiry_purges as f64 / nodes as f64;
+        self.gauge("health.window_expiry_fraction", expiry_fraction);
+        if expiry_fraction > self.cfg.expiry_stampede_fraction {
+            self.alert(
+                boundary,
+                "pseudonym_expiry_stampede",
+                expiry_fraction,
+                self.cfg.expiry_stampede_fraction,
+            );
+        }
+
+        // 4. Starved nodes: online but no completed shuffle for the
+        // configured number of periods.
+        let starved = online
+            .iter()
+            .zip(self.last_progress.iter())
+            .filter(|(on, last)| **on && boundary - **last > self.cfg.starvation_periods)
+            .count();
+        self.gauge("health.starved_nodes", starved as f64);
+        if online_count > 0 {
+            let starved_fraction = starved as f64 / online_count as f64;
+            if starved_fraction > self.cfg.starved_fraction {
+                self.alert(
+                    boundary,
+                    "starved_nodes",
+                    starved_fraction,
+                    self.cfg.starved_fraction,
+                );
+            }
+        }
+
+        // 5. Isolated nodes: online with no overlay links at all. Any such
+        // node is a partition of size one — always critical.
+        let isolated = online
+            .iter()
+            .zip(degrees.iter())
+            .filter(|(on, deg)| **on && **deg == 0)
+            .count();
+        self.gauge("health.isolated_nodes", isolated as f64);
+        if isolated > 0 {
+            self.alert(boundary, "isolated_nodes", isolated as f64, 0.0);
+        }
+
+        // 6. In-degree skew over online nodes.
+        if online_count > 0 {
+            let (sum, max) = online
+                .iter()
+                .zip(degrees.iter())
+                .filter(|(on, _)| **on)
+                .fold((0usize, 0usize), |(s, m), (_, d)| (s + d, m.max(*d)));
+            let mean = sum as f64 / online_count as f64;
+            if mean > 0.0 {
+                let skew = max as f64 / mean;
+                self.gauge("health.indegree_skew", skew);
+                if skew > self.cfg.indegree_skew_ratio {
+                    self.alert(
+                        boundary,
+                        "indegree_skew",
+                        skew,
+                        self.cfg.indegree_skew_ratio,
+                    );
+                }
+            }
+        }
+
+        self.gauge("health.alerts_emitted", self.alerts_emitted as f64);
+        self.window_start = boundary;
+        self.starts = 0;
+        self.completes = 0;
+        self.failures = 0;
+        self.evictions = 0;
+        self.expiry_purges = 0;
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.recorder.gauge(name, value);
+    }
+
+    fn alert(&mut self, t: f64, detector: &str, value: f64, threshold: f64) {
+        self.alerts_emitted += 1;
+        // Zero-threshold detectors (isolated nodes) have no meaningful
+        // ratio; any firing is critical.
+        let critical = threshold <= 0.0 || value >= CRITICAL_FACTOR * threshold;
+        let detector = detector.to_string();
+        self.recorder.event(t, None, || Obs::HealthAlert {
+            detector,
+            severity: if critical { "critical" } else { "warning" }.to_string(),
+            value,
+            threshold,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_cfg() -> HealthConfig {
+        HealthConfig {
+            enabled: true,
+            window: 5.0,
+            failure_burst_min_starts: 4,
+            ..HealthConfig::default()
+        }
+    }
+
+    fn alerts(recorder: &Recorder) -> Vec<(f64, String, String)> {
+        recorder
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                Obs::HealthAlert {
+                    detector, severity, ..
+                } => Some((e.t, detector, severity)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disabled_config_or_recorder_yields_no_monitor() {
+        let off = HealthConfig::default();
+        assert!(HealthMonitor::maybe_new(&off, &Recorder::full(), 4, 0.0).is_none());
+        let on = enabled_cfg();
+        assert!(HealthMonitor::maybe_new(&on, &Recorder::disabled(), 4, 0.0).is_none());
+        assert!(HealthMonitor::maybe_new(&on, &Recorder::full(), 4, 0.0).is_some());
+    }
+
+    #[test]
+    fn failure_burst_fires_with_severity() {
+        let rec = Recorder::full();
+        let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 4, 0.0).unwrap();
+        for i in 0..10 {
+            hm.observe(
+                0.5,
+                Some(i % 4),
+                &Obs::ShuffleStart {
+                    target: 0,
+                    trusted: false,
+                },
+            );
+        }
+        for _ in 0..6 {
+            hm.observe(1.0, Some(0), &Obs::ShuffleFailure { exchange: 1 });
+        }
+        assert!(hm.due(5.0));
+        hm.rotate(5.0, &[true; 4], &[3, 3, 3, 3]);
+        let fired = alerts(&rec);
+        // 0.6 failure rate >= 2 * 0.25 threshold: critical, stamped at the
+        // window boundary.
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        assert_eq!(fired[0].0, 5.0);
+        assert_eq!(fired[0].1, "shuffle_failure_burst");
+        assert_eq!(fired[0].2, "critical");
+        assert_eq!(rec.metrics().counter("health.alerts"), 1);
+        assert_eq!(hm.alerts_emitted(), 1);
+    }
+
+    #[test]
+    fn quiet_window_fires_nothing() {
+        let rec = Recorder::full();
+        let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 4, 0.0).unwrap();
+        for i in 0..8 {
+            hm.observe(
+                0.5,
+                Some(i % 4),
+                &Obs::ShuffleStart {
+                    target: 0,
+                    trusted: false,
+                },
+            );
+            hm.observe(0.6, Some(i % 4), &Obs::ShuffleComplete { exchange: 0 });
+        }
+        hm.rotate(6.0, &[true; 4], &[3, 3, 3, 3]);
+        assert!(alerts(&rec).is_empty());
+        assert_eq!(hm.alerts_emitted(), 0);
+    }
+
+    #[test]
+    fn isolated_and_starved_nodes_detected() {
+        let rec = Recorder::full();
+        let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 4, 0.0).unwrap();
+        // Nobody completes anything for 20 periods: everyone online is
+        // starved (> 15 periods) and node 3 is isolated.
+        hm.rotate(20.0, &[true, true, true, true], &[2, 2, 2, 0]);
+        let a = alerts(&rec);
+        assert!(a.iter().any(|(_, d, _)| d == "starved_nodes"), "{a:?}");
+        assert!(
+            a.iter()
+                .any(|(_, d, s)| d == "isolated_nodes" && s == "critical"),
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn rejoining_node_gets_starvation_grace() {
+        let rec = Recorder::full();
+        let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 2, 0.0).unwrap();
+        // Both nodes make progress late enough to stay fresh; one came
+        // online even later.
+        hm.observe(18.0, Some(0), &Obs::ShuffleComplete { exchange: 0 });
+        hm.observe(19.0, Some(1), &Obs::NodeOnline);
+        hm.rotate(20.0, &[true, true], &[1, 1]);
+        assert!(
+            !alerts(&rec).iter().any(|(_, d, _)| d == "starved_nodes"),
+            "progress and rejoin must reset the starvation clock"
+        );
+    }
+
+    #[test]
+    fn skew_detector_uses_online_mean() {
+        let rec = Recorder::full();
+        let cfg = HealthConfig {
+            indegree_skew_ratio: 3.0,
+            ..enabled_cfg()
+        };
+        let mut hm = HealthMonitor::maybe_new(&cfg, &rec, 4, 0.0).unwrap();
+        hm.observe(1.0, Some(0), &Obs::ShuffleComplete { exchange: 0 });
+        hm.observe(1.0, Some(1), &Obs::ShuffleComplete { exchange: 0 });
+        hm.observe(1.0, Some(2), &Obs::ShuffleComplete { exchange: 0 });
+        // The offline node's degree (100) must not enter the mean; with
+        // only 3 online nodes max/mean is bounded below 3, so no alert.
+        hm.rotate(5.0, &[true, true, true, false], &[30, 1, 1, 100]);
+        assert!(
+            !alerts(&rec).iter().any(|(_, d, _)| d == "indegree_skew"),
+            "3 online nodes bound the ratio below 3"
+        );
+        let rec2 = Recorder::full();
+        let mut hm2 = HealthMonitor::maybe_new(&cfg, &rec2, 5, 0.0).unwrap();
+        for v in 0..5 {
+            hm2.observe(1.0, Some(v), &Obs::ShuffleComplete { exchange: 0 });
+        }
+        hm2.rotate(5.0, &[true; 5], &[80, 1, 1, 1, 1]);
+        assert!(
+            alerts(&rec2).iter().any(|(_, d, _)| d == "indegree_skew"),
+            "80 vs mean 16.8 is a 4.8x skew"
+        );
+    }
+
+    #[test]
+    fn eviction_storm_and_stampede() {
+        let rec = Recorder::full();
+        let cfg = HealthConfig {
+            eviction_storm_count: 3,
+            expiry_stampede_fraction: 0.5,
+            ..enabled_cfg()
+        };
+        let mut hm = HealthMonitor::maybe_new(&cfg, &rec, 4, 0.0).unwrap();
+        for v in 0..4 {
+            hm.observe(1.0, Some(v), &Obs::PeerEvicted { pseudonym: 7 });
+            hm.observe(1.5, Some(v), &Obs::PseudonymsExpired { count: 2 });
+            hm.observe(2.0, Some(v), &Obs::ShuffleComplete { exchange: 0 });
+        }
+        hm.rotate(5.0, &[true; 4], &[3; 4]);
+        let fired = alerts(&rec);
+        assert!(fired.iter().any(|(_, d, _)| d == "eviction_storm"));
+        assert!(
+            fired
+                .iter()
+                .any(|(_, d, _)| d == "pseudonym_expiry_stampede"),
+            "4/4 nodes purged"
+        );
+        // Counters reset: an immediately following quiet window is clean.
+        hm.rotate(10.0, &[true; 4], &[3; 4]);
+        assert_eq!(alerts(&rec).len(), fired.len());
+    }
+
+    #[test]
+    fn rotation_is_idempotent_within_a_window() {
+        let rec = Recorder::full();
+        let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 2, 0.0).unwrap();
+        assert!(!hm.due(4.9));
+        hm.rotate(4.9, &[true, true], &[1, 1]); // not past the boundary: no-op
+        assert!(hm.due(5.0));
+        hm.rotate(5.0, &[true, true], &[1, 1]);
+        assert!(!hm.due(9.9));
+        // A long idle gap collapses into one evaluation at the last grid
+        // point, not one per elapsed window.
+        hm.rotate(102.3, &[true, true], &[1, 1]);
+        assert!(!hm.due(102.4));
+        assert!(hm.due(105.0));
+    }
+}

@@ -55,6 +55,7 @@ pub mod config;
 pub mod dissemination;
 pub mod error;
 pub mod experiment;
+pub mod health;
 pub mod metrics;
 pub mod node;
 pub mod protocol;
@@ -62,7 +63,8 @@ pub mod pseudonym;
 pub mod sampler;
 pub mod simulation;
 
-pub use config::{LinkLayerConfig, OverlayConfig};
+pub use config::{HealthConfig, LinkLayerConfig, OverlayConfig};
 pub use error::CoreError;
+pub use health::HealthMonitor;
 pub use pseudonym::{Pseudonym, PseudonymId, PseudonymService};
 pub use simulation::Simulation;

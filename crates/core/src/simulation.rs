@@ -21,6 +21,7 @@
 
 use crate::config::{LifetimePolicy, LinkLayerConfig, OverlayConfig};
 use crate::error::CoreError;
+use crate::health::HealthMonitor;
 use crate::node::{LinkTarget, Node, NodeStats};
 use crate::protocol;
 use crate::pseudonym::{PseudonymId, PseudonymService};
@@ -192,6 +193,11 @@ pub struct Simulation {
     /// and never a source of randomness, so enabling it cannot perturb the
     /// simulation.
     recorder: Recorder,
+    /// Rolling-window degradation detectors over the event stream; present
+    /// only when [`OverlayConfig::health`] is enabled *and* a recorder is
+    /// attached. Strictly read-only: its outputs are `HealthAlert` events
+    /// and `health.*` gauges, never simulation state.
+    health: Option<HealthMonitor>,
 }
 
 impl Simulation {
@@ -227,6 +233,7 @@ impl Simulation {
         let mut svc = PseudonymService::new(master_seed);
         let mut sched_rng = derive_rng(master_seed, Stream::Scheduler);
         let recorder = veil_obs::global();
+        let mut health = HealthMonitor::maybe_new(&cfg.health, &recorder, n, 0.0);
 
         for v in 0..n {
             let trusted: Vec<u32> = trust.neighbors(v).to_vec();
@@ -241,8 +248,10 @@ impl Simulation {
                 // has no availability observations yet and falls back to
                 // the global lifetime here.)
                 node.renew_pseudonym(&mut svc, SimTime::ZERO, cfg.pseudonym_lifetime);
-                recorder.event(0.0, Some(v as u32), || Obs::PseudonymMinted {
-                    lifetime: cfg.pseudonym_lifetime,
+                record(&recorder, &mut health, 0.0, Some(v as u32), || {
+                    Obs::PseudonymMinted {
+                        lifetime: cfg.pseudonym_lifetime,
+                    }
                 });
                 online_since.push(Some(SimTime::ZERO));
                 offline_since.push(None);
@@ -315,13 +324,48 @@ impl Simulation {
             next_exchange: 1,
             blackout_until: vec![None; n],
             recorder,
+            health,
         })
     }
 
     /// Replaces the observability sink (taken from [`veil_obs::global`] at
     /// construction). Pass [`Recorder::disabled`] to switch recording off.
+    ///
+    /// The health monitor follows the recorder: it is rebuilt against the
+    /// new sink (when [`OverlayConfig::health`] is enabled) with fresh
+    /// window state starting at the current time.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+        self.health = HealthMonitor::maybe_new(
+            &self.cfg.health,
+            &self.recorder,
+            self.nodes.len(),
+            self.current_time.as_f64(),
+        );
+    }
+
+    /// Emits an observability event: feeds the health monitor's window
+    /// counters, then records the event. One branch when recording is off;
+    /// the payload closure is only built when it is on.
+    fn emit(&mut self, now: SimTime, node: Option<u32>, kind: impl FnOnce() -> Obs) {
+        record(&self.recorder, &mut self.health, now.as_f64(), node, kind);
+    }
+
+    /// Closes elapsed health-monitor windows before an event at `now` is
+    /// processed. Alerts are stamped at the window-grid boundary, so the
+    /// timeline is independent of which event happened to cross it.
+    fn health_tick(&mut self, now: SimTime) {
+        let due = self.health.as_ref().is_some_and(|h| h.due(now.as_f64()));
+        if !due {
+            return;
+        }
+        let online = self.online_mask();
+        let degrees: Vec<usize> = (0..self.nodes.len())
+            .map(|v| self.trust.neighbors(v).len() + self.nodes[v].sampler.link_count())
+            .collect();
+        if let Some(h) = self.health.as_mut() {
+            h.rotate(now.as_f64(), &online, &degrees);
+        }
     }
 
     /// The active observability sink.
@@ -381,6 +425,13 @@ impl Simulation {
             agg.shuffles_suppressed as f64,
         );
         r.gauge("sim.stats_online_time", agg.online_time);
+        r.gauge(
+            "health.monitor_enabled",
+            if self.health.is_some() { 1.0 } else { 0.0 },
+        );
+        if let Some(h) = &self.health {
+            r.gauge("health.alerts_emitted", h.alerts_emitted() as f64);
+        }
     }
 
     /// Starts recording every protocol message into an in-memory log
@@ -445,6 +496,12 @@ impl Simulation {
     /// Number of participants.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of `HealthAlert` events emitted so far, or `None` when the
+    /// health monitor is off (disabled in config or no recorder attached).
+    pub fn health_alerts(&self) -> Option<u64> {
+        self.health.as_ref().map(|h| h.alerts_emitted())
     }
 
     /// Current simulation time.
@@ -541,6 +598,9 @@ impl Simulation {
     }
 
     fn handle(&mut self, now: SimTime, event: Event) {
+        if self.health.is_some() {
+            self.health_tick(now);
+        }
         match event {
             Event::Shuffle(v) => self.handle_shuffle(now, v as usize),
             Event::Churn { node, generation } => self.handle_churn(now, node as usize, generation),
@@ -565,17 +625,13 @@ impl Simulation {
         if self.nodes[v].needs_pseudonym(now) {
             let lifetime = self.lifetime_for(v);
             self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
-            self.recorder
-                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymMinted {
-                    lifetime,
-                });
+            self.emit(now, Some(v as u32), || Obs::PseudonymMinted { lifetime });
         }
         let purged = self.nodes[v].purge_expired(now);
         if purged > 0 {
-            self.recorder
-                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymsExpired {
-                    count: purged as u64,
-                });
+            self.emit(now, Some(v as u32), || Obs::PseudonymsExpired {
+                count: purged as u64,
+            });
         }
         // Adaptive shuffle suppression: once the link set has been stable
         // for the configured number of periods, skip initiating (responses
@@ -623,20 +679,18 @@ impl Simulation {
         let dest = target.resolve() as usize;
         debug_assert_ne!(dest, v, "nodes never link to themselves");
         let trusted_link = target.is_trusted();
-        self.recorder
-            .event(now.as_f64(), Some(v as u32), || Obs::ShuffleStart {
-                target: dest as u64,
-                trusted: trusted_link,
-            });
+        self.emit(now, Some(v as u32), || Obs::ShuffleStart {
+            target: dest as u64,
+            trusted: trusted_link,
+        });
         if !self.churn[dest].is_online() {
             // Request sent into the anonymity service but never delivered.
             self.nodes[v].stats.requests_sent += 1;
             self.nodes[v].stats.dropped_requests += 1;
-            self.recorder
-                .event(now.as_f64(), Some(v as u32), || Obs::MessageDropped {
-                    exchange: 0,
-                    response: false,
-                });
+            self.emit(now, Some(v as u32), || Obs::MessageDropped {
+                exchange: 0,
+                response: false,
+            });
             self.log_message(MessageRecord {
                 time: now,
                 from: v as u32,
@@ -679,10 +733,7 @@ impl Simulation {
         let (initiator, responder) = two_mut(&mut self.nodes, v, dest);
         protocol::execute_shuffle(initiator, responder, self.cfg.shuffle_length, now, &mut rng);
         self.node_rngs[v] = rng;
-        self.recorder
-            .event(now.as_f64(), Some(v as u32), || Obs::ShuffleComplete {
-                exchange: 0,
-            });
+        self.emit(now, Some(v as u32), || Obs::ShuffleComplete { exchange: 0 });
         self.log_message(MessageRecord {
             time: now,
             from: v as u32,
@@ -730,11 +781,10 @@ impl Simulation {
         };
         let exchange = self.next_exchange;
         self.next_exchange += 1;
-        self.recorder
-            .event(now.as_f64(), Some(v as u32), || Obs::ShuffleStart {
-                target: u64::from(dest),
-                trusted: target.is_trusted(),
-            });
+        self.emit(now, Some(v as u32), || Obs::ShuffleStart {
+            target: u64::from(dest),
+            trusted: target.is_trusted(),
+        });
         self.pending.insert(
             exchange,
             PendingExchange {
@@ -768,11 +818,10 @@ impl Simulation {
         self.nodes[v].stats.requests_sent += 1;
         if dropped {
             self.nodes[v].stats.dropped_requests += 1;
-            self.recorder
-                .event(now.as_f64(), Some(initiator), || Obs::MessageDropped {
-                    exchange,
-                    response: false,
-                });
+            self.emit(now, Some(initiator), || Obs::MessageDropped {
+                exchange,
+                response: false,
+            });
         }
         self.log_message(MessageRecord {
             time: now,
@@ -831,22 +880,20 @@ impl Simulation {
             self.pending.remove(&exchange);
             return;
         }
-        self.recorder
-            .event(now.as_f64(), Some(initiator), || Obs::ShuffleTimeout {
-                exchange,
-                attempt: u64::from(attempt),
-            });
+        self.emit(now, Some(initiator), || Obs::ShuffleTimeout {
+            exchange,
+            attempt: u64::from(attempt),
+        });
         if attempt < self.cfg.shuffle_retry_budget {
             self.pending
                 .get_mut(&exchange)
                 .expect("checked above")
                 .attempt += 1;
             self.nodes[v].stats.shuffle_retries += 1;
-            self.recorder
-                .event(now.as_f64(), Some(initiator), || Obs::ShuffleRetry {
-                    exchange,
-                    attempt: u64::from(attempt) + 1,
-                });
+            self.emit(now, Some(initiator), || Obs::ShuffleRetry {
+                exchange,
+                attempt: u64::from(attempt) + 1,
+            });
             self.transmit_request(now, exchange);
             return;
         }
@@ -855,17 +902,13 @@ impl Simulation {
         // of the social graph and are never evicted).
         let p = self.pending.remove(&exchange).expect("checked above");
         self.nodes[v].stats.shuffle_failures += 1;
-        self.recorder
-            .event(now.as_f64(), Some(initiator), || Obs::ShuffleFailure {
-                exchange,
-            });
+        self.emit(now, Some(initiator), || Obs::ShuffleFailure { exchange });
         if let Some(id) = p.target_pseudonym {
             self.nodes[v].cache.remove(id);
             self.nodes[v].sampler.evict(id);
-            self.recorder
-                .event(now.as_f64(), Some(initiator), || Obs::PeerEvicted {
-                    pseudonym: id.0,
-                });
+            self.emit(now, Some(initiator), || Obs::PeerEvicted {
+                pseudonym: id.0,
+            });
         }
     }
 
@@ -881,11 +924,10 @@ impl Simulation {
         else {
             return;
         };
-        self.recorder
-            .event(now.as_f64(), None, || Obs::EpisodeStart {
-                index: idx as u64,
-                kind: ep.effect.kind_str().to_string(),
-            });
+        self.emit(now, None, || Obs::EpisodeStart {
+            index: idx as u64,
+            kind: ep.effect.kind_str().to_string(),
+        });
         if let EpisodeEffect::Blackout { first, count } = ep.effect {
             let n = self.nodes.len();
             let lo = (first as usize).min(n);
@@ -910,6 +952,10 @@ impl Simulation {
             // crashed). The initiator's request produces no response; on
             // the faulty path the exchange timeout will recover.
             self.nodes[delivery.from as usize].stats.dropped_requests += 1;
+            self.emit(now, Some(delivery.from), || Obs::MessageDropped {
+                exchange: delivery.exchange,
+                response: false,
+            });
             return;
         }
         // Mirror the synchronous order: build the response offer before
@@ -956,11 +1002,10 @@ impl Simulation {
             });
             if dropped {
                 self.nodes[responder].stats.dropped_requests += 1;
-                self.recorder
-                    .event(now.as_f64(), Some(delivery.to), || Obs::MessageDropped {
-                        exchange: delivery.exchange,
-                        response: true,
-                    });
+                self.emit(now, Some(delivery.to), || Obs::MessageDropped {
+                    exchange: delivery.exchange,
+                    response: true,
+                });
                 return;
             }
             let latency = self
@@ -1024,10 +1069,9 @@ impl Simulation {
             now,
             rng,
         );
-        self.recorder
-            .event(now.as_f64(), Some(delivery.to), || Obs::ShuffleComplete {
-                exchange: delivery.exchange,
-            });
+        self.emit(now, Some(delivery.to), || Obs::ShuffleComplete {
+            exchange: delivery.exchange,
+        });
     }
 
     fn handle_churn(&mut self, now: SimTime, v: usize, generation: u32) {
@@ -1054,8 +1098,7 @@ impl Simulation {
     /// Bookkeeping for a node coming online: session tracking, adaptive
     /// lifetime observation, expired-state purge and pseudonym renewal.
     fn rejoin(&mut self, now: SimTime, v: usize) {
-        self.recorder
-            .event(now.as_f64(), Some(v as u32), || Obs::NodeOnline);
+        self.emit(now, Some(v as u32), || Obs::NodeOnline);
         self.online_since[v] = Some(now);
         if let Some(since) = self.offline_since[v].take() {
             // Feed the adaptive lifetime policy with the node's own
@@ -1071,25 +1114,20 @@ impl Simulation {
         self.stable_ticks[v] = 0;
         let purged = self.nodes[v].purge_expired(now);
         if purged > 0 {
-            self.recorder
-                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymsExpired {
-                    count: purged as u64,
-                });
+            self.emit(now, Some(v as u32), || Obs::PseudonymsExpired {
+                count: purged as u64,
+            });
         }
         if self.nodes[v].needs_pseudonym(now) {
             let lifetime = self.lifetime_for(v);
             self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
-            self.recorder
-                .event(now.as_f64(), Some(v as u32), || Obs::PseudonymMinted {
-                    lifetime,
-                });
+            self.emit(now, Some(v as u32), || Obs::PseudonymMinted { lifetime });
         }
     }
 
     /// Bookkeeping for a node going offline: close the online session.
     fn depart(&mut self, now: SimTime, v: usize) {
-        self.recorder
-            .event(now.as_f64(), Some(v as u32), || Obs::NodeOffline);
+        self.emit(now, Some(v as u32), || Obs::NodeOffline);
         self.offline_since[v] = Some(now);
         if let Some(since) = self.online_since[v].take() {
             self.nodes[v].stats.online_time += now.since(since);
@@ -1130,10 +1168,9 @@ impl Simulation {
                 }
             }
             self.blackout_until[v] = Some(until);
-            self.recorder
-                .event(now.as_f64(), Some(v as u32), || Obs::BlackoutStart {
-                    until: until.as_f64(),
-                });
+            self.emit(now, Some(v as u32), || Obs::BlackoutStart {
+                until: until.as_f64(),
+            });
             self.churn_generation[v] = self.churn_generation[v].wrapping_add(1);
             if self.churn[v].is_online() {
                 self.depart(now, v);
@@ -1156,8 +1193,7 @@ impl Simulation {
             return; // a newer blackout supersedes this recovery
         }
         self.blackout_until[v] = None;
-        self.recorder
-            .event(now.as_f64(), Some(v as u32), || Obs::BlackoutEnd);
+        self.emit(now, Some(v as u32), || Obs::BlackoutEnd);
         let next =
             self.churn[v].force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
         if let Some(delay) = next {
@@ -1213,6 +1249,26 @@ impl std::fmt::Debug for Simulation {
             .field("online", &self.online_count())
             .finish()
     }
+}
+
+/// Shared emission funnel for [`Simulation::emit`] and construction-time
+/// events (before `Self` exists): builds the payload once, feeds the health
+/// monitor, then records. Still a single branch when recording is off.
+fn record(
+    recorder: &Recorder,
+    health: &mut Option<HealthMonitor>,
+    t: f64,
+    node: Option<u32>,
+    kind: impl FnOnce() -> Obs,
+) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let kind = kind();
+    if let Some(h) = health {
+        h.observe(t, node, &kind);
+    }
+    recorder.event(t, node, move || kind);
 }
 
 /// Mutable references to two distinct vector elements.

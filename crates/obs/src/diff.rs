@@ -1,0 +1,381 @@
+//! Run-to-run regression diffing of [`TraceReport`]s.
+//!
+//! [`diff_reports`] compares a candidate analysis against a baseline under
+//! configurable tolerance bands ([`DiffConfig`]) and classifies each
+//! metric directionally: more shuffle failures, drops, alerts or a lower
+//! success rate is a *regression*; movement the other way is an
+//! improvement; anything within tolerance is noise. The CLI's `veil obs
+//! diff` exits non-zero when any regression survives the bands, which is
+//! what lets CI gate on "did the overlay get less healthy".
+
+use crate::replay::TraceReport;
+use serde::{Deserialize, Serialize};
+
+/// Which direction of movement counts against the candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Higher is worse (failures, drops, alerts).
+    HigherIsWorse,
+    /// Lower is worse (success rate, online nodes).
+    LowerIsWorse,
+    /// Purely informational (event counts, mints).
+    Neutral,
+}
+
+/// Tolerance bands for [`diff_reports`].
+///
+/// A worsening is only a regression when it clears **both** bands: the
+/// absolute delta exceeds `abs_tolerance` *and* the relative delta exceeds
+/// `rel_tolerance` of the baseline value. Rates in `[0, 1]` (the shuffle
+/// success rate) use `rate_tolerance` as their absolute band instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiffConfig {
+    /// Relative band as a fraction of the baseline value. Default: 0.10.
+    pub rel_tolerance: f64,
+    /// Absolute band for counter metrics. Default: 5.0.
+    pub abs_tolerance: f64,
+    /// Absolute band for rate metrics in `[0, 1]`. Default: 0.05.
+    pub rate_tolerance: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            rel_tolerance: 0.10,
+            abs_tolerance: 5.0,
+            rate_tolerance: 0.05,
+        }
+    }
+}
+
+/// Comparison outcome for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Within tolerance (or neutral direction).
+    Ok,
+    /// Moved in the good direction beyond tolerance.
+    Improved,
+    /// Moved in the bad direction beyond tolerance.
+    Regressed,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffEntry {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Candidate minus baseline.
+    pub delta: f64,
+    /// Which direction counts against the candidate.
+    pub direction: Direction,
+    /// Classification under the tolerance bands.
+    pub verdict: Verdict,
+}
+
+/// Result of diffing two reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDiff {
+    /// Bands the comparison ran under.
+    pub config: DiffConfig,
+    /// Every compared metric, in a fixed order.
+    pub entries: Vec<DiffEntry>,
+    /// Names of the regressed metrics (empty means the diff passes).
+    pub regressions: Vec<String>,
+}
+
+impl TraceDiff {
+    /// Whether the candidate is free of regressions.
+    pub fn passes(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the human-readable comparison table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>10}  verdict",
+            "metric", "baseline", "candidate", "delta"
+        );
+        for e in &self.entries {
+            let verdict = match e.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Improved => "improved",
+                Verdict::Regressed => "REGRESSED",
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12.3} {:>12.3} {:>+10.3}  {verdict}",
+                e.metric, e.baseline, e.candidate, e.delta
+            );
+        }
+        if self.passes() {
+            let _ = writeln!(out, "\nno regressions beyond tolerance");
+        } else {
+            let _ = writeln!(
+                out,
+                "\n{} regression(s): {}",
+                self.regressions.len(),
+                self.regressions.join(", ")
+            );
+        }
+        out
+    }
+}
+
+/// Is `candidate` a rate in `[0, 1]` compared with the rate band?
+fn is_rate(metric: &str) -> bool {
+    metric.ends_with("_rate")
+}
+
+fn classify(
+    cfg: &DiffConfig,
+    metric: &str,
+    direction: Direction,
+    delta: f64,
+    base: f64,
+) -> Verdict {
+    if direction == Direction::Neutral {
+        return Verdict::Ok;
+    }
+    let worse = match direction {
+        Direction::HigherIsWorse => delta,
+        Direction::LowerIsWorse => -delta,
+        Direction::Neutral => unreachable!(),
+    };
+    let abs_band = if is_rate(metric) {
+        cfg.rate_tolerance
+    } else {
+        cfg.abs_tolerance
+    };
+    let rel_band = cfg.rel_tolerance * base.abs().max(1.0);
+    let band = if is_rate(metric) {
+        // A rate's relative band is meaningless near zero; the absolute
+        // band alone governs.
+        abs_band
+    } else {
+        abs_band.max(rel_band)
+    };
+    if worse > band {
+        Verdict::Regressed
+    } else if worse < -band {
+        Verdict::Improved
+    } else {
+        Verdict::Ok
+    }
+}
+
+/// The metric table: `(name, direction, extractor)`.
+fn metrics(report: &TraceReport) -> Vec<(&'static str, Direction, f64)> {
+    use Direction::*;
+    vec![
+        (
+            "shuffle_success_rate",
+            LowerIsWorse,
+            report.shuffle_success_rate,
+        ),
+        (
+            "sim.shuffle_failures",
+            HigherIsWorse,
+            report.total("sim.shuffle_failures") as f64,
+        ),
+        (
+            "sim.shuffle_timeouts",
+            HigherIsWorse,
+            report.total("sim.shuffle_timeouts") as f64,
+        ),
+        (
+            "sim.shuffle_retries",
+            HigherIsWorse,
+            report.total("sim.shuffle_retries") as f64,
+        ),
+        (
+            "sim.messages_dropped",
+            HigherIsWorse,
+            report.total("sim.messages_dropped") as f64,
+        ),
+        (
+            "sim.evictions",
+            HigherIsWorse,
+            report.total("sim.evictions") as f64,
+        ),
+        (
+            "health.alerts",
+            HigherIsWorse,
+            report.total("health.alerts") as f64,
+        ),
+        ("final_online", LowerIsWorse, report.final_online as f64),
+        (
+            "sim.shuffles_started",
+            Neutral,
+            report.total("sim.shuffles_started") as f64,
+        ),
+        (
+            "sim.shuffles_completed",
+            Neutral,
+            report.total("sim.shuffles_completed") as f64,
+        ),
+        (
+            "sim.pseudonyms_minted",
+            Neutral,
+            report.total("sim.pseudonyms_minted") as f64,
+        ),
+        ("events", Neutral, report.events as f64),
+    ]
+}
+
+/// Compares `candidate` against `baseline` under the given bands.
+pub fn diff_reports(baseline: &TraceReport, candidate: &TraceReport, cfg: DiffConfig) -> TraceDiff {
+    let base = metrics(baseline);
+    let cand = metrics(candidate);
+    let mut entries = Vec::with_capacity(base.len());
+    let mut regressions = Vec::new();
+    for ((name, direction, b), (_, _, c)) in base.into_iter().zip(cand) {
+        let delta = c - b;
+        let verdict = classify(&cfg, name, direction, delta, b);
+        if verdict == Verdict::Regressed {
+            regressions.push(name.to_string());
+        }
+        entries.push(DiffEntry {
+            metric: name.to_string(),
+            baseline: b,
+            candidate: c,
+            delta,
+            direction,
+            verdict,
+        });
+    }
+    TraceDiff {
+        config: cfg,
+        entries,
+        regressions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::analyze_trace;
+    use crate::{EventKind, TraceEvent};
+
+    fn report(failures: u64, completes: u64) -> TraceReport {
+        let mut lines = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |t: f64, kind: EventKind| {
+            seq += 1;
+            lines.push(
+                serde_json::to_string(&TraceEvent {
+                    t,
+                    tid: 0,
+                    seq,
+                    node: Some(0),
+                    kind,
+                })
+                .unwrap(),
+            );
+        };
+        for i in 0..(failures + completes) {
+            push(
+                i as f64 * 0.1,
+                EventKind::ShuffleStart {
+                    target: 1,
+                    trusted: false,
+                },
+            );
+        }
+        for i in 0..completes {
+            push(
+                i as f64 * 0.1 + 0.05,
+                EventKind::ShuffleComplete { exchange: i },
+            );
+        }
+        for i in 0..failures {
+            push(
+                i as f64 * 0.1 + 0.07,
+                EventKind::ShuffleFailure { exchange: i },
+            );
+        }
+        analyze_trace(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let a = report(2, 100);
+        let diff = diff_reports(&a, &a, DiffConfig::default());
+        assert!(diff.passes());
+        assert!(diff.entries.iter().all(|e| e.verdict == Verdict::Ok));
+        assert!(diff.render_text().contains("no regressions"));
+    }
+
+    #[test]
+    fn more_failures_regress() {
+        let base = report(2, 100);
+        let worse = report(40, 62);
+        let diff = diff_reports(&base, &worse, DiffConfig::default());
+        assert!(!diff.passes());
+        assert!(
+            diff.regressions.iter().any(|m| m == "sim.shuffle_failures"),
+            "{:?}",
+            diff.regressions
+        );
+        assert!(
+            diff.regressions.iter().any(|m| m == "shuffle_success_rate"),
+            "{:?}",
+            diff.regressions
+        );
+        assert!(diff.render_text().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let base = report(40, 62);
+        let better = report(2, 100);
+        let diff = diff_reports(&base, &better, DiffConfig::default());
+        assert!(diff.passes());
+        assert!(diff.entries.iter().any(|e| e.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn tolerance_bands_absorb_small_drift() {
+        let base = report(10, 100);
+        let slightly_worse = report(12, 98);
+        // +2 failures is inside both the absolute (5) and relative (10% of
+        // 10 -> max with abs) bands.
+        let diff = diff_reports(&base, &slightly_worse, DiffConfig::default());
+        assert!(diff.passes(), "{:?}", diff.regressions);
+        // Zero-tolerance bands catch the same drift.
+        let strict = DiffConfig {
+            rel_tolerance: 0.0,
+            abs_tolerance: 0.0,
+            rate_tolerance: 0.0,
+        };
+        let diff = diff_reports(&base, &slightly_worse, strict);
+        assert!(!diff.passes());
+    }
+
+    #[test]
+    fn neutral_metrics_never_regress() {
+        let base = report(0, 10);
+        let cand = report(0, 500);
+        let diff = diff_reports(&base, &cand, DiffConfig::default());
+        assert!(diff.passes());
+        let events_entry = diff.entries.iter().find(|e| e.metric == "events").unwrap();
+        assert_eq!(events_entry.verdict, Verdict::Ok);
+        assert!(events_entry.delta > 0.0);
+    }
+
+    #[test]
+    fn diff_serializes_round_trip() {
+        let a = report(2, 100);
+        let b = report(40, 62);
+        let diff = diff_reports(&a, &b, DiffConfig::default());
+        let json = serde_json::to_string(&diff).unwrap();
+        let back: TraceDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(diff, back);
+    }
+}

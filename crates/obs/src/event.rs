@@ -101,10 +101,45 @@ pub enum EventKind {
         /// Hop count at delivery (0 at the publisher).
         hops: u64,
     },
+    /// An online health detector crossed its threshold (see
+    /// `veil_core::health`). Alerts are ordinary trace events: the monitor
+    /// never feeds back into the simulation, so `off == full == ring`
+    /// equivalence holds whether or not monitoring is enabled.
+    HealthAlert {
+        /// Detector name (`"shuffle_failure_burst"`, `"eviction_storm"`,
+        /// `"pseudonym_expiry_stampede"`, `"starved_nodes"`,
+        /// `"isolated_nodes"`, `"indegree_skew"`).
+        detector: String,
+        /// `"warning"`, or `"critical"` when the observed value is at
+        /// least twice the threshold.
+        severity: String,
+        /// Observed detector value for the window.
+        value: f64,
+        /// Configured threshold the value crossed.
+        threshold: f64,
+    },
 }
 
 /// Number of [`EventKind`] variants; the range of [`EventKind::index`].
-pub(crate) const KIND_COUNT: usize = 16;
+pub(crate) const KIND_COUNT: usize = 17;
+
+/// Version of the JSONL trace format. Bumped whenever the event schema
+/// changes incompatibly; the header line produced by [`trace_header`]
+/// carries it so consumers can reject traces they do not understand
+/// up front instead of failing on individual events.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// The header object opening every JSONL trace: one line identifying the
+/// format and its [`TRACE_SCHEMA_VERSION`].
+pub fn trace_header() -> String {
+    format!("{{\"veil_trace_version\":{TRACE_SCHEMA_VERSION}}}")
+}
+
+/// If `line` is a trace header, returns its version.
+pub fn parse_trace_header(line: &str) -> Option<u64> {
+    let v: serde_json::Value = serde_json::from_str(line.trim()).ok()?;
+    v.get("veil_trace_version").and_then(|n| n.as_u64())
+}
 
 /// Counter name per kind index (aligned with [`EventKind::index`]); `None`
 /// for kinds that do not feed a counter. Pinned against
@@ -126,6 +161,7 @@ pub(crate) const COUNTER_NAMES: [Option<&str>; KIND_COUNT] = [
     None, // EpisodeStart
     Some("broadcast.published"),
     Some("broadcast.delivered"),
+    Some("health.alerts"),
 ];
 
 impl EventKind {
@@ -148,6 +184,7 @@ impl EventKind {
             EventKind::EpisodeStart { .. } => 13,
             EventKind::BroadcastPublish { .. } => 14,
             EventKind::BroadcastDeliver { .. } => 15,
+            EventKind::HealthAlert { .. } => 16,
         }
     }
 
@@ -184,6 +221,7 @@ impl EventKind {
             EventKind::EpisodeStart { .. } => "EpisodeStart",
             EventKind::BroadcastPublish { .. } => "BroadcastPublish",
             EventKind::BroadcastDeliver { .. } => "BroadcastDeliver",
+            EventKind::HealthAlert { .. } => "HealthAlert",
         }
     }
 }
@@ -241,6 +279,15 @@ pub fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldType)]
         ("EpisodeStart", &[("index", U64), ("kind", Str)]),
         ("BroadcastPublish", &[("message", U64)]),
         ("BroadcastDeliver", &[("message", U64), ("hops", U64)]),
+        (
+            "HealthAlert",
+            &[
+                ("detector", Str),
+                ("severity", Str),
+                ("value", F64),
+                ("threshold", F64),
+            ],
+        ),
     ]
 }
 
@@ -349,16 +396,33 @@ pub fn validate_event_value(v: &serde_json::Value) -> Result<(), String> {
     validate_kind(kind)
 }
 
-/// Validates a whole JSONL trace (one event object per non-empty line).
+/// Validates a whole JSONL trace (one event object per non-empty line,
+/// optionally opened by a [`trace_header`] line).
 ///
-/// Returns the number of validated events, or the first error annotated
-/// with its 1-based line number.
+/// A header with a version other than [`TRACE_SCHEMA_VERSION`] is rejected
+/// up front with a single clear error instead of per-event failures;
+/// header-less traces (from builds predating the header) still validate.
+/// Returns the number of validated events (the header does not count), or
+/// the first error annotated with its 1-based line number.
 pub fn validate_events_jsonl(text: &str) -> Result<usize, String> {
     let mut n = 0usize;
+    let mut saw_line = false;
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
+        }
+        if !saw_line {
+            saw_line = true;
+            if let Some(version) = parse_trace_header(line) {
+                if version != u64::from(TRACE_SCHEMA_VERSION) {
+                    return Err(format!(
+                        "unsupported trace version {version} (this build reads version \
+                         {TRACE_SCHEMA_VERSION}); re-record the trace with a matching build"
+                    ));
+                }
+                continue;
+            }
         }
         let v: serde_json::Value =
             serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
@@ -422,6 +486,12 @@ mod tests {
                 message: 5,
                 hops: 2,
             },
+            EventKind::HealthAlert {
+                detector: "shuffle_failure_burst".to_string(),
+                severity: "warning".to_string(),
+                value: 0.4,
+                threshold: 0.25,
+            },
         ];
         assert_eq!(kinds.len(), schema().len() + 1); // PseudonymMinted twice
         for kind in kinds {
@@ -470,6 +540,12 @@ mod tests {
             EventKind::BroadcastDeliver {
                 message: 0,
                 hops: 0,
+            },
+            EventKind::HealthAlert {
+                detector: String::new(),
+                severity: String::new(),
+                value: 0.0,
+                threshold: 0.0,
             },
         ];
         assert_eq!(kinds.len(), KIND_COUNT);
@@ -529,6 +605,22 @@ mod tests {
         let text = "\n{\"t\":0,\"tid\":0,\"seq\":0,\"node\":null,\"kind\":\"NodeOnline\"}\n\n{\"t\":1,\"tid\":0,\"seq\":1,\"node\":2,\"kind\":\"NodeOffline\"}\n";
         assert_eq!(validate_events_jsonl(text), Ok(2));
         assert_eq!(validate_events_jsonl(""), Ok(0));
+    }
+
+    #[test]
+    fn validator_accepts_current_header_and_rejects_other_versions() {
+        let event = "{\"t\":0,\"tid\":0,\"seq\":0,\"node\":null,\"kind\":\"NodeOnline\"}";
+        // Header does not count as an event.
+        let with_header = format!("{}\n{event}\n", trace_header());
+        assert_eq!(validate_events_jsonl(&with_header), Ok(1));
+        assert_eq!(parse_trace_header(&trace_header()), Some(1));
+        // A future version is rejected up front with a single clear error.
+        let future = format!("{{\"veil_trace_version\":999}}\n{event}\n");
+        let err = validate_events_jsonl(&future).unwrap_err();
+        assert!(err.contains("unsupported trace version 999"), "{err}");
+        // A header appearing after the first line is just an invalid event.
+        let late = format!("{event}\n{}\n", trace_header());
+        assert!(validate_events_jsonl(&late).is_err());
     }
 
     #[test]

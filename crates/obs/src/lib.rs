@@ -46,11 +46,17 @@ pub mod metrics;
 pub mod recorder;
 pub mod span;
 
+pub mod diff;
+pub mod replay;
+
+pub use diff::{diff_reports, DiffConfig, DiffEntry, TraceDiff};
 pub use event::{
-    schema, schema_text, validate_event_value, validate_events_jsonl, EventKind, TraceEvent,
+    parse_trace_header, schema, schema_text, trace_header, validate_event_value,
+    validate_events_jsonl, EventKind, TraceEvent, TRACE_SCHEMA_VERSION,
 };
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{ObsConfig, Recorder, Span};
+pub use replay::{analyze_trace, AlertRecord, BlackoutRecord, RoundStats, TraceReport};
 pub use span::{chrome_trace_json, SpanRecord};
 
 use std::sync::RwLock;

@@ -316,9 +316,11 @@ impl Recorder {
         events
     }
 
-    /// The retained events as JSONL (one event object per line).
+    /// The retained events as JSONL: a [`crate::event::trace_header`]
+    /// version line followed by one event object per line.
     pub fn events_jsonl(&self) -> String {
-        let mut out = String::new();
+        let mut out = crate::event::trace_header();
+        out.push('\n');
         for ev in self.events() {
             out.push_str(&serde_json::to_string(&ev).expect("event serializes"));
             out.push('\n');

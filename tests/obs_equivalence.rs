@@ -37,7 +37,13 @@ fn params(seed: u64, parallelism: Option<usize>) -> ExperimentParams {
 /// Runs one simulation under `recorder` and returns the serialized final
 /// snapshot — the byte-identity witness.
 fn witness(seed: u64, recorder: Recorder) -> String {
-    let p = params(seed, Some(1));
+    witness_health(seed, recorder, false)
+}
+
+/// [`witness`] with the online health monitor optionally enabled.
+fn witness_health(seed: u64, recorder: Recorder, health: bool) -> String {
+    let mut p = params(seed, Some(1));
+    p.overlay.health.enabled = health;
     let trust = build_trust_graph(&p).expect("trust graph");
     let mut sim = build_simulation(trust, &p, 0.5).expect("simulation");
     sim.set_recorder(recorder);
@@ -54,6 +60,45 @@ fn tracing_never_changes_simulation_output() {
         assert_eq!(off, full, "full tracing perturbed the run (seed {seed})");
         assert_eq!(off, ring, "flight recorder perturbed the run (seed {seed})");
     }
+}
+
+#[test]
+fn health_monitor_never_changes_simulation_output() {
+    // The monitor is a pure observer over the event stream: it draws no
+    // randomness and feeds nothing back into the protocol, so a run with
+    // detectors live must stay byte-identical to one with tracing off.
+    for seed in [3, 19] {
+        let off = witness(seed, Recorder::disabled());
+        let monitored = witness_health(seed, Recorder::full(), true);
+        assert_eq!(
+            off, monitored,
+            "health monitor perturbed the run (seed {seed})"
+        );
+    }
+    // A health-enabled config with no recorder keeps the monitor off and
+    // still matches.
+    let off = witness(3, Recorder::disabled());
+    let disabled_monitor = witness_health(3, Recorder::disabled(), true);
+    assert_eq!(off, disabled_monitor);
+}
+
+#[test]
+fn health_monitored_trace_validates_and_counts_alerts() {
+    let recorder = Recorder::full();
+    witness_health(11, recorder.clone(), true);
+    let jsonl = recorder.events_jsonl();
+    let count = veil_obs::validate_events_jsonl(&jsonl).expect("monitored trace validates");
+    assert_eq!(count as u64, recorder.events_seen());
+    let alerts = recorder
+        .events()
+        .iter()
+        .filter(|e| e.kind.name() == "HealthAlert")
+        .count() as u64;
+    assert_eq!(
+        recorder.metrics().counter("health.alerts"),
+        alerts,
+        "alert counter and event stream must agree"
+    );
 }
 
 #[test]
