@@ -1,0 +1,121 @@
+//! Scaling benchmark for the sharded simulation executor.
+//!
+//! Runs one fault-injected overlay simulation (the windowed executor's
+//! regime) over a degree-matched trust graph at shard counts 1, 2 and 8,
+//! times each run, verifies the final snapshots are byte-identical, and
+//! writes `target/figures/BENCH_shard.json`.
+//!
+//! The full-scale workload is 50,000 nodes; `VEIL_SCALE` divides it for
+//! smoke runs (the committed baseline uses `VEIL_SCALE=10`). On a
+//! single-core runner the shard counts time alike (the worker pool
+//! degenerates to one thread); the JSON records `available_cores` so
+//! consumers can tell an absent speedup from a failed one.
+
+use serde::Serialize;
+use std::time::Instant;
+use veil_bench::write_bench_json;
+use veil_core::config::{LinkLayerConfig, OverlayConfig};
+use veil_core::metrics::snapshot;
+use veil_core::simulation::Simulation;
+use veil_graph::generators;
+use veil_sim::churn::ChurnConfig;
+use veil_sim::fault::{FaultConfig, LatencyDist};
+use veil_sim::rng::{derive_rng, Stream};
+
+const FULL_NODES: usize = 50_000;
+const SEED: u64 = 42;
+const ALPHA: f64 = 0.7;
+
+#[derive(Serialize)]
+struct Entry {
+    shards: usize,
+    wall_ms: f64,
+    /// Wall-clock of the one-shard run divided by this run's.
+    speedup: f64,
+    outputs_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    nodes: usize,
+    edges: usize,
+    horizon: f64,
+    entries: Vec<Entry>,
+}
+
+fn config(shards: usize) -> OverlayConfig {
+    OverlayConfig {
+        shards: Some(shards),
+        link: LinkLayerConfig::Faulty(FaultConfig {
+            drop_probability: 0.05,
+            latency: LatencyDist::Exponential { mean: 0.3 },
+            episodes: Vec::new(),
+        }),
+        ..OverlayConfig::default()
+    }
+}
+
+fn main() {
+    let nodes = (FULL_NODES / veil_bench::scale()).max(500);
+    let horizon = veil_bench::scaled_horizon(20.0, 10.0);
+    let mut rng = derive_rng(SEED, Stream::Topology);
+    // The paper's f = 1.0 trust samples average 11.3 links per node.
+    let trust = generators::degree_matched(nodes, 11.3, 0.6, &mut rng).expect("trust graph");
+    eprintln!(
+        "trust graph: {} nodes, {} edges; horizon {horizon} sp; available cores: {}",
+        trust.node_count(),
+        trust.edge_count(),
+        veil_par::effective_parallelism(None)
+    );
+
+    let run = |shards: usize| {
+        let churn = ChurnConfig::from_availability(ALPHA, 30.0);
+        let mut sim =
+            Simulation::new(trust.clone(), config(shards), churn, SEED).expect("simulation");
+        assert!(sim.is_sharded(), "fault model must engage the executor");
+        let t0 = Instant::now();
+        sim.run_until(horizon);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let witness = serde_json::to_string(&snapshot(&sim)).expect("snapshot serializes");
+        (wall_ms, witness)
+    };
+
+    let mut entries = Vec::new();
+    let mut reference: Option<(f64, String)> = None;
+    for shards in [1usize, 2, 8] {
+        eprintln!("timing {shards} shard(s) …");
+        let (wall_ms, witness) = run(shards);
+        let (base_ms, identical) = match &reference {
+            None => {
+                reference = Some((wall_ms, witness));
+                (wall_ms, true)
+            }
+            Some((base, ref_witness)) => (*base, witness == *ref_witness),
+        };
+        let entry = Entry {
+            shards,
+            wall_ms,
+            speedup: base_ms / wall_ms.max(1e-9),
+            outputs_identical: identical,
+        };
+        eprintln!(
+            "  {} shard(s): {wall_ms:.0} ms, speedup {:.2}x, identical: {}",
+            entry.shards, entry.speedup, entry.outputs_identical
+        );
+        entries.push(entry);
+    }
+    for e in &entries {
+        assert!(
+            e.outputs_identical,
+            "{} shards diverged from the one-shard reference",
+            e.shards
+        );
+    }
+    let report = Report {
+        nodes: trust.node_count(),
+        edges: trust.edge_count(),
+        horizon,
+        entries,
+    };
+    write_bench_json("shard", &report);
+}

@@ -23,22 +23,26 @@ fn store(graph: &Graph, path: &str) -> Result<(), Box<dyn std::error::Error>> {
 
 /// `veil graph generate --model M --nodes N [--seed S] [--degree D] [--out F]`
 pub fn generate(args: &Args) -> CmdResult {
-    args.check_known(&["model", "nodes", "seed", "degree", "out"])?;
+    args.check_known(&["model", "nodes", "seed", "degree", "avg-degree", "out"])?;
     let model: String = args.require("model", "model name")?;
     let nodes: usize = args.require("nodes", "integer")?;
     let seed: u64 = args.get_or("seed", 42, "integer")?;
     let degree: usize = args.get_or("degree", 3, "integer")?;
+    // Fractional target for the degree-matched model only (the paper's
+    // f = 1.0 trust samples average 11.3 links per node).
+    let avg_degree: f64 = args.get_or("avg-degree", 11.3, "float >= 2")?;
     let mut rng = derive_rng(seed, Stream::Topology);
     let graph = match model.as_str() {
         "ba" => generators::barabasi_albert(nodes, degree, &mut rng)?,
         "er" => generators::erdos_renyi_gnm(nodes, nodes * degree, &mut rng)?,
         "ws" => generators::watts_strogatz(nodes, degree.max(2) / 2 * 2, 0.1, &mut rng)?,
         "hk" => generators::holme_kim(nodes, degree, 0.9, &mut rng)?,
+        "dm" | "degree-matched" => generators::degree_matched(nodes, avg_degree, 0.6, &mut rng)?,
         "social" => generators::social_graph(nodes, degree, &mut rng)?,
         "community" => generators::community_social(nodes, CommunityParams::default(), &mut rng)?,
         other => {
             return Err(
-                format!("unknown model {other:?} (try ba|er|ws|hk|social|community)").into(),
+                format!("unknown model {other:?} (try ba|er|ws|hk|dm|social|community)").into(),
             )
         }
     };

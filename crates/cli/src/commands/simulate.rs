@@ -79,7 +79,7 @@ fn parse_latency(dist: Option<&str>, mean: f64) -> Result<LatencyDist, String> {
 /// [--lifetime-ratio R|inf] [--snapshot-every X]
 /// [--blackout T,DURATION,FRACTION] [--loss P] [--mean-latency M]
 /// [--latency-dist D] [--shuffle-timeout T] [--shuffle-retries N]
-/// [--parallelism K] [--json]`
+/// [--parallelism K] [--shards S] [--graph M] [--avg-degree D] [--json]`
 pub fn run(args: &Args) -> CmdResult {
     args.check_known(&[
         "nodes",
@@ -95,6 +95,9 @@ pub fn run(args: &Args) -> CmdResult {
         "shuffle-timeout",
         "shuffle-retries",
         "parallelism",
+        "shards",
+        "graph",
+        "avg-degree",
         "json",
         "trace-out",
         "metrics-out",
@@ -111,6 +114,16 @@ pub fn run(args: &Args) -> CmdResult {
     let parallelism = match args.get_or::<usize>("parallelism", 0, "integer")? {
         0 => veil_par::env_parallelism(),
         k => Some(k),
+    };
+    // `--shards S` (or VEIL_SHARDS) selects the windowed multi-threaded
+    // executor. Unlike `--parallelism` it changes the event interleaving
+    // (results are identical for every S >= 1, but differ from the
+    // sequential executor's); 0/unset keeps the sequential executor. The
+    // knob only takes effect when the run has lookahead (a fault model or
+    // positive link latency).
+    let shards = match args.get_or::<usize>("shards", 0, "integer")? {
+        0 => veil_par::env_shards(),
+        s => Some(s),
     };
     let interval: f64 = args.get_or("snapshot-every", (horizon / 20.0).max(1.0), "float")?;
     let lifetime_ratio = match args.flag("lifetime-ratio") {
@@ -144,14 +157,33 @@ pub fn run(args: &Args) -> CmdResult {
         LinkLayerConfig::Faulty(fault)
     };
 
+    // `--graph degree-matched` swaps the synthetic source model for the
+    // degree-matched generator tuned to the paper's trust-sample densities
+    // (11.3 links/node at f = 1.0; override with --avg-degree).
+    let avg_degree: f64 = args.get_or("avg-degree", 11.3, "float >= 2")?;
+    let source = match args.flag("graph").unwrap_or("holme-kim") {
+        "holme-kim" | "hk" => veil_core::experiment::SourceModel::default(),
+        "degree-matched" | "dm" => veil_core::experiment::SourceModel::DegreeMatched {
+            avg_degree,
+            triad: 0.6,
+        },
+        other => {
+            return Err(
+                format!("--graph: expected holme-kim or degree-matched, got {other:?}").into(),
+            )
+        }
+    };
+
     let params = ExperimentParams {
         nodes,
         seed,
         lifetime_ratio,
         warmup: horizon,
         source_multiplier: 20,
+        source,
         overlay: veil_core::config::OverlayConfig {
             parallelism,
+            shards,
             link,
             shuffle_timeout,
             shuffle_retry_budget,

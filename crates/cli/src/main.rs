@@ -21,8 +21,8 @@ USAGE:
 
 COMMANDS:
     graph generate   generate a synthetic social graph
-                     --model <ba|er|ws|hk|social|community> --nodes N
-                     [--seed S] [--degree D] [--out FILE]
+                     --model <ba|er|ws|hk|dm|social|community> --nodes N
+                     [--seed S] [--degree D] [--avg-degree A] [--out FILE]
     graph stats      print structural metrics of an edge-list file
                      <FILE>
     graph sample     invitation-model f-sample of an edge-list file
@@ -47,6 +47,16 @@ COMMANDS:
                                          metrics; 0 = all cores (default,
                                          or VEIL_PARALLELISM); results
                                          are identical for every K
+                     [--shards S]        run the windowed multi-threaded
+                                         executor with S shards (or
+                                         VEIL_SHARDS); needs a fault model
+                                         or positive latency; results are
+                                         identical for every S >= 1
+                     [--graph M]         source model: holme-kim (default)
+                                         or degree-matched (paper trust-
+                                         sample densities)
+                     [--avg-degree D]    degree-matched target average
+                                         degree (default 11.3)
                      [--trace-out FILE]  write the structured event trace
                                          as JSONL (never perturbs results)
                      [--metrics-out FILE] write the metrics registry; a
@@ -258,6 +268,96 @@ mod tests {
             "faulty run reports losses:\n{out}"
         );
         assert!(out.contains("shuffle retries"));
+    }
+
+    #[test]
+    fn simulate_with_shards_is_shard_count_invariant() {
+        let run = |shards: &str| {
+            run_line(&[
+                "simulate",
+                "--nodes",
+                "60",
+                "--alpha",
+                "0.6",
+                "--horizon",
+                "30",
+                "--seed",
+                "5",
+                "--loss",
+                "0.1",
+                "--mean-latency",
+                "0.4",
+                "--shards",
+                shards,
+                "--json",
+            ])
+            .unwrap()
+        };
+        // The echoed config differs (it records the shard count), so
+        // compare the measured outputs only.
+        let results = |raw: &str| {
+            let v: serde_json::Value = serde_json::from_str(raw).expect("valid JSON");
+            let mut entries = v.as_map().unwrap().to_vec();
+            entries.retain(|(k, _)| k != "config");
+            entries
+        };
+        let one = results(&run("1"));
+        assert_eq!(
+            one,
+            results(&run("2")),
+            "shard count must not change results"
+        );
+        assert_eq!(
+            one,
+            results(&run("4")),
+            "shard count must not change results"
+        );
+    }
+
+    #[test]
+    fn simulate_with_degree_matched_graph() {
+        let out = run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--horizon",
+            "20",
+            "--graph",
+            "degree-matched",
+            "--avg-degree",
+            "8.5",
+        ])
+        .unwrap();
+        assert!(out.contains("disconnected"));
+        let err = run_line(&[
+            "simulate",
+            "--nodes",
+            "50",
+            "--horizon",
+            "20",
+            "--graph",
+            "mesh",
+        ])
+        .unwrap_err();
+        assert!(err.contains("degree-matched"), "{err}");
+    }
+
+    #[test]
+    fn graph_generate_degree_matched() {
+        let out = run_line(&[
+            "graph",
+            "generate",
+            "--model",
+            "dm",
+            "--nodes",
+            "400",
+            "--avg-degree",
+            "6.55",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("generated dm graph"), "{out}");
     }
 
     #[test]

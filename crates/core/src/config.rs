@@ -153,6 +153,25 @@ pub struct OverlayConfig {
     /// from the master seed and its own stream, and results are reduced in
     /// index order, so the output is byte-identical for every value.
     pub parallelism: Option<usize>,
+    /// Number of shards for the windowed multi-threaded simulation executor
+    /// (`None` = classic single-threaded event loop).
+    ///
+    /// Sharding partitions the node population into `S` contiguous ranges,
+    /// each owning its own event engine, and runs them in bounded time
+    /// windows with a deterministic cross-shard message barrier (see
+    /// DESIGN.md "Sharded execution"). Every shard count — including
+    /// `Some(1)` — produces byte-identical snapshots and canonical traces,
+    /// so this is an execution knob, not a model change. Sharding only
+    /// engages when the configuration gives messages a non-zero flight time
+    /// (a faulty link layer or `link_latency > 0`); the paper's ideal
+    /// zero-latency configuration has no lookahead to exploit and keeps the
+    /// sequential loop, byte-identical to earlier releases.
+    ///
+    /// Skipped during serialization when `None` so existing experiment
+    /// artifacts (fig3 JSON etc.) keep their exact bytes; absent keys
+    /// deserialize as `None`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shards: Option<usize>,
     /// Online health monitoring: rolling-window degradation detectors over
     /// the observability event stream (see [`crate::health`]). Disabled by
     /// default; the monitor only ever *reads* events and emits
@@ -273,6 +292,7 @@ impl Default for OverlayConfig {
             shuffle_timeout: 3.0,
             shuffle_retry_budget: 2,
             parallelism: None,
+            shards: None,
             health: HealthConfig::default(),
         }
     }
@@ -402,6 +422,12 @@ impl OverlayConfig {
                     reason,
                 });
             }
+        }
+        if self.shards == Some(0) {
+            return Err(CoreError::InvalidConfig {
+                field: "shards",
+                reason: "shard count must be at least 1 (or None for unsharded)".into(),
+            });
         }
         if self.stop_after_stable_periods == Some(0) {
             return Err(CoreError::InvalidConfig {
@@ -604,6 +630,33 @@ mod tests {
         let json = serde_json::to_string(&enabled).unwrap();
         let back: OverlayConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(enabled, back);
+    }
+
+    #[test]
+    fn shards_knob_validates_and_stays_off_the_wire() {
+        let zero = OverlayConfig {
+            shards: Some(0),
+            ..OverlayConfig::default()
+        };
+        assert!(zero.validate().is_err());
+        let sharded = OverlayConfig {
+            shards: Some(8),
+            ..OverlayConfig::default()
+        };
+        sharded.validate().unwrap();
+        // `None` is skipped entirely: the default config serializes to the
+        // exact same bytes as before the knob existed, which is what keeps
+        // committed experiment artifacts (fig3 JSON) byte-stable.
+        let json = serde_json::to_string(&OverlayConfig::default()).unwrap();
+        assert!(!json.contains("shards"), "{json}");
+        // A pre-knob document (no `shards` key) deserializes to `None`.
+        let back: OverlayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, None);
+        // And `Some` round-trips.
+        let json = serde_json::to_string(&sharded).unwrap();
+        assert!(json.contains("\"shards\""), "{json}");
+        let back: OverlayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sharded);
     }
 
     #[test]

@@ -83,6 +83,18 @@ pub enum SourceModel {
         /// Triangle-closure probability.
         triad: f64,
     },
+    /// Holme–Kim-style attachment tuned to a *fractional* average degree
+    /// (see [`veil_graph::generators::degree_matched`]). The paper's trust
+    /// samples average 11.3 links per node at `f = 1.0` and 6.55 at
+    /// `f = 0.5` (Section IV-A); this model reproduces those densities
+    /// directly instead of only their ordering. Note the target applies to
+    /// the *source* graph — f-sampling still thins the final trust graph.
+    DegreeMatched {
+        /// Target average degree of the source graph.
+        avg_degree: f64,
+        /// Triangle-closure probability.
+        triad: f64,
+    },
 }
 
 impl Default for SourceModel {
@@ -166,6 +178,9 @@ pub fn build_trust_graph_with_f(params: &ExperimentParams, f: f64) -> Result<Gra
         }
         SourceModel::HolmeKim { attach, triad } => {
             generators::holme_kim(source_nodes, attach, triad, &mut rng)
+        }
+        SourceModel::DegreeMatched { avg_degree, triad } => {
+            generators::degree_matched(source_nodes, avg_degree, triad, &mut rng)
         }
     }
     .map_err(|e| CoreError::InvalidConfig {
@@ -906,6 +921,32 @@ mod tests {
         let g = build_trust_graph(&p).unwrap();
         assert_eq!(g.node_count(), p.nodes);
         assert_eq!(gm::component_count(&g), 1);
+    }
+
+    #[test]
+    fn degree_matched_source_tracks_paper_density() {
+        // The source graph itself (before f-sampling) should land near the
+        // requested average degree; sampling then thins it.
+        let p = ExperimentParams {
+            nodes: 100,
+            warmup: 60.0,
+            seed: 9,
+            source_multiplier: 10,
+            source: SourceModel::DegreeMatched {
+                avg_degree: 11.3,
+                triad: 0.6,
+            },
+            ..ExperimentParams::default()
+        };
+        let dense = build_trust_graph_with_f(&p, 1.0).unwrap();
+        let sparse = build_trust_graph_with_f(&p, 0.5).unwrap();
+        assert_eq!(dense.node_count(), 100);
+        assert!(
+            dense.average_degree() > sparse.average_degree(),
+            "f = 1.0 must stay denser: {:.2} vs {:.2}",
+            dense.average_degree(),
+            sparse.average_degree()
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod node;
 pub mod protocol;
 pub mod pseudonym;
 pub mod sampler;
+mod sim_exec;
 pub mod simulation;
 
 pub use config::{HealthConfig, LinkLayerConfig, OverlayConfig};

@@ -113,6 +113,9 @@ pub struct PseudonymService {
     master_seed: u64,
     next_id: u64,
     minted: u64,
+    /// Per-owner mint counters for the *keyed* id scheme (sharded runs);
+    /// `None` selects the classic global-counter scheme.
+    per_owner: Option<std::collections::HashMap<u32, u64>>,
 }
 
 impl PseudonymService {
@@ -122,14 +125,47 @@ impl PseudonymService {
             master_seed,
             next_id: 0,
             minted: 0,
+            per_owner: None,
+        }
+    }
+
+    /// Creates a service whose instance ids are *keyed* by owner:
+    /// `id = (owner + 1) << 32 | per_owner_seq`.
+    ///
+    /// A global mint counter would make pseudonym ids depend on the
+    /// interleaving of mints across nodes — exactly what a sharded run must
+    /// not observe. The keyed scheme makes every id a pure function of
+    /// `(owner, how many pseudonyms that owner minted before)`, so any
+    /// shard layout assigns identical ids to identical protocol histories.
+    /// The `owner + 1` offset keeps keyed ids disjoint from the classic
+    /// scheme's small integers, so mixed traces cannot alias. Bits are
+    /// derived exactly as in the classic scheme, from `(master_seed ^ id,
+    /// Stream::Pseudonym(owner))`.
+    pub fn new_keyed(master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            next_id: 0,
+            minted: 0,
+            per_owner: Some(std::collections::HashMap::new()),
         }
     }
 
     /// Mints a fresh pseudonym for `owner` at time `now` with the given
     /// lifetime in shuffle periods (`None` = never expires).
     pub fn mint(&mut self, owner: u32, now: SimTime, lifetime: Option<f64>) -> Pseudonym {
-        let id = PseudonymId(self.next_id);
-        self.next_id += 1;
+        let id = match &mut self.per_owner {
+            Some(counters) => {
+                let seq = counters.entry(owner).or_insert(0);
+                let id = PseudonymId(((u64::from(owner) + 1) << 32) | *seq);
+                *seq += 1;
+                id
+            }
+            None => {
+                let id = PseudonymId(self.next_id);
+                self.next_id += 1;
+                id
+            }
+        };
         self.minted += 1;
         // Bits are drawn from a stream keyed by the instance id, so the
         // sequence is reproducible and independent across instances.
@@ -217,6 +253,31 @@ mod tests {
             a.mint(1, SimTime::ZERO, None).bits(),
             b.mint(1, SimTime::ZERO, None).bits()
         );
+    }
+
+    #[test]
+    fn keyed_ids_are_owner_local_and_interleaving_invariant() {
+        // Interleaved mints across owners...
+        let mut a = PseudonymService::new_keyed(9);
+        let a0 = a.mint(0, SimTime::ZERO, None);
+        let a7 = a.mint(7, SimTime::ZERO, None);
+        let a0b = a.mint(0, SimTime::ZERO, None);
+        // ...and the reverse interleaving produce identical instances.
+        let mut b = PseudonymService::new_keyed(9);
+        let b7 = b.mint(7, SimTime::ZERO, None);
+        let b0 = b.mint(0, SimTime::ZERO, None);
+        let b0b = b.mint(0, SimTime::ZERO, None);
+        assert_eq!((a0.id(), a0.bits()), (b0.id(), b0.bits()));
+        assert_eq!((a7.id(), a7.bits()), (b7.id(), b7.bits()));
+        assert_eq!((a0b.id(), a0b.bits()), (b0b.id(), b0b.bits()));
+        assert_eq!(a0.id(), PseudonymId(1 << 32));
+        assert_eq!(a0b.id(), PseudonymId((1 << 32) | 1));
+        assert_eq!(a7.id(), PseudonymId(8 << 32));
+        assert_eq!(a.minted(), 3);
+        // Keyed ids never collide with classic small-integer ids.
+        let mut classic = PseudonymService::new(9);
+        let c = classic.mint(0, SimTime::ZERO, None);
+        assert!(c.id().0 < (1 << 32) && a0.id().0 >= (1 << 32));
     }
 
     #[test]

@@ -1,0 +1,556 @@
+//! Sequential event dispatch: the original single-threaded executor.
+//!
+//! One global [`veil_sim::engine::Engine`] orders every event; handlers
+//! take `&mut Simulation` and may touch any node directly (the zero-latency
+//! shuffle even runs both endpoints synchronously). This path is
+//! byte-identical to the paper's simulator and is what figure pipelines and
+//! committed baselines run on. The sharded executor in
+//! [`super::shard`]/[`super::executor`] replaces it only when a fault model
+//! or positive link latency gives the event graph enough lookahead to
+//! window.
+
+use crate::protocol;
+use crate::simulation::Simulation;
+use rand::Rng;
+use veil_obs::EventKind as Obs;
+use veil_sim::SimTime;
+
+use super::state::lifetime_for;
+use super::{two_mut, Delivery, Event, MessageKind, MessageRecord, PendingExchange};
+use crate::node::LinkTarget;
+use veil_sim::fault::EpisodeEffect;
+
+impl Simulation {
+    /// Emits an observability event: feeds the health monitor's window
+    /// counters, then records the event. One branch when recording is off;
+    /// the payload closure is only built when it is on.
+    pub(crate) fn emit(&mut self, now: SimTime, node: Option<u32>, kind: impl FnOnce() -> Obs) {
+        super::record(&self.recorder, &mut self.health, now.as_f64(), node, kind);
+    }
+
+    /// Closes elapsed health-monitor windows before an event at `now` is
+    /// processed. Alerts are stamped at the window-grid boundary, so the
+    /// timeline is independent of which event happened to cross it.
+    pub(crate) fn health_tick(&mut self, now: SimTime) {
+        let due = self.health.as_ref().is_some_and(|h| h.due(now.as_f64()));
+        if !due {
+            return;
+        }
+        let online = self.online_mask();
+        let degrees: Vec<usize> = (0..self.cells.len())
+            .map(|v| self.trust.neighbors(v).len() + self.cells[v].node.sampler.link_count())
+            .collect();
+        if let Some(h) = self.health.as_mut() {
+            h.rotate(now.as_f64(), &online, &degrees);
+        }
+    }
+
+    pub(crate) fn log_message(&mut self, record: MessageRecord) {
+        if let Some(log) = &mut self.message_log {
+            log.push(record);
+        }
+    }
+
+    pub(crate) fn handle(&mut self, now: SimTime, event: Event) {
+        if self.health.is_some() {
+            self.health_tick(now);
+        }
+        match event {
+            Event::Shuffle(v) => self.handle_shuffle(now, v as usize),
+            Event::Churn { node, generation } => self.handle_churn(now, node as usize, generation),
+            Event::BlackoutEnd { node, generation } => {
+                self.handle_blackout_end(now, node as usize, generation)
+            }
+            Event::DeliverRequest(d) => self.handle_request_delivery(now, *d),
+            Event::DeliverResponse(d) => self.handle_response_delivery(now, *d),
+            Event::ShuffleTimeout { exchange } => self.handle_shuffle_timeout(now, exchange),
+            Event::EpisodeStart(idx) => self.handle_episode_start(now, idx as usize),
+        }
+    }
+
+    fn handle_shuffle(&mut self, now: SimTime, v: usize) {
+        // The timer always re-arms; offline nodes simply skip the round.
+        self.engine.schedule_at(now + 1.0, Event::Shuffle(v as u32));
+        if !self.cells[v].churn.is_online() {
+            return;
+        }
+        // Lazy renewal: a node notices its own pseudonym expired at the
+        // next timer tick and mints a fresh one.
+        if self.cells[v].node.needs_pseudonym(now) {
+            let lifetime = lifetime_for(&self.cfg, &self.cells[v]);
+            self.cells[v]
+                .node
+                .renew_pseudonym(&mut self.svc, now, lifetime);
+            self.emit(now, Some(v as u32), || Obs::PseudonymMinted { lifetime });
+        }
+        let purged = self.cells[v].node.purge_expired(now);
+        if purged > 0 {
+            self.emit(now, Some(v as u32), || Obs::PseudonymsExpired {
+                count: purged as u64,
+            });
+        }
+        // Adaptive shuffle suppression: once the link set has been stable
+        // for the configured number of periods, skip initiating (responses
+        // still happen, and any change re-arms the node).
+        let activity =
+            self.cells[v].node.sampler.additions() + self.cells[v].node.sampler.removals();
+        if activity == self.cells[v].last_sampler_activity {
+            self.cells[v].stable_ticks = self.cells[v].stable_ticks.saturating_add(1);
+        } else {
+            self.cells[v].stable_ticks = 0;
+        }
+        self.cells[v].last_sampler_activity = activity;
+        if let Some(k) = self.cfg.stop_after_stable_periods {
+            if self.cells[v].stable_ticks >= k {
+                self.cells[v].node.stats.shuffles_suppressed += 1;
+                return;
+            }
+        }
+        if self.fault.is_some() {
+            self.faulty_shuffle(now, v);
+            return;
+        }
+        let target = if self.cfg.skip_offline_peers {
+            // The ideal link layer reports deliverability, so the node
+            // shuffles with a uniformly random *online* link (this is what
+            // makes the paper's request/response count come out at exactly
+            // two messages per period).
+            let links = self.cells[v].node.links(now);
+            let online: Vec<_> = links
+                .into_iter()
+                .filter(|l| self.cells[l.resolve() as usize].churn.is_online())
+                .collect();
+            if online.is_empty() {
+                None
+            } else {
+                let rng = &mut self.cells[v].proto_rng;
+                Some(online[rng.gen_range(0..online.len())])
+            }
+        } else {
+            let cell = &mut self.cells[v];
+            cell.node.pick_link(now, &mut cell.proto_rng)
+        };
+        let Some(target) = target else {
+            return;
+        };
+        let dest = target.resolve() as usize;
+        debug_assert_ne!(dest, v, "nodes never link to themselves");
+        let trusted_link = target.is_trusted();
+        self.emit(now, Some(v as u32), || Obs::ShuffleStart {
+            target: dest as u64,
+            trusted: trusted_link,
+        });
+        if !self.cells[dest].churn.is_online() {
+            // Request sent into the anonymity service but never delivered.
+            self.cells[v].node.stats.requests_sent += 1;
+            self.cells[v].node.stats.dropped_requests += 1;
+            self.emit(now, Some(v as u32), || Obs::MessageDropped {
+                exchange: 0,
+                response: false,
+            });
+            self.log_message(MessageRecord {
+                time: now,
+                from: v as u32,
+                to: dest as u32,
+                kind: MessageKind::Dropped,
+                trusted_link,
+            });
+            return;
+        }
+        if self.effective_latency > 0.0 {
+            // Asynchronous exchange: build the request offer now, deliver
+            // it after the link latency; the peer may churn in transit.
+            let offer = {
+                let cell = &mut self.cells[v];
+                protocol::build_offer(
+                    &mut cell.node,
+                    self.cfg.shuffle_length,
+                    now,
+                    &mut cell.proto_rng,
+                )
+            };
+            self.cells[v].node.stats.requests_sent += 1;
+            self.log_message(MessageRecord {
+                time: now,
+                from: v as u32,
+                to: dest as u32,
+                kind: MessageKind::Request,
+                trusted_link,
+            });
+            self.engine.schedule_in(
+                self.effective_latency,
+                Event::DeliverRequest(Box::new(Delivery {
+                    from: v as u32,
+                    to: dest as u32,
+                    offer: offer.entries,
+                    initiator_sent: offer.sent_from_cache,
+                    trusted_link,
+                    exchange: 0,
+                    attempt: 0,
+                })),
+            );
+            return;
+        }
+        // Zero latency: run the exchange over the ideal link synchronously.
+        let mut rng = self.cells[v].proto_rng.clone();
+        let (initiator, responder) = two_mut(&mut self.cells, v, dest);
+        protocol::execute_shuffle(
+            &mut initiator.node,
+            &mut responder.node,
+            self.cfg.shuffle_length,
+            now,
+            &mut rng,
+        );
+        self.cells[v].proto_rng = rng;
+        self.emit(now, Some(v as u32), || Obs::ShuffleComplete { exchange: 0 });
+        self.log_message(MessageRecord {
+            time: now,
+            from: v as u32,
+            to: dest as u32,
+            kind: MessageKind::Request,
+            trusted_link,
+        });
+        self.log_message(MessageRecord {
+            time: now,
+            from: dest as u32,
+            to: v as u32,
+            kind: MessageKind::Response,
+            trusted_link,
+        });
+    }
+
+    /// Initiates one shuffle round over the faulty link layer: pick a link
+    /// (over *all* links — a lossy layer cannot report deliverability, so
+    /// there is no `skip_offline_peers` shortcut), register a pending
+    /// exchange, and transmit the request guarded by a timeout.
+    fn faulty_shuffle(&mut self, now: SimTime, v: usize) {
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(v as u32, now.as_f64()));
+        if crashed {
+            return; // a silently crashed node initiates nothing
+        }
+        let target = {
+            let cell = &mut self.cells[v];
+            cell.node.pick_link(now, &mut cell.proto_rng)
+        };
+        let Some(target) = target else {
+            return;
+        };
+        let dest = target.resolve();
+        debug_assert_ne!(dest as usize, v, "nodes never link to themselves");
+        let target_pseudonym = match target {
+            LinkTarget::Pseudonym(p) => Some(p.id()),
+            LinkTarget::Trusted(_) => None,
+        };
+        let offer = {
+            let cell = &mut self.cells[v];
+            protocol::build_offer(
+                &mut cell.node,
+                self.cfg.shuffle_length,
+                now,
+                &mut cell.proto_rng,
+            )
+        };
+        let exchange = self.next_exchange;
+        self.next_exchange += 1;
+        self.emit(now, Some(v as u32), || Obs::ShuffleStart {
+            target: u64::from(dest),
+            trusted: target.is_trusted(),
+        });
+        self.pending.insert(
+            exchange,
+            PendingExchange {
+                initiator: v as u32,
+                dest,
+                target_pseudonym,
+                trusted_link: target.is_trusted(),
+                offer: offer.entries,
+                sent_from_cache: offer.sent_from_cache,
+                attempt: 0,
+            },
+        );
+        self.transmit_request(now, exchange);
+    }
+
+    /// Sends (or resends) the request of a pending exchange through the
+    /// fault model, and arms the exchange's timeout with exponential
+    /// backoff.
+    fn transmit_request(&mut self, now: SimTime, exchange: u64) {
+        let (initiator, dest, trusted_link, attempt) = {
+            let p = &self.pending[&exchange];
+            (p.initiator, p.dest, p.trusted_link, p.attempt)
+        };
+        let v = initiator as usize;
+        let dropped = self.fault.as_ref().expect("faulty path").is_dropped(
+            initiator,
+            dest,
+            now.as_f64(),
+            &mut self.fault_rng,
+        );
+        self.cells[v].node.stats.requests_sent += 1;
+        if dropped {
+            self.cells[v].node.stats.dropped_requests += 1;
+            self.emit(now, Some(initiator), || Obs::MessageDropped {
+                exchange,
+                response: false,
+            });
+        }
+        self.log_message(MessageRecord {
+            time: now,
+            from: initiator,
+            to: dest,
+            kind: if dropped {
+                MessageKind::Dropped
+            } else {
+                MessageKind::Request
+            },
+            trusted_link,
+        });
+        if !dropped {
+            let latency = self
+                .fault
+                .as_ref()
+                .expect("faulty path")
+                .sample_latency(&mut self.fault_rng);
+            let (offer, sent_from_cache) = {
+                let p = &self.pending[&exchange];
+                (p.offer.clone(), p.sent_from_cache.clone())
+            };
+            self.engine.schedule_in(
+                latency,
+                Event::DeliverRequest(Box::new(Delivery {
+                    from: initiator,
+                    to: dest,
+                    offer,
+                    initiator_sent: sent_from_cache,
+                    trusted_link,
+                    exchange,
+                    attempt,
+                })),
+            );
+        }
+        // Exponential backoff: timeout doubles with every retransmission.
+        let backoff = self.cfg.shuffle_timeout * f64::from(1u32 << attempt.min(16));
+        self.engine
+            .schedule_in(backoff, Event::ShuffleTimeout { exchange });
+    }
+
+    /// The timeout of a faulty-link exchange fired. If the response already
+    /// arrived this is a no-op; otherwise retry within budget, then give up
+    /// and apply Cyclon-style recovery.
+    fn handle_shuffle_timeout(&mut self, now: SimTime, exchange: u64) {
+        let (initiator, attempt) = match self.pending.get(&exchange) {
+            Some(p) => (p.initiator, p.attempt),
+            None => return, // completed: the response arrived in time
+        };
+        let v = initiator as usize;
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(initiator, now.as_f64()));
+        if !self.cells[v].churn.is_online() || crashed {
+            // The initiator itself is gone; nobody is waiting any more.
+            self.pending.remove(&exchange);
+            return;
+        }
+        self.emit(now, Some(initiator), || Obs::ShuffleTimeout {
+            exchange,
+            attempt: u64::from(attempt),
+        });
+        if attempt < self.cfg.shuffle_retry_budget {
+            self.pending
+                .get_mut(&exchange)
+                .expect("checked above")
+                .attempt += 1;
+            self.cells[v].node.stats.shuffle_retries += 1;
+            self.emit(now, Some(initiator), || Obs::ShuffleRetry {
+                exchange,
+                attempt: u64::from(attempt) + 1,
+            });
+            self.transmit_request(now, exchange);
+            return;
+        }
+        // Budget exhausted: count the failure and evict the unresponsive
+        // pseudonym so the sampler can replace it (trusted links are part
+        // of the social graph and are never evicted).
+        let p = self.pending.remove(&exchange).expect("checked above");
+        self.cells[v].node.stats.shuffle_failures += 1;
+        self.emit(now, Some(initiator), || Obs::ShuffleFailure { exchange });
+        if let Some(id) = p.target_pseudonym {
+            self.cells[v].node.cache.remove(id);
+            self.cells[v].node.sampler.evict(id);
+            self.emit(now, Some(initiator), || Obs::PeerEvicted {
+                pseudonym: id.0,
+            });
+        }
+    }
+
+    /// A scripted episode with a simulation-side effect begins. Blackout
+    /// episodes reuse [`Simulation::inject_blackout`], so they compose with
+    /// natural churn and manual injections.
+    fn handle_episode_start(&mut self, now: SimTime, idx: usize) {
+        let Some(ep) = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.episodes.get(idx))
+            .copied()
+        else {
+            return;
+        };
+        self.emit(now, None, || Obs::EpisodeStart {
+            index: idx as u64,
+            kind: ep.effect.kind_str().to_string(),
+        });
+        if let EpisodeEffect::Blackout { first, count } = ep.effect {
+            let n = self.cells.len();
+            let lo = (first as usize).min(n);
+            let hi = (first as usize).saturating_add(count as usize).min(n);
+            let victims: Vec<usize> = (lo..hi).collect();
+            let duration = ep.end - ep.start;
+            if !victims.is_empty() && duration > 0.0 && duration.is_finite() {
+                self.inject_blackout_at(now, &victims, duration);
+            }
+        }
+    }
+
+    /// A delayed shuffle request reaches the responder.
+    fn handle_request_delivery(&mut self, now: SimTime, delivery: Delivery) {
+        let responder = delivery.to as usize;
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
+        if !self.cells[responder].churn.is_online() || crashed {
+            // Lost in transit: the responder churned out (or sits silently
+            // crashed). The initiator's request produces no response; on
+            // the faulty path the exchange timeout will recover.
+            self.cells[delivery.from as usize]
+                .node
+                .stats
+                .dropped_requests += 1;
+            self.emit(now, Some(delivery.from), || Obs::MessageDropped {
+                exchange: delivery.exchange,
+                response: false,
+            });
+            return;
+        }
+        // Mirror the synchronous order: build the response offer before
+        // absorbing the request (Cyclon semantics).
+        let response = {
+            let cell = &mut self.cells[responder];
+            protocol::build_offer(
+                &mut cell.node,
+                self.cfg.shuffle_length,
+                now,
+                &mut cell.proto_rng,
+            )
+        };
+        {
+            let cell = &mut self.cells[responder];
+            protocol::receive_offer(
+                &mut cell.node,
+                &delivery.offer,
+                &response.sent_from_cache,
+                now,
+                &mut cell.proto_rng,
+            );
+        }
+        self.cells[responder].node.stats.responses_sent += 1;
+        if self.fault.is_some() {
+            // The response is itself subject to loss and sampled latency;
+            // a dropped response is recovered by the initiator's timeout.
+            let dropped = self.fault.as_ref().expect("faulty path").is_dropped(
+                delivery.to,
+                delivery.from,
+                now.as_f64(),
+                &mut self.fault_rng,
+            );
+            self.log_message(MessageRecord {
+                time: now,
+                from: delivery.to,
+                to: delivery.from,
+                kind: if dropped {
+                    MessageKind::Dropped
+                } else {
+                    MessageKind::Response
+                },
+                trusted_link: delivery.trusted_link,
+            });
+            if dropped {
+                self.cells[responder].node.stats.dropped_requests += 1;
+                self.emit(now, Some(delivery.to), || Obs::MessageDropped {
+                    exchange: delivery.exchange,
+                    response: true,
+                });
+                return;
+            }
+            let latency = self
+                .fault
+                .as_ref()
+                .expect("faulty path")
+                .sample_latency(&mut self.fault_rng);
+            self.engine.schedule_in(
+                latency,
+                Event::DeliverResponse(Box::new(Delivery {
+                    from: delivery.to,
+                    to: delivery.from,
+                    offer: response.entries,
+                    initiator_sent: delivery.initiator_sent,
+                    trusted_link: delivery.trusted_link,
+                    exchange: delivery.exchange,
+                    attempt: delivery.attempt,
+                })),
+            );
+            return;
+        }
+        self.log_message(MessageRecord {
+            time: now,
+            from: delivery.to,
+            to: delivery.from,
+            kind: MessageKind::Response,
+            trusted_link: delivery.trusted_link,
+        });
+        self.engine.schedule_in(
+            self.effective_latency,
+            Event::DeliverResponse(Box::new(Delivery {
+                from: delivery.to,
+                to: delivery.from,
+                offer: response.entries,
+                initiator_sent: delivery.initiator_sent,
+                trusted_link: delivery.trusted_link,
+                exchange: 0,
+                attempt: 0,
+            })),
+        );
+    }
+
+    /// A delayed shuffle response reaches the original initiator.
+    fn handle_response_delivery(&mut self, now: SimTime, delivery: Delivery) {
+        if self.fault.is_some() && self.pending.remove(&delivery.exchange).is_none() {
+            // A duplicate answer to a retransmitted request whose exchange
+            // already completed or failed; ignore it.
+            return;
+        }
+        let initiator = delivery.to as usize;
+        let crashed = self
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
+        if !self.cells[initiator].churn.is_online() || crashed {
+            return; // response lost; the initiator churned out
+        }
+        let cell = &mut self.cells[initiator];
+        protocol::receive_offer(
+            &mut cell.node,
+            &delivery.offer,
+            &delivery.initiator_sent,
+            now,
+            &mut cell.proto_rng,
+        );
+        self.emit(now, Some(delivery.to), || Obs::ShuffleComplete {
+            exchange: delivery.exchange,
+        });
+    }
+}

@@ -1,0 +1,230 @@
+//! The sharded runtime: window loop, fork/join dispatch and the barrier.
+//!
+//! Nodes are partitioned into `S` contiguous ranges; each [`Shard`] owns
+//! its range's cells, engine, pending exchanges and pseudonym minter.
+//! Execution advances in bounded windows on the global grid
+//! (`mailbox::WINDOW`): every shard drains its own events strictly before
+//! the window cap on a `veil-par` worker, then the coordinator runs the
+//! barrier single-threaded:
+//!
+//! 1. merge all outboxes in the canonical `(deliver_at, src, seq)` order
+//!    and inject each message into its destination's owner shard,
+//! 2. apply deferred cross-shard stat credits,
+//! 3. merge the per-shard message logs in canonical record order,
+//! 4. replay buffered health observations (sorted by time, rotations
+//!    interleaved where due) into the coordinator-owned monitor.
+//!
+//! Every barrier step is a pure function of set-of-shard-outputs, so the
+//! post-barrier state — and therefore the whole run — is invariant in the
+//! shard count.
+
+use veil_sim::SimTime;
+
+use super::mailbox::{sort_canonical, sort_records, HealthObs, OutMsg, WINDOW};
+use super::shard::{Shard, WindowCtx};
+use super::state::{owner_of, shard_starts, NodeCell};
+use crate::simulation::Simulation;
+
+/// Runtime state of the sharded executor (present only when the
+/// simulation was constructed with `shards: Some(_)` and the event graph
+/// has lookahead — a fault model or positive link latency).
+pub(crate) struct ShardedRuntime {
+    pub(crate) shards: Vec<Shard>,
+    /// `shards.len() + 1` range boundaries; shard `i` owns
+    /// `starts[i]..starts[i + 1]`.
+    pub(crate) starts: Vec<usize>,
+    /// Owner shard of every node.
+    pub(crate) owner: Vec<u32>,
+    /// Index of the next *incomplete* window; the window covers
+    /// `[window_index · W, (window_index + 1) · W)`.
+    pub(crate) window_index: u64,
+}
+
+impl ShardedRuntime {
+    pub(crate) fn new(n: usize, s: usize, master_seed: u64) -> Self {
+        let starts = shard_starts(n, s);
+        let owner = owner_of(n, &starts);
+        let shards = starts
+            .windows(2)
+            .map(|w| Shard::new(w[0], master_seed))
+            .collect();
+        Self {
+            shards,
+            starts,
+            owner,
+            window_index: 0,
+        }
+    }
+
+    /// The shard owning node `v`.
+    pub(crate) fn shard_of_mut(&mut self, v: usize) -> &mut Shard {
+        let i = self.owner[v] as usize;
+        &mut self.shards[i]
+    }
+
+    /// Total pseudonyms minted across all shard-local keyed minters.
+    pub(crate) fn pseudonyms_minted(&self) -> u64 {
+        self.shards.iter().map(|s| s.minter.minted()).sum()
+    }
+
+    /// Sum of engine event counters across shards (for metrics).
+    pub(crate) fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.processed()).sum()
+    }
+
+    pub(crate) fn queue_high_water(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.high_water_mark()).sum()
+    }
+
+    pub(crate) fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.pending()).sum()
+    }
+}
+
+/// One shard's slice of work for a window: the shard plus the cells it
+/// owns, bundled so `veil-par` can hand each worker exclusive `&mut`s.
+struct WorkItem<'a> {
+    shard: &'a mut Shard,
+    cells: &'a mut [NodeCell],
+}
+
+impl Simulation {
+    /// Advances the sharded executor to `horizon` window by window.
+    pub(crate) fn run_until_sharded(&mut self, horizon: SimTime) {
+        loop {
+            let window_index = self.sharded.as_ref().expect("sharded").window_index;
+            let boundary = SimTime::new((window_index + 1) as f64 * WINDOW);
+            let cap = boundary.min(horizon);
+            self.run_one_window(cap);
+            if cap == boundary {
+                self.sharded.as_mut().expect("sharded").window_index += 1;
+            }
+            if boundary >= horizon {
+                break;
+            }
+        }
+        self.current_time = horizon;
+    }
+
+    /// Runs one (possibly partial) window: fork shards, join, barrier.
+    fn run_one_window(&mut self, cap: SimTime) {
+        // Deliverability oracle for the whole window: the online mask as
+        // of the opening barrier. Identical for every shard count.
+        let online: Vec<bool> = self.cells.iter().map(|c| c.churn.is_online()).collect();
+        let log_on = self.message_log.is_some();
+        let buffer_health = self.health.is_some();
+        let Simulation {
+            cfg,
+            trust,
+            cells,
+            sharded,
+            fault,
+            effective_latency,
+            master_seed,
+            recorder,
+            message_log,
+            health,
+            ..
+        } = self;
+        let rt = sharded.as_mut().expect("sharded runtime");
+        let ctx = WindowCtx {
+            cfg,
+            fault: fault.as_ref(),
+            effective_latency: *effective_latency,
+            master_seed: *master_seed,
+            recorder,
+            online: &online,
+            cap,
+            log_on,
+            buffer_health,
+        };
+
+        // Fork: hand every shard exclusive &muts to its own cells.
+        let mut items: Vec<WorkItem<'_>> = Vec::with_capacity(rt.shards.len());
+        let mut rest: &mut [NodeCell] = cells;
+        for (i, shard) in rt.shards.iter_mut().enumerate() {
+            let len = rt.starts[i + 1] - rt.starts[i];
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            items.push(WorkItem { shard, cells: head });
+        }
+        let s = items.len();
+        veil_par::fork_join_indexed(&mut items, Some(s), |i, item| {
+            ctx.recorder.label_thread(|| format!("shard-{i}"));
+            item.shard.run_window(item.cells, &ctx);
+        });
+        drop(items);
+
+        // Barrier step 1: canonical cross-shard message merge. The sort
+        // key (deliver_at, src, seq) depends only on each sender's own
+        // history, and the engines pop equal-time events FIFO, so the
+        // injection order — hence everything downstream — is invariant in
+        // the shard layout.
+        let mut batch: Vec<OutMsg> = Vec::new();
+        for shard in rt.shards.iter_mut() {
+            batch.append(&mut shard.outbox);
+        }
+        sort_canonical(&mut batch);
+        for msg in batch {
+            let owner = rt.owner[msg.dest as usize] as usize;
+            rt.shards[owner]
+                .engine
+                .schedule_at(msg.deliver_at, msg.event);
+        }
+
+        // Barrier step 2: deferred foreign stat credits (responder-side
+        // drops debit the initiator, who may live on another shard).
+        // Increments commute, so shard iteration order does not matter.
+        for shard in rt.shards.iter_mut() {
+            for v in shard.credits.drain(..) {
+                cells[v as usize].node.stats.dropped_requests += 1;
+            }
+        }
+
+        // Barrier step 3: merge the window's message logs canonically.
+        if let Some(log) = message_log {
+            let mut records = Vec::new();
+            for shard in rt.shards.iter_mut() {
+                records.append(&mut shard.log_buf);
+            }
+            sort_records(&mut records);
+            log.extend(records);
+        } else {
+            for shard in rt.shards.iter_mut() {
+                shard.log_buf.clear();
+            }
+        }
+
+        // Barrier step 4: replay buffered observations into the
+        // coordinator-owned health monitor. `observe` is commutative among
+        // equal-time events, so a stable sort by time alone fixes the
+        // monitor's state; rotations interleave where they fall due, with
+        // online/degree masks read from the barrier-time cells.
+        if let Some(h) = health.as_mut() {
+            let mut obs: Vec<HealthObs> = Vec::new();
+            for shard in rt.shards.iter_mut() {
+                obs.append(&mut shard.health_buf);
+            }
+            obs.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite event times"));
+            let online_now: Vec<bool> = cells.iter().map(|c| c.churn.is_online()).collect();
+            let degrees_now: Vec<usize> = cells
+                .iter()
+                .enumerate()
+                .map(|(v, c)| trust.neighbors(v).len() + c.node.sampler.link_count())
+                .collect();
+            for o in obs {
+                if h.due(o.t) {
+                    h.rotate(o.t, &online_now, &degrees_now);
+                }
+                h.observe(o.t, o.node, &o.kind);
+            }
+            if h.due(cap.as_f64()) {
+                h.rotate(cap.as_f64(), &online_now, &degrees_now);
+            }
+        } else {
+            for shard in rt.shards.iter_mut() {
+                shard.health_buf.clear();
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The discrete-event execution core behind [`crate::simulation`].
+//!
+//! [`crate::simulation::Simulation`] is a thin facade; the machinery lives
+//! here, split along the executor's fault lines:
+//!
+//! - [`state`] — the per-node state cell ([`state::NodeCell`]) and the
+//!   node-lifecycle handlers (churn, rejoin/depart, blackouts) plus the
+//!   contiguous node-range partitioning used by the sharded executor.
+//! - [`dispatch`] — the **sequential** event handlers: one engine, direct
+//!   `&mut` access across nodes, byte-identical to the original
+//!   single-threaded simulator (this is the paper's ideal-link regime).
+//! - [`mailbox`] — the cross-shard mail primitives: the window grid, the
+//!   canonical `(deliver_at, src, seq)` merge order, and the buffered
+//!   health observations.
+//! - [`shard`] — one shard of the **sharded** executor: a per-shard
+//!   [`veil_sim::engine::Engine`] over a contiguous slice of node cells,
+//!   with message-passing-pure handlers (no cross-shard `&mut`).
+//! - [`executor`] — the sharded runtime: partitions nodes over S shards,
+//!   runs them on `veil-par` worker threads in bounded time windows, and
+//!   merges cross-shard traffic at a deterministic barrier.
+//!
+//! The two regimes coexist deliberately. The sequential path preserves the
+//! exact event interleaving (and therefore byte-identical artifacts) of
+//! the original simulator; the sharded path trades that global ordering
+//! for a window-quantized delivery schedule that is invariant in the
+//! *shard count*: any `S` — including `S = 1` — produces identical
+//! results, which is what makes multi-threaded runs trustworthy.
+
+pub(crate) mod dispatch;
+pub(crate) mod executor;
+pub(crate) mod mailbox;
+pub(crate) mod shard;
+pub(crate) mod shard_lifecycle;
+pub(crate) mod state;
+#[cfg(test)]
+mod tests;
+#[cfg(test)]
+mod tests_faults;
+#[cfg(test)]
+mod tests_shard;
+
+use crate::health::HealthMonitor;
+use crate::pseudonym::PseudonymId;
+use serde::{Deserialize, Serialize};
+use veil_obs::{EventKind as Obs, Recorder};
+use veil_sim::SimTime;
+
+/// Events driving the overlay simulation (both executors).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Event {
+    /// A node's shuffle timer fired.
+    Shuffle(u32),
+    /// A node's churn process transitions (online ↔ offline). Stale
+    /// generations (superseded by failure injection) are ignored.
+    Churn {
+        /// The transitioning node.
+        node: u32,
+        /// Generation stamp; must match the node's current generation.
+        generation: u32,
+    },
+    /// An injected blackout ends and the node reconnects.
+    BlackoutEnd {
+        /// The recovering node.
+        node: u32,
+        /// Generation stamp of the blackout.
+        generation: u32,
+    },
+    /// A shuffle request arrives after the configured link latency.
+    DeliverRequest(Box<Delivery>),
+    /// A shuffle response arrives after the configured link latency.
+    DeliverResponse(Box<Delivery>),
+    /// A faulty-link shuffle exchange hit its timeout without a response.
+    ShuffleTimeout {
+        /// The exchange the timeout guards.
+        exchange: u64,
+    },
+    /// A scripted fault episode with a simulation-side effect begins.
+    EpisodeStart(u32),
+}
+
+/// An in-flight shuffle message (used whenever delivery is not synchronous).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Delivery {
+    pub(crate) from: u32,
+    pub(crate) to: u32,
+    pub(crate) offer: Vec<crate::pseudonym::Pseudonym>,
+    /// Cache entries the *initiator* offered — carried through the round
+    /// trip so the Cyclon eviction preference applies when the response
+    /// finally arrives.
+    pub(crate) initiator_sent: Vec<crate::pseudonym::PseudonymId>,
+    pub(crate) trusted_link: bool,
+    /// Faulty-link exchange id matching a [`PendingExchange`]; `0` on the
+    /// ideal path (which never consults it).
+    pub(crate) exchange: u64,
+    /// Which transmission attempt carried this message. The sequential
+    /// executor never reads it; the sharded executor keys the responder's
+    /// per-message RNG on it so duplicate answers to retransmitted
+    /// requests draw independent, layout-invariant randomness.
+    pub(crate) attempt: u32,
+}
+
+/// Initiator-side state of an in-flight faulty-link shuffle exchange, kept
+/// until the response arrives or the retry budget runs out.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingExchange {
+    pub(crate) initiator: u32,
+    pub(crate) dest: u32,
+    /// The pseudonym behind the chosen link, for Cyclon-style eviction on
+    /// failure; `None` for trusted links (never evicted).
+    pub(crate) target_pseudonym: Option<PseudonymId>,
+    pub(crate) trusted_link: bool,
+    /// The request offer, retransmitted verbatim on retry.
+    pub(crate) offer: Vec<crate::pseudonym::Pseudonym>,
+    pub(crate) sent_from_cache: Vec<PseudonymId>,
+    pub(crate) attempt: u32,
+}
+
+/// Classification of a logged protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A shuffle request from the initiator.
+    Request,
+    /// The matching shuffle response.
+    Response,
+    /// A message that was never delivered: the peer was offline (only
+    /// occurs with `skip_offline_peers = false`), or the fault-injecting
+    /// link layer dropped it.
+    Dropped,
+}
+
+impl MessageKind {
+    /// Stable rank used by the sharded executor's canonical log order.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            MessageKind::Request => 0,
+            MessageKind::Response => 1,
+            MessageKind::Dropped => 2,
+        }
+    }
+}
+
+/// One protocol message, as an external observer positioned on the
+/// communication infrastructure would record it (endpoints and timing; the
+/// payload is encrypted). Used by the traffic-analysis experiments in
+/// `veil-privacy`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Send instant.
+    pub time: SimTime,
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node (the pseudonym service's resolution; an observer sees
+    /// only the anonymity-service entry point, but ground truth is logged
+    /// for evaluating inference attacks).
+    pub to: u32,
+    /// Request or response.
+    pub kind: MessageKind,
+    /// Whether the message travelled over a trusted link.
+    pub trusted_link: bool,
+}
+
+/// Shared emission funnel for the sequential executor and construction-time
+/// events (before `Simulation` exists): builds the payload once, feeds the
+/// health monitor, then records. Still a single branch when recording is
+/// off.
+pub(crate) fn record(
+    recorder: &Recorder,
+    health: &mut Option<HealthMonitor>,
+    t: f64,
+    node: Option<u32>,
+    kind: impl FnOnce() -> Obs,
+) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let kind = kind();
+    if let Some(h) = health {
+        h.observe(t, node, &kind);
+    }
+    recorder.event(t, node, move || kind);
+}
+
+/// Mutable references to two distinct slice elements.
+pub(crate) fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b, "indices must differ");
+    if a < b {
+        let (left, right) = v.split_at_mut(b);
+        (&mut left[a], &mut right[0])
+    } else {
+        let (left, right) = v.split_at_mut(a);
+        (&mut right[0], &mut left[b])
+    }
+}

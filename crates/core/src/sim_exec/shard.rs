@@ -1,0 +1,624 @@
+//! One shard of the sharded executor.
+//!
+//! A shard owns a contiguous range of node cells and its own
+//! [`veil_sim::engine::Engine`]. During a window it pops only its own
+//! events; every cross-node interaction — request, response, even to a
+//! same-shard neighbour — goes through the outbox and is injected at the
+//! barrier, so a node's behaviour cannot depend on which shard runs it.
+//!
+//! The handlers here mirror [`super::dispatch`] but are message-passing
+//! pure. The places where the sequential code reaches across nodes are
+//! replaced by layout-invariant mechanisms:
+//!
+//! - **Deliverability checks** (`skip_offline_peers`, the ideal path's
+//!   destination-offline drop) read the barrier-snapshot online mask in
+//!   [`WindowCtx`] instead of live churn state.
+//! - **Fault randomness** comes from a stateless per-message RNG
+//!   ([`veil_sim::rng::derive_message_rng`]) keyed by `(exchange, attempt,
+//!   direction)` instead of the sequential executor's single shared
+//!   `fault_rng` stream.
+//! - **Pseudonym ids** come from a per-shard *keyed*
+//!   [`PseudonymService`], a pure function of `(owner, per-owner count)`.
+//! - **Exchange ids** are `((initiator + 1) << 32) | per-node counter`.
+//! - **Foreign stat credit** (the initiator's `dropped_requests` bump when
+//!   a responder is found offline) is deferred to the barrier.
+
+use std::collections::HashMap;
+
+use crate::config::OverlayConfig;
+use crate::node::LinkTarget;
+use crate::protocol;
+use crate::pseudonym::PseudonymService;
+use rand::Rng;
+use veil_obs::{EventKind as Obs, Recorder};
+use veil_sim::engine::Engine;
+use veil_sim::fault::FaultConfig;
+use veil_sim::rng::derive_message_rng;
+use veil_sim::SimTime;
+
+use super::mailbox::{next_boundary, HealthObs, OutMsg};
+use super::state::{lifetime_for, NodeCell};
+use super::{Delivery, Event, MessageKind, MessageRecord, PendingExchange};
+
+/// Read-only context shared by every shard during one window.
+pub(crate) struct WindowCtx<'a> {
+    pub cfg: &'a OverlayConfig,
+    pub fault: Option<&'a FaultConfig>,
+    /// One-way latency of the ideal path (positive in this regime unless a
+    /// fault model is active).
+    pub effective_latency: f64,
+    pub master_seed: u64,
+    pub recorder: &'a Recorder,
+    /// Online mask snapshotted at the window's opening barrier: the
+    /// deliverability oracle for `skip_offline_peers` filtering and the
+    /// ideal path's destination-offline check. A shard must not read live
+    /// churn state of nodes it does not own; the snapshot is refreshed
+    /// every window boundary and is identical for every shard count.
+    pub online: &'a [bool],
+    /// Events strictly before `cap` run in this window.
+    pub cap: SimTime,
+    /// Whether protocol messages are logged this run.
+    pub log_on: bool,
+    /// Whether to buffer health observations for the coordinator.
+    pub buffer_health: bool,
+}
+
+/// A contiguous slice of the simulation: engine, pending exchanges and
+/// pseudonym minter for the nodes `start..start + len`.
+pub(crate) struct Shard {
+    /// First node index this shard owns.
+    pub start: usize,
+    pub engine: Engine<Event>,
+    /// In-flight faulty-link exchanges initiated by this shard's nodes.
+    pub pending: HashMap<u64, PendingExchange>,
+    /// Keyed pseudonym minter (ids are pure functions of the owner's mint
+    /// count, so per-shard services agree with any other layout).
+    pub minter: PseudonymService,
+    /// Cross-node messages buffered for the barrier merge.
+    pub outbox: Vec<OutMsg>,
+    /// Protocol messages logged this window (merged canonically at the
+    /// barrier).
+    pub log_buf: Vec<MessageRecord>,
+    /// Health observations buffered for the coordinator's monitor.
+    pub health_buf: Vec<HealthObs>,
+    /// Nodes to credit one `dropped_requests` each at the barrier: a
+    /// responder-side drop debits the (possibly foreign) initiator.
+    pub credits: Vec<u32>,
+}
+
+impl Shard {
+    pub(crate) fn new(start: usize, master_seed: u64) -> Self {
+        Self {
+            start,
+            engine: Engine::new(),
+            pending: HashMap::new(),
+            minter: PseudonymService::new_keyed(master_seed),
+            outbox: Vec::new(),
+            log_buf: Vec::new(),
+            health_buf: Vec::new(),
+            credits: Vec::new(),
+        }
+    }
+
+    /// Drains this shard's events strictly before `ctx.cap`.
+    pub(crate) fn run_window(&mut self, cells: &mut [NodeCell], ctx: &WindowCtx<'_>) {
+        while let Some((now, event)) = self.engine.pop_before(ctx.cap) {
+            self.handle(now, event, cells, ctx);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: Event, cells: &mut [NodeCell], ctx: &WindowCtx<'_>) {
+        match event {
+            Event::Shuffle(v) => self.handle_shuffle(now, v as usize, cells, ctx),
+            Event::Churn { node, generation } => {
+                self.handle_churn(now, node as usize, generation, cells, ctx)
+            }
+            Event::BlackoutEnd { node, generation } => {
+                self.handle_blackout_end(now, node as usize, generation, cells, ctx)
+            }
+            Event::DeliverRequest(d) => self.handle_request_delivery(now, *d, cells, ctx),
+            Event::DeliverResponse(d) => self.handle_response_delivery(now, *d, cells, ctx),
+            Event::ShuffleTimeout { exchange } => {
+                self.handle_shuffle_timeout(now, exchange, cells, ctx)
+            }
+            Event::EpisodeStart(idx) => self.handle_episode_start(now, idx as usize, cells, ctx),
+        }
+    }
+
+    /// Records an observability event and mirrors it into the health
+    /// buffer for the coordinator's deterministic barrier replay.
+    pub(super) fn emit(
+        &mut self,
+        ctx: &WindowCtx<'_>,
+        now: SimTime,
+        node: Option<u32>,
+        kind: impl FnOnce() -> Obs,
+    ) {
+        if !ctx.recorder.is_enabled() {
+            return;
+        }
+        let kind = kind();
+        if ctx.buffer_health {
+            self.health_buf.push(HealthObs {
+                t: now.as_f64(),
+                node,
+                kind: kind.clone(),
+            });
+        }
+        ctx.recorder.event(now.as_f64(), node, move || kind);
+    }
+
+    fn log(&mut self, ctx: &WindowCtx<'_>, record: MessageRecord) {
+        if ctx.log_on {
+            self.log_buf.push(record);
+        }
+    }
+
+    /// Buffers a cross-node message: delivery is quantized to at least the
+    /// next window boundary so the receiving shard sees it only after the
+    /// barrier, whatever the layout.
+    fn send(
+        &mut self,
+        cell: &mut NodeCell,
+        src: u32,
+        now: SimTime,
+        latency: f64,
+        dest: u32,
+        event: Event,
+    ) {
+        let deliver_at = (now + latency).max(next_boundary(now));
+        let seq = cell.outbox_seq;
+        cell.outbox_seq += 1;
+        self.outbox.push(OutMsg {
+            deliver_at,
+            src,
+            seq,
+            dest,
+            event,
+        });
+    }
+
+    fn handle_shuffle(
+        &mut self,
+        now: SimTime,
+        v: usize,
+        cells: &mut [NodeCell],
+        ctx: &WindowCtx<'_>,
+    ) {
+        // The timer always re-arms; offline nodes simply skip the round.
+        self.engine.schedule_at(now + 1.0, Event::Shuffle(v as u32));
+        let local = v - self.start;
+        if !cells[local].churn.is_online() {
+            return;
+        }
+        if cells[local].node.needs_pseudonym(now) {
+            let lifetime = lifetime_for(ctx.cfg, &cells[local]);
+            cells[local]
+                .node
+                .renew_pseudonym(&mut self.minter, now, lifetime);
+            self.emit(ctx, now, Some(v as u32), || Obs::PseudonymMinted {
+                lifetime,
+            });
+        }
+        let purged = cells[local].node.purge_expired(now);
+        if purged > 0 {
+            self.emit(ctx, now, Some(v as u32), || Obs::PseudonymsExpired {
+                count: purged as u64,
+            });
+        }
+        // Adaptive shuffle suppression, as in the sequential executor.
+        let cell = &mut cells[local];
+        let activity = cell.node.sampler.additions() + cell.node.sampler.removals();
+        if activity == cell.last_sampler_activity {
+            cell.stable_ticks = cell.stable_ticks.saturating_add(1);
+        } else {
+            cell.stable_ticks = 0;
+        }
+        cell.last_sampler_activity = activity;
+        if let Some(k) = ctx.cfg.stop_after_stable_periods {
+            if cell.stable_ticks >= k {
+                cell.node.stats.shuffles_suppressed += 1;
+                return;
+            }
+        }
+        if ctx.fault.is_some() {
+            self.faulty_shuffle(now, v, cells, ctx);
+            return;
+        }
+        // Ideal link with positive latency (this regime never runs the
+        // zero-latency synchronous exchange). Deliverability comes from
+        // the barrier snapshot.
+        let cell = &mut cells[local];
+        let target = if ctx.cfg.skip_offline_peers {
+            let links = cell.node.links(now);
+            let online: Vec<_> = links
+                .into_iter()
+                .filter(|l| ctx.online[l.resolve() as usize])
+                .collect();
+            if online.is_empty() {
+                None
+            } else {
+                Some(online[cell.proto_rng.gen_range(0..online.len())])
+            }
+        } else {
+            cell.node.pick_link(now, &mut cell.proto_rng)
+        };
+        let Some(target) = target else {
+            return;
+        };
+        let dest = target.resolve() as usize;
+        debug_assert_ne!(dest, v, "nodes never link to themselves");
+        let trusted_link = target.is_trusted();
+        self.emit(ctx, now, Some(v as u32), || Obs::ShuffleStart {
+            target: dest as u64,
+            trusted: trusted_link,
+        });
+        if !ctx.online[dest] {
+            // Request sent into the anonymity service but never delivered.
+            let cell = &mut cells[local];
+            cell.node.stats.requests_sent += 1;
+            cell.node.stats.dropped_requests += 1;
+            self.emit(ctx, now, Some(v as u32), || Obs::MessageDropped {
+                exchange: 0,
+                response: false,
+            });
+            self.log(
+                ctx,
+                MessageRecord {
+                    time: now,
+                    from: v as u32,
+                    to: dest as u32,
+                    kind: MessageKind::Dropped,
+                    trusted_link,
+                },
+            );
+            return;
+        }
+        let cell = &mut cells[local];
+        let offer = protocol::build_offer(
+            &mut cell.node,
+            ctx.cfg.shuffle_length,
+            now,
+            &mut cell.proto_rng,
+        );
+        cell.node.stats.requests_sent += 1;
+        self.log(
+            ctx,
+            MessageRecord {
+                time: now,
+                from: v as u32,
+                to: dest as u32,
+                kind: MessageKind::Request,
+                trusted_link,
+            },
+        );
+        let event = Event::DeliverRequest(Box::new(Delivery {
+            from: v as u32,
+            to: dest as u32,
+            offer: offer.entries,
+            initiator_sent: offer.sent_from_cache,
+            trusted_link,
+            exchange: 0,
+            attempt: 0,
+        }));
+        self.send(
+            &mut cells[local],
+            v as u32,
+            now,
+            ctx.effective_latency,
+            dest as u32,
+            event,
+        );
+    }
+
+    fn faulty_shuffle(
+        &mut self,
+        now: SimTime,
+        v: usize,
+        cells: &mut [NodeCell],
+        ctx: &WindowCtx<'_>,
+    ) {
+        let fault = ctx.fault.expect("faulty path");
+        if fault.crashed(v as u32, now.as_f64()) {
+            return; // a silently crashed node initiates nothing
+        }
+        let local = v - self.start;
+        let cell = &mut cells[local];
+        let Some(target) = cell.node.pick_link(now, &mut cell.proto_rng) else {
+            return;
+        };
+        let dest = target.resolve();
+        debug_assert_ne!(dest as usize, v, "nodes never link to themselves");
+        let target_pseudonym = match target {
+            LinkTarget::Pseudonym(p) => Some(p.id()),
+            LinkTarget::Trusted(_) => None,
+        };
+        let offer = protocol::build_offer(
+            &mut cell.node,
+            ctx.cfg.shuffle_length,
+            now,
+            &mut cell.proto_rng,
+        );
+        // Exchange ids are a pure function of the initiator's history, so
+        // every shard layout assigns the same ids.
+        let exchange = ((v as u64 + 1) << 32) | cell.exchange_seq;
+        cell.exchange_seq += 1;
+        self.emit(ctx, now, Some(v as u32), || Obs::ShuffleStart {
+            target: u64::from(dest),
+            trusted: target.is_trusted(),
+        });
+        self.pending.insert(
+            exchange,
+            PendingExchange {
+                initiator: v as u32,
+                dest,
+                target_pseudonym,
+                trusted_link: target.is_trusted(),
+                offer: offer.entries,
+                sent_from_cache: offer.sent_from_cache,
+                attempt: 0,
+            },
+        );
+        self.transmit_request(now, exchange, cells, ctx);
+    }
+
+    fn transmit_request(
+        &mut self,
+        now: SimTime,
+        exchange: u64,
+        cells: &mut [NodeCell],
+        ctx: &WindowCtx<'_>,
+    ) {
+        let (initiator, dest, trusted_link, attempt) = {
+            let p = &self.pending[&exchange];
+            (p.initiator, p.dest, p.trusted_link, p.attempt)
+        };
+        let local = initiator as usize - self.start;
+        let fault = ctx.fault.expect("faulty path");
+        // One stateless RNG per transmission: drop decision, then latency.
+        let mut mrng = derive_message_rng(ctx.master_seed, exchange, attempt, false);
+        let dropped = fault.is_dropped(initiator, dest, now.as_f64(), &mut mrng);
+        cells[local].node.stats.requests_sent += 1;
+        if dropped {
+            cells[local].node.stats.dropped_requests += 1;
+            self.emit(ctx, now, Some(initiator), || Obs::MessageDropped {
+                exchange,
+                response: false,
+            });
+        }
+        self.log(
+            ctx,
+            MessageRecord {
+                time: now,
+                from: initiator,
+                to: dest,
+                kind: if dropped {
+                    MessageKind::Dropped
+                } else {
+                    MessageKind::Request
+                },
+                trusted_link,
+            },
+        );
+        if !dropped {
+            let latency = fault.sample_latency(&mut mrng);
+            let (offer, sent_from_cache) = {
+                let p = &self.pending[&exchange];
+                (p.offer.clone(), p.sent_from_cache.clone())
+            };
+            let event = Event::DeliverRequest(Box::new(Delivery {
+                from: initiator,
+                to: dest,
+                offer,
+                initiator_sent: sent_from_cache,
+                trusted_link,
+                exchange,
+                attempt,
+            }));
+            self.send(&mut cells[local], initiator, now, latency, dest, event);
+        }
+        // Exponential backoff: timeout doubles with every retransmission.
+        let backoff = ctx.cfg.shuffle_timeout * f64::from(1u32 << attempt.min(16));
+        self.engine
+            .schedule_in(backoff, Event::ShuffleTimeout { exchange });
+    }
+
+    fn handle_shuffle_timeout(
+        &mut self,
+        now: SimTime,
+        exchange: u64,
+        cells: &mut [NodeCell],
+        ctx: &WindowCtx<'_>,
+    ) {
+        let (initiator, attempt) = match self.pending.get(&exchange) {
+            Some(p) => (p.initiator, p.attempt),
+            None => return, // completed: the response arrived in time
+        };
+        let local = initiator as usize - self.start;
+        let crashed = ctx
+            .fault
+            .is_some_and(|f| f.crashed(initiator, now.as_f64()));
+        if !cells[local].churn.is_online() || crashed {
+            // The initiator itself is gone; nobody is waiting any more.
+            self.pending.remove(&exchange);
+            return;
+        }
+        self.emit(ctx, now, Some(initiator), || Obs::ShuffleTimeout {
+            exchange,
+            attempt: u64::from(attempt),
+        });
+        if attempt < ctx.cfg.shuffle_retry_budget {
+            self.pending
+                .get_mut(&exchange)
+                .expect("checked above")
+                .attempt += 1;
+            cells[local].node.stats.shuffle_retries += 1;
+            self.emit(ctx, now, Some(initiator), || Obs::ShuffleRetry {
+                exchange,
+                attempt: u64::from(attempt) + 1,
+            });
+            self.transmit_request(now, exchange, cells, ctx);
+            return;
+        }
+        let p = self.pending.remove(&exchange).expect("checked above");
+        cells[local].node.stats.shuffle_failures += 1;
+        self.emit(ctx, now, Some(initiator), || Obs::ShuffleFailure {
+            exchange,
+        });
+        if let Some(id) = p.target_pseudonym {
+            cells[local].node.cache.remove(id);
+            cells[local].node.sampler.evict(id);
+            self.emit(ctx, now, Some(initiator), || Obs::PeerEvicted {
+                pseudonym: id.0,
+            });
+        }
+    }
+
+    fn handle_request_delivery(
+        &mut self,
+        now: SimTime,
+        delivery: Delivery,
+        cells: &mut [NodeCell],
+        ctx: &WindowCtx<'_>,
+    ) {
+        let responder = delivery.to as usize;
+        let local = responder - self.start;
+        let crashed = ctx
+            .fault
+            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
+        if !cells[local].churn.is_online() || crashed {
+            // Lost in transit. The initiator may live on another shard, so
+            // its `dropped_requests` bump is credited at the barrier.
+            self.credits.push(delivery.from);
+            self.emit(ctx, now, Some(delivery.from), || Obs::MessageDropped {
+                exchange: delivery.exchange,
+                response: false,
+            });
+            return;
+        }
+        // Mirror the synchronous order: build the response offer before
+        // absorbing the request (Cyclon semantics).
+        let cell = &mut cells[local];
+        let response = protocol::build_offer(
+            &mut cell.node,
+            ctx.cfg.shuffle_length,
+            now,
+            &mut cell.proto_rng,
+        );
+        protocol::receive_offer(
+            &mut cell.node,
+            &delivery.offer,
+            &response.sent_from_cache,
+            now,
+            &mut cell.proto_rng,
+        );
+        cell.node.stats.responses_sent += 1;
+        if let Some(fault) = ctx.fault {
+            // Responses answering a retransmission (`attempt > 0`) draw
+            // their own stream, so duplicate answers stay independent.
+            let mut mrng =
+                derive_message_rng(ctx.master_seed, delivery.exchange, delivery.attempt, true);
+            let dropped = fault.is_dropped(delivery.to, delivery.from, now.as_f64(), &mut mrng);
+            self.log(
+                ctx,
+                MessageRecord {
+                    time: now,
+                    from: delivery.to,
+                    to: delivery.from,
+                    kind: if dropped {
+                        MessageKind::Dropped
+                    } else {
+                        MessageKind::Response
+                    },
+                    trusted_link: delivery.trusted_link,
+                },
+            );
+            if dropped {
+                cells[local].node.stats.dropped_requests += 1;
+                self.emit(ctx, now, Some(delivery.to), || Obs::MessageDropped {
+                    exchange: delivery.exchange,
+                    response: true,
+                });
+                return;
+            }
+            let latency = fault.sample_latency(&mut mrng);
+            let event = Event::DeliverResponse(Box::new(Delivery {
+                from: delivery.to,
+                to: delivery.from,
+                offer: response.entries,
+                initiator_sent: delivery.initiator_sent,
+                trusted_link: delivery.trusted_link,
+                exchange: delivery.exchange,
+                attempt: delivery.attempt,
+            }));
+            self.send(
+                &mut cells[local],
+                delivery.to,
+                now,
+                latency,
+                delivery.from,
+                event,
+            );
+            return;
+        }
+        self.log(
+            ctx,
+            MessageRecord {
+                time: now,
+                from: delivery.to,
+                to: delivery.from,
+                kind: MessageKind::Response,
+                trusted_link: delivery.trusted_link,
+            },
+        );
+        let event = Event::DeliverResponse(Box::new(Delivery {
+            from: delivery.to,
+            to: delivery.from,
+            offer: response.entries,
+            initiator_sent: delivery.initiator_sent,
+            trusted_link: delivery.trusted_link,
+            exchange: 0,
+            attempt: 0,
+        }));
+        self.send(
+            &mut cells[local],
+            delivery.to,
+            now,
+            ctx.effective_latency,
+            delivery.from,
+            event,
+        );
+    }
+
+    fn handle_response_delivery(
+        &mut self,
+        now: SimTime,
+        delivery: Delivery,
+        cells: &mut [NodeCell],
+        ctx: &WindowCtx<'_>,
+    ) {
+        if ctx.fault.is_some() && self.pending.remove(&delivery.exchange).is_none() {
+            // A duplicate answer to a retransmitted request whose exchange
+            // already completed or failed; ignore it.
+            return;
+        }
+        let local = delivery.to as usize - self.start;
+        let crashed = ctx
+            .fault
+            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
+        if !cells[local].churn.is_online() || crashed {
+            return; // response lost; the initiator churned out
+        }
+        let cell = &mut cells[local];
+        protocol::receive_offer(
+            &mut cell.node,
+            &delivery.offer,
+            &delivery.initiator_sent,
+            now,
+            &mut cell.proto_rng,
+        );
+        self.emit(ctx, now, Some(delivery.to), || Obs::ShuffleComplete {
+            exchange: delivery.exchange,
+        });
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-node state cells, shard partitioning, and node-lifecycle handlers.
+//!
+//! All per-node simulation state lives in one [`NodeCell`] so the sharded
+//! executor can hand each shard a contiguous `&mut [NodeCell]` slice with a
+//! single `split_at_mut` chain. The sequential executor indexes the same
+//! cells directly; the grouping changes data layout only, never the order
+//! of any RNG draw or event, so sequential results stay byte-identical to
+//! the pre-cell simulator.
+
+use crate::config::{LifetimePolicy, OverlayConfig};
+use crate::node::Node;
+use crate::simulation::Simulation;
+use rand::rngs::StdRng;
+use veil_obs::EventKind as Obs;
+use veil_sim::churn::ChurnProcess;
+use veil_sim::SimTime;
+
+use super::Event;
+
+/// Everything the simulation tracks about one node, grouped so a shard can
+/// own a contiguous slice of nodes exclusively.
+pub(crate) struct NodeCell {
+    /// Protocol state (cache, sampler, own pseudonyms, stats).
+    pub node: Node,
+    /// The node's churn process.
+    pub churn: ChurnProcess,
+    /// Start of the current online session, if online.
+    pub online_since: Option<SimTime>,
+    /// Start of the current offline period, if offline.
+    pub offline_since: Option<SimTime>,
+    /// Generation stamp invalidating superseded churn/blackout events.
+    pub churn_generation: u32,
+    /// EWMA of observed offline durations (adaptive lifetime policy).
+    pub ewma_offline: Option<f64>,
+    /// Consecutive shuffle ticks without sampler activity.
+    pub stable_ticks: u32,
+    /// Sampler activity counter at the last shuffle tick.
+    pub last_sampler_activity: u64,
+    /// Protocol randomness (offer building, link picking).
+    pub proto_rng: StdRng,
+    /// Churn residence-time randomness.
+    pub churn_rng: StdRng,
+    /// Until when the node is held dark by an injected blackout.
+    pub blackout_until: Option<SimTime>,
+    /// Sharded executor: per-source sequence number of outbox messages;
+    /// part of the canonical `(deliver_at, src, seq)` merge key.
+    pub outbox_seq: u64,
+    /// Sharded executor: per-initiator exchange counter; the exchange id
+    /// `((v + 1) << 32) | seq` is a pure function of the node's own
+    /// history, hence invariant in the shard layout.
+    pub exchange_seq: u64,
+}
+
+impl NodeCell {
+    /// A fresh cell for a node whose churn process starts in `churn`'s
+    /// initial state at time zero.
+    pub(crate) fn new(
+        node: Node,
+        churn: ChurnProcess,
+        proto_rng: StdRng,
+        churn_rng: StdRng,
+    ) -> Self {
+        let online = churn.is_online();
+        Self {
+            node,
+            churn,
+            online_since: online.then_some(SimTime::ZERO),
+            offline_since: (!online).then_some(SimTime::ZERO),
+            churn_generation: 0,
+            ewma_offline: None,
+            stable_ticks: 0,
+            last_sampler_activity: 0,
+            proto_rng,
+            churn_rng,
+            blackout_until: None,
+            outbox_seq: 0,
+            exchange_seq: 0,
+        }
+    }
+}
+
+/// Boundaries of `s` contiguous, balanced node ranges over `n` nodes:
+/// shard `i` owns `[starts[i], starts[i + 1])`. The returned vector has
+/// `s + 1` entries with `starts[0] == 0` and `starts[s] == n`.
+pub(crate) fn shard_starts(n: usize, s: usize) -> Vec<usize> {
+    assert!(s >= 1 && s <= n, "shard count must be in 1..=n");
+    (0..=s).map(|i| i * n / s).collect()
+}
+
+/// Owner shard of every node under [`shard_starts`] partitioning.
+pub(crate) fn owner_of(n: usize, starts: &[usize]) -> Vec<u32> {
+    let mut owner = vec![0u32; n];
+    for (i, w) in starts.windows(2).enumerate() {
+        for o in &mut owner[w[0]..w[1]] {
+            *o = i as u32;
+        }
+    }
+    owner
+}
+
+/// The lifetime node `cell` would give a pseudonym minted right now, per
+/// the configured [`LifetimePolicy`]. Reads only the node's own state, so
+/// both executors share it.
+pub(crate) fn lifetime_for(cfg: &OverlayConfig, cell: &NodeCell) -> Option<f64> {
+    match cfg.lifetime_policy {
+        LifetimePolicy::Global => cfg.pseudonym_lifetime,
+        LifetimePolicy::Adaptive { multiplier, floor } => match cell.ewma_offline {
+            Some(mean) => Some((multiplier * mean).max(floor)),
+            None => cfg.pseudonym_lifetime,
+        },
+    }
+}
+
+impl Simulation {
+    pub(crate) fn handle_churn(&mut self, now: SimTime, v: usize, generation: u32) {
+        if generation != self.cells[v].churn_generation {
+            return; // superseded by failure injection
+        }
+        let cell = &mut self.cells[v];
+        let next = cell.churn.transition(&mut cell.churn_rng);
+        if let Some(delay) = next {
+            self.engine.schedule_at(
+                now + delay,
+                Event::Churn {
+                    node: v as u32,
+                    generation,
+                },
+            );
+        }
+        if self.cells[v].churn.is_online() {
+            self.rejoin(now, v);
+        } else {
+            self.depart(now, v);
+        }
+    }
+
+    /// Bookkeeping for a node coming online: session tracking, adaptive
+    /// lifetime observation, expired-state purge and pseudonym renewal.
+    pub(crate) fn rejoin(&mut self, now: SimTime, v: usize) {
+        self.emit(now, Some(v as u32), || Obs::NodeOnline);
+        self.cells[v].online_since = Some(now);
+        if let Some(since) = self.cells[v].offline_since.take() {
+            // Feed the adaptive lifetime policy with the node's own
+            // observed offline duration (EWMA, weight 0.2 on the new
+            // observation).
+            let duration = now.since(since);
+            self.cells[v].ewma_offline = Some(match self.cells[v].ewma_offline {
+                Some(prev) => 0.8 * prev + 0.2 * duration,
+                None => duration,
+            });
+        }
+        // Rejoining is a state change: re-arm suppressed shuffling.
+        self.cells[v].stable_ticks = 0;
+        let purged = self.cells[v].node.purge_expired(now);
+        if purged > 0 {
+            self.emit(now, Some(v as u32), || Obs::PseudonymsExpired {
+                count: purged as u64,
+            });
+        }
+        if self.cells[v].node.needs_pseudonym(now) {
+            let lifetime = lifetime_for(&self.cfg, &self.cells[v]);
+            self.cells[v]
+                .node
+                .renew_pseudonym(&mut self.svc, now, lifetime);
+            self.emit(now, Some(v as u32), || Obs::PseudonymMinted { lifetime });
+        }
+    }
+
+    /// Bookkeeping for a node going offline: close the online session.
+    pub(crate) fn depart(&mut self, now: SimTime, v: usize) {
+        self.emit(now, Some(v as u32), || Obs::NodeOffline);
+        self.cells[v].offline_since = Some(now);
+        if let Some(since) = self.cells[v].online_since.take() {
+            self.cells[v].node.stats.online_time += now.since(since);
+        }
+    }
+
+    pub(crate) fn inject_blackout_at(&mut self, now: SimTime, nodes: &[usize], duration: f64) {
+        assert!(duration > 0.0, "blackout duration must be positive");
+        for &v in nodes {
+            assert!(v < self.cells.len(), "node {v} out of range");
+            let until = now + duration;
+            if let Some(existing) = self.cells[v].blackout_until {
+                if existing >= until {
+                    // Already dark at least that long: the pending wake
+                    // event stands; re-forcing would duplicate it.
+                    continue;
+                }
+            }
+            self.cells[v].blackout_until = Some(until);
+            self.emit(now, Some(v as u32), || Obs::BlackoutStart {
+                until: until.as_f64(),
+            });
+            self.cells[v].churn_generation = self.cells[v].churn_generation.wrapping_add(1);
+            if self.cells[v].churn.is_online() {
+                self.depart(now, v);
+            }
+            // Residence sample is discarded: the blackout end is forced.
+            let cell = &mut self.cells[v];
+            let _ = cell
+                .churn
+                .force_state(veil_sim::churn::NodeState::Offline, &mut cell.churn_rng);
+            let wake = Event::BlackoutEnd {
+                node: v as u32,
+                generation: self.cells[v].churn_generation,
+            };
+            match &mut self.sharded {
+                Some(rt) => rt.shard_of_mut(v).engine.schedule_at(until, wake),
+                None => self.engine.schedule_at(until, wake),
+            }
+        }
+    }
+
+    pub(crate) fn handle_blackout_end(&mut self, now: SimTime, v: usize, generation: u32) {
+        if generation != self.cells[v].churn_generation {
+            return; // a newer blackout supersedes this recovery
+        }
+        self.cells[v].blackout_until = None;
+        self.emit(now, Some(v as u32), || Obs::BlackoutEnd);
+        let cell = &mut self.cells[v];
+        let next = cell
+            .churn
+            .force_state(veil_sim::churn::NodeState::Online, &mut cell.churn_rng);
+        if let Some(delay) = next {
+            self.engine.schedule_at(
+                now + delay,
+                Event::Churn {
+                    node: v as u32,
+                    generation,
+                },
+            );
+        }
+        self.rejoin(now, v);
+    }
+}

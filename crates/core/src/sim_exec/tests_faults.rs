@@ -1,0 +1,220 @@
+//! Faulty-link and failure-injection tests (moved from `simulation.rs`).
+
+use crate::config::{LinkLayerConfig, OverlayConfig};
+use crate::node::NodeStats;
+use crate::simulation::{MessageKind, Simulation};
+use veil_graph::{generators, Graph};
+use veil_sim::churn::ChurnConfig;
+use veil_sim::fault::{EpisodeEffect, FaultConfig};
+use veil_sim::rng::{derive_rng, Stream};
+
+fn trust_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = derive_rng(seed, Stream::Topology);
+    generators::social_graph(n, 3, &mut rng).unwrap()
+}
+
+fn small_sim(alpha: f64, seed: u64) -> Simulation {
+    let trust = trust_graph(60, seed);
+    let cfg = OverlayConfig {
+        cache_size: 50,
+        shuffle_length: 8,
+        target_links: 12,
+        ..OverlayConfig::default()
+    };
+    let churn = ChurnConfig::from_availability(alpha, 10.0);
+    Simulation::new(trust, cfg, churn, seed).unwrap()
+}
+
+fn faulty_sim(alpha: f64, seed: u64, fault: FaultConfig) -> Simulation {
+    let trust = trust_graph(60, seed);
+    let cfg = OverlayConfig {
+        cache_size: 50,
+        shuffle_length: 8,
+        target_links: 12,
+        link: LinkLayerConfig::Faulty(fault),
+        ..OverlayConfig::default()
+    };
+    let churn = ChurnConfig::from_availability(alpha, 10.0);
+    Simulation::new(trust, cfg, churn, seed).unwrap()
+}
+
+#[test]
+fn overlapping_blackouts_do_not_duplicate_wake_events() {
+    let mut sim = small_sim(1.0, 27);
+    sim.run_until(10.0);
+    sim.inject_blackout(&[0, 1], 10.0); // dark until t = 20
+    sim.run_until(12.0);
+    // A shorter overlapping blackout must not truncate the outage (the
+    // old behaviour woke the nodes at its own, earlier, end).
+    sim.inject_blackout(&[0, 1], 3.0);
+    sim.run_until(16.0);
+    assert!(!sim.is_online(0), "shorter overlap truncated the blackout");
+    assert!(!sim.is_online(1));
+    sim.run_until(21.0);
+    assert_eq!(sim.online_count(), 60, "original wake still fires");
+    // A *longer* overlapping blackout extends the outage instead.
+    sim.inject_blackout(&[2], 5.0); // until t = 26
+    sim.run_until(22.0);
+    sim.inject_blackout(&[2], 10.0); // until t = 32
+    sim.run_until(27.0);
+    assert!(!sim.is_online(2), "extension supersedes the earlier wake");
+    sim.run_until(33.0);
+    assert!(sim.is_online(2));
+    // And afterwards the network is quiescent again: no stray events.
+    sim.run_until(80.0);
+    assert_eq!(sim.online_count(), 60);
+}
+
+#[test]
+fn trivial_faulty_link_matches_ideal_exactly() {
+    let run = |link: LinkLayerConfig| {
+        let trust = trust_graph(60, 28);
+        let cfg = OverlayConfig {
+            cache_size: 50,
+            shuffle_length: 8,
+            target_links: 12,
+            link,
+            ..OverlayConfig::default()
+        };
+        let churn = ChurnConfig::from_availability(0.5, 10.0);
+        let mut sim = Simulation::new(trust, cfg, churn, 28).unwrap();
+        sim.enable_message_log();
+        sim.run_until(40.0);
+        (
+            sim.online_mask(),
+            sim.overlay_graph(),
+            sim.pseudonyms_minted(),
+            sim.take_message_log(),
+        )
+    };
+    let ideal = run(LinkLayerConfig::Ideal);
+    let faulty = run(LinkLayerConfig::Faulty(FaultConfig::none()));
+    assert_eq!(ideal, faulty, "zero-fault layer must be bit-identical");
+}
+
+#[test]
+fn lossy_link_drops_and_retries_but_overlay_survives() {
+    let mut sim = faulty_sim(0.8, 29, FaultConfig::with_loss(0.2));
+    sim.run_until(80.0);
+    let sum = |f: &dyn Fn(&NodeStats) -> u64| -> u64 {
+        (0..sim.node_count()).map(|v| f(&sim.node_stats(v))).sum()
+    };
+    assert!(sum(&|s| s.dropped_requests) > 0, "losses must be observed");
+    assert!(sum(&|s| s.shuffle_retries) > 0, "timeouts must retry");
+    let links: usize = (0..sim.node_count())
+        .map(|v| sim.node(v).sampler.link_count())
+        .sum();
+    assert!(links > 60, "gossip still spreads under 20% loss: {links}");
+    let frac = veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask());
+    assert!(frac < 0.1, "overlay fell apart under 20% loss: {frac}");
+}
+
+#[test]
+fn total_loss_exhausts_retries_and_evicts() {
+    let mut sim = faulty_sim(1.0, 30, FaultConfig::with_loss(1.0));
+    sim.run_until(80.0);
+    let failures: u64 = (0..sim.node_count())
+        .map(|v| sim.node_stats(v).shuffle_failures)
+        .sum();
+    assert!(failures > 0, "every exchange must eventually fail");
+    let responses: u64 = (0..sim.node_count())
+        .map(|v| sim.node_stats(v).responses_sent)
+        .sum();
+    assert_eq!(responses, 0, "nothing is ever delivered");
+}
+
+#[test]
+fn faulty_link_is_deterministic() {
+    let run = || {
+        let fault = FaultConfig {
+            drop_probability: 0.15,
+            latency: veil_sim::fault::LatencyDist::Exponential { mean: 0.3 },
+            ..FaultConfig::none()
+        };
+        let mut sim = faulty_sim(0.5, 31, fault);
+        sim.run_until(50.0);
+        (
+            sim.online_mask(),
+            sim.overlay_graph(),
+            sim.pseudonyms_minted(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn partition_episode_blocks_cross_traffic_then_heals() {
+    let fault = FaultConfig {
+        episodes: vec![veil_sim::fault::FaultEpisode {
+            start: 10.0,
+            end: 30.0,
+            effect: EpisodeEffect::Partition { boundary: 30 },
+        }],
+        ..FaultConfig::none()
+    };
+    let mut sim = faulty_sim(1.0, 32, fault);
+    sim.enable_message_log();
+    sim.run_until(60.0);
+    let log = sim.take_message_log();
+    let crossings: Vec<_> = log
+        .iter()
+        .filter(|m| (m.from < 30) != (m.to < 30))
+        .collect();
+    assert!(
+        crossings
+            .iter()
+            .filter(|m| m.time.as_f64() >= 10.0 && m.time.as_f64() < 30.0)
+            .all(|m| m.kind == MessageKind::Dropped),
+        "every cross-boundary message during the partition is dropped"
+    );
+    assert!(
+        crossings
+            .iter()
+            .any(|m| m.time.as_f64() >= 30.0 && m.kind != MessageKind::Dropped),
+        "cross-boundary traffic resumes after the partition heals"
+    );
+}
+
+#[test]
+fn blackout_episode_forces_region_offline() {
+    let fault = FaultConfig {
+        episodes: vec![veil_sim::fault::FaultEpisode {
+            start: 10.0,
+            end: 20.0,
+            effect: EpisodeEffect::Blackout {
+                first: 0,
+                count: 20,
+            },
+        }],
+        ..FaultConfig::none()
+    };
+    let mut sim = faulty_sim(1.0, 33, fault);
+    sim.run_until(15.0);
+    assert_eq!(sim.online_count(), 40, "region of 20 is dark");
+    sim.run_until(25.0);
+    assert_eq!(sim.online_count(), 60, "region reconnects at episode end");
+}
+
+#[test]
+fn crashed_nodes_cause_failures_but_not_wedging() {
+    let fault = FaultConfig {
+        episodes: vec![veil_sim::fault::FaultEpisode {
+            start: 0.0,
+            end: f64::INFINITY,
+            effect: EpisodeEffect::Crash {
+                first: 0,
+                count: 15,
+            },
+        }],
+        ..FaultConfig::none()
+    };
+    let mut sim = faulty_sim(1.0, 34, fault);
+    sim.run_until(80.0);
+    let crashed_requests: u64 = (0..15).map(|v| sim.node_stats(v).requests_sent).sum();
+    assert_eq!(crashed_requests, 0, "crashed nodes initiate nothing");
+    let failures: u64 = (15..60).map(|v| sim.node_stats(v).shuffle_failures).sum();
+    assert!(failures > 0, "peers of crashed nodes time out");
+    let live: Vec<usize> = (15..60).collect();
+    let links: usize = live.iter().map(|&v| sim.node(v).sampler.link_count()).sum();
+    assert!(links > 45, "live nodes keep gossiping: {links}");
+}

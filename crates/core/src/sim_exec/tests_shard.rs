@@ -1,0 +1,279 @@
+//! Shard-count invariance tests for the sharded executor.
+//!
+//! The contract under test: with `cfg.shards = Some(s)` and an event graph
+//! that has lookahead (fault model or positive link latency), every shard
+//! count — including one — produces identical results. Sequential runs
+//! (`shards = None`) use a different (unwindowed) event interleaving and
+//! are *not* expected to match; `S = 1` is the reference.
+
+use crate::config::{LinkLayerConfig, OverlayConfig};
+use crate::node::NodeStats;
+use crate::simulation::{MessageRecord, Simulation};
+use veil_graph::{generators, Graph};
+use veil_sim::churn::ChurnConfig;
+use veil_sim::fault::{EpisodeEffect, FaultConfig, FaultEpisode, LatencyDist};
+use veil_sim::rng::{derive_rng, Stream};
+
+fn trust_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = derive_rng(seed, Stream::Topology);
+    generators::social_graph(n, 3, &mut rng).unwrap()
+}
+
+fn base_cfg() -> OverlayConfig {
+    OverlayConfig {
+        cache_size: 50,
+        shuffle_length: 8,
+        target_links: 12,
+        ..OverlayConfig::default()
+    }
+}
+
+/// Everything observable about a finished run, for exact comparison.
+type Snapshot = (
+    Vec<bool>,
+    Graph,
+    u64,
+    u64,
+    Vec<NodeStats>,
+    Vec<MessageRecord>,
+);
+
+fn snapshot(sim: &mut Simulation) -> Snapshot {
+    (
+        sim.online_mask(),
+        sim.overlay_graph(),
+        sim.pseudonyms_minted(),
+        sim.total_link_removals(),
+        (0..sim.node_count()).map(|v| sim.node_stats(v)).collect(),
+        sim.take_message_log(),
+    )
+}
+
+fn run_sharded(cfg: &OverlayConfig, alpha: f64, seed: u64, shards: usize, t: f64) -> Snapshot {
+    let trust = trust_graph(60, seed);
+    let cfg = OverlayConfig {
+        shards: Some(shards),
+        ..cfg.clone()
+    };
+    let churn = ChurnConfig::from_availability(alpha, 10.0);
+    let mut sim = Simulation::new(trust, cfg, churn, seed).unwrap();
+    assert!(sim.is_sharded(), "config must engage the sharded executor");
+    sim.enable_message_log();
+    sim.run_until(t);
+    snapshot(&mut sim)
+}
+
+fn assert_shard_invariant(cfg: &OverlayConfig, alpha: f64, seed: u64, t: f64) {
+    let reference = run_sharded(cfg, alpha, seed, 1, t);
+    for shards in [2, 4] {
+        let got = run_sharded(cfg, alpha, seed, shards, t);
+        assert_eq!(
+            got, reference,
+            "shards={shards} diverged from shards=1 (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn faulty_link_is_shard_invariant() {
+    let cfg = OverlayConfig {
+        link: LinkLayerConfig::Faulty(FaultConfig {
+            drop_probability: 0.15,
+            latency: LatencyDist::Exponential { mean: 0.3 },
+            ..FaultConfig::none()
+        }),
+        ..base_cfg()
+    };
+    for seed in [41, 42] {
+        assert_shard_invariant(&cfg, 0.6, seed, 30.0);
+    }
+}
+
+#[test]
+fn ideal_latency_is_shard_invariant() {
+    let cfg = OverlayConfig {
+        link_latency: 0.3,
+        ..base_cfg()
+    };
+    for seed in [43, 44] {
+        assert_shard_invariant(&cfg, 0.6, seed, 30.0);
+    }
+}
+
+#[test]
+fn ideal_latency_with_skip_offline_is_shard_invariant() {
+    // skip_offline_peers routes target filtering through the barrier
+    // snapshot — exercise it explicitly under churn.
+    let cfg = OverlayConfig {
+        link_latency: 0.5,
+        skip_offline_peers: true,
+        ..base_cfg()
+    };
+    assert_shard_invariant(&cfg, 0.5, 45, 30.0);
+}
+
+#[test]
+fn blackout_episode_is_shard_invariant() {
+    let cfg = OverlayConfig {
+        link: LinkLayerConfig::Faulty(FaultConfig {
+            drop_probability: 0.1,
+            latency: LatencyDist::Exponential { mean: 0.2 },
+            episodes: vec![FaultEpisode {
+                start: 8.0,
+                end: 14.0,
+                effect: EpisodeEffect::Blackout {
+                    first: 10,
+                    count: 25,
+                },
+            }],
+        }),
+        ..base_cfg()
+    };
+    assert_shard_invariant(&cfg, 0.8, 46, 25.0);
+}
+
+#[test]
+fn total_loss_is_shard_invariant() {
+    // Exhausted retries, evictions and timeout bookkeeping, all windowed.
+    let cfg = OverlayConfig {
+        link: LinkLayerConfig::Faulty(FaultConfig::with_loss(1.0)),
+        ..base_cfg()
+    };
+    assert_shard_invariant(&cfg, 1.0, 47, 20.0);
+}
+
+#[test]
+fn sharded_run_is_deterministic() {
+    let cfg = OverlayConfig {
+        link: LinkLayerConfig::Faulty(FaultConfig {
+            drop_probability: 0.2,
+            latency: LatencyDist::Exponential { mean: 0.4 },
+            ..FaultConfig::none()
+        }),
+        ..base_cfg()
+    };
+    let run = || run_sharded(&cfg, 0.5, 48, 3, 25.0);
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn split_horizons_match_single_run() {
+    // Stopping mid-window (run_until at a non-grid instant) and resuming
+    // must not change anything versus one straight run.
+    let cfg = OverlayConfig {
+        link_latency: 0.3,
+        ..base_cfg()
+    };
+    let trust = trust_graph(60, 49);
+    let make = || {
+        let cfg = OverlayConfig {
+            shards: Some(4),
+            ..cfg.clone()
+        };
+        let churn = ChurnConfig::from_availability(0.7, 10.0);
+        Simulation::new(trust.clone(), cfg, churn, 49).unwrap()
+    };
+    let mut straight = make();
+    straight.run_until(20.0);
+    let mut split = make();
+    split.run_until(7.3);
+    split.run_until(12.75);
+    split.run_until(20.0);
+    assert_eq!(straight.online_mask(), split.online_mask());
+    assert_eq!(straight.overlay_graph(), split.overlay_graph());
+    assert_eq!(straight.pseudonyms_minted(), split.pseudonyms_minted());
+}
+
+#[test]
+fn zero_latency_ideal_ignores_shards() {
+    // No lookahead, no sharding: the request must fall back to the
+    // sequential executor and reproduce the unsharded run exactly.
+    let trust = trust_graph(60, 50);
+    let run = |shards: Option<usize>| {
+        let cfg = OverlayConfig {
+            shards,
+            ..base_cfg()
+        };
+        let churn = ChurnConfig::from_availability(0.5, 10.0);
+        let mut sim = Simulation::new(trust.clone(), cfg, churn, 50).unwrap();
+        assert!(!sim.is_sharded(), "zero-latency ideal runs stay sequential");
+        sim.enable_message_log();
+        sim.run_until(30.0);
+        snapshot(&mut sim)
+    };
+    assert_eq!(run(Some(8)), run(None));
+}
+
+#[test]
+fn shard_count_above_node_count_is_clamped() {
+    let trust = trust_graph(10, 51);
+    let cfg = OverlayConfig {
+        link_latency: 0.2,
+        shards: Some(64),
+        ..base_cfg()
+    };
+    let churn = ChurnConfig::from_availability(1.0, 10.0);
+    let mut sim = Simulation::new(trust, cfg, churn, 51).unwrap();
+    assert!(sim.is_sharded());
+    sim.run_until(10.0);
+    assert_eq!(sim.online_count(), 10);
+}
+
+#[test]
+#[should_panic(expected = "sequential executor")]
+fn step_panics_on_sharded_executor() {
+    let trust = trust_graph(20, 52);
+    let cfg = OverlayConfig {
+        link_latency: 0.2,
+        shards: Some(2),
+        ..base_cfg()
+    };
+    let churn = ChurnConfig::from_availability(1.0, 10.0);
+    let mut sim = Simulation::new(trust, cfg, churn, 52).unwrap();
+    let _ = sim.step();
+}
+
+#[test]
+fn manual_blackout_is_shard_invariant() {
+    let trust = trust_graph(60, 53);
+    let run = |shards: usize| {
+        let cfg = OverlayConfig {
+            link_latency: 0.4,
+            shards: Some(shards),
+            ..base_cfg()
+        };
+        let churn = ChurnConfig::from_availability(0.8, 10.0);
+        let mut sim = Simulation::new(trust.clone(), cfg, churn, 53).unwrap();
+        sim.run_until(10.0);
+        sim.inject_blackout(&(0..30).collect::<Vec<_>>(), 5.0);
+        sim.run_until(25.0);
+        (
+            sim.online_mask(),
+            sim.overlay_graph(),
+            sim.pseudonyms_minted(),
+        )
+    };
+    let reference = run(1);
+    for shards in [2, 4] {
+        assert_eq!(run(shards), reference, "shards={shards}");
+    }
+}
+
+#[test]
+fn shard_starts_partition_is_contiguous_and_balanced() {
+    use super::state::{owner_of, shard_starts};
+    for (n, s) in [(10, 1), (10, 3), (64, 8), (7, 7)] {
+        let starts = shard_starts(n, s);
+        assert_eq!(starts.len(), s + 1);
+        assert_eq!(starts[0], 0);
+        assert_eq!(starts[s], n);
+        let sizes: Vec<usize> = starts.windows(2).map(|w| w[1] - w[0]).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced partition {sizes:?}");
+        let owner = owner_of(n, &starts);
+        for (v, &o) in owner.iter().enumerate() {
+            let o = o as usize;
+            assert!(starts[o] <= v && v < starts[o + 1]);
+        }
+    }
+}

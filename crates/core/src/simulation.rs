@@ -18,16 +18,32 @@
 //! exponential backoff up to [`OverlayConfig::shuffle_retry_budget`], then
 //! gives up, counts a `shuffle_failure`, and applies Cyclon-style recovery
 //! by evicting the unresponsive pseudonym from its cache and sampler.
+//!
+//! This module is the public facade; the execution machinery lives in
+//! [`crate::sim_exec`]. Two executors share the per-node state:
+//!
+//! - the **sequential** executor ([`crate::sim_exec::dispatch`]): one
+//!   global engine, byte-identical to the original simulator; and
+//! - the **sharded** executor ([`crate::sim_exec::executor`]): nodes
+//!   partitioned over [`OverlayConfig::shards`] shards running on worker
+//!   threads in bounded time windows, producing identical results for
+//!   every shard count (including one).
+//!
+//! The sharded executor only engages when the event graph has lookahead —
+//! a fault model or positive link latency. Zero-latency ideal runs are
+//! synchronous exchanges with no in-flight messages to window, so they
+//! always run sequentially and `shards` is ignored.
 
-use crate::config::{LifetimePolicy, LinkLayerConfig, OverlayConfig};
+use crate::config::{LinkLayerConfig, OverlayConfig};
 use crate::error::CoreError;
 use crate::health::HealthMonitor;
 use crate::node::{LinkTarget, Node, NodeStats};
-use crate::protocol;
-use crate::pseudonym::{PseudonymId, PseudonymService};
+use crate::pseudonym::PseudonymService;
+use crate::sim_exec::executor::ShardedRuntime;
+use crate::sim_exec::state::NodeCell;
+use crate::sim_exec::{record, Event, PendingExchange};
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use veil_graph::Graph;
 use veil_obs::{EventKind as Obs, Recorder};
@@ -37,103 +53,7 @@ use veil_sim::fault::{EpisodeEffect, FaultConfig};
 use veil_sim::rng::{derive_rng, Stream};
 use veil_sim::SimTime;
 
-/// Events driving the overlay simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Event {
-    /// A node's shuffle timer fired.
-    Shuffle(u32),
-    /// A node's churn process transitions (online ↔ offline). Stale
-    /// generations (superseded by failure injection) are ignored.
-    Churn {
-        /// The transitioning node.
-        node: u32,
-        /// Generation stamp; must match the node's current generation.
-        generation: u32,
-    },
-    /// An injected blackout ends and the node reconnects.
-    BlackoutEnd {
-        /// The recovering node.
-        node: u32,
-        /// Generation stamp of the blackout.
-        generation: u32,
-    },
-    /// A shuffle request arrives after the configured link latency.
-    DeliverRequest(Box<Delivery>),
-    /// A shuffle response arrives after the configured link latency.
-    DeliverResponse(Box<Delivery>),
-    /// A faulty-link shuffle exchange hit its timeout without a response.
-    ShuffleTimeout {
-        /// The exchange the timeout guards.
-        exchange: u64,
-    },
-    /// A scripted fault episode with a simulation-side effect begins.
-    EpisodeStart(u32),
-}
-
-/// An in-flight shuffle message (only used when `link_latency > 0`).
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Delivery {
-    from: u32,
-    to: u32,
-    offer: Vec<crate::pseudonym::Pseudonym>,
-    /// Cache entries the *initiator* offered — carried through the round
-    /// trip so the Cyclon eviction preference applies when the response
-    /// finally arrives.
-    initiator_sent: Vec<crate::pseudonym::PseudonymId>,
-    trusted_link: bool,
-    /// Faulty-link exchange id matching a [`PendingExchange`]; `0` on the
-    /// ideal path (which never consults it).
-    exchange: u64,
-}
-
-/// Initiator-side state of an in-flight faulty-link shuffle exchange, kept
-/// until the response arrives or the retry budget runs out.
-#[derive(Debug, Clone)]
-struct PendingExchange {
-    initiator: u32,
-    dest: u32,
-    /// The pseudonym behind the chosen link, for Cyclon-style eviction on
-    /// failure; `None` for trusted links (never evicted).
-    target_pseudonym: Option<PseudonymId>,
-    trusted_link: bool,
-    /// The request offer, retransmitted verbatim on retry.
-    offer: Vec<crate::pseudonym::Pseudonym>,
-    sent_from_cache: Vec<PseudonymId>,
-    attempt: u32,
-}
-
-/// Classification of a logged protocol message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum MessageKind {
-    /// A shuffle request from the initiator.
-    Request,
-    /// The matching shuffle response.
-    Response,
-    /// A message that was never delivered: the peer was offline (only
-    /// occurs with `skip_offline_peers = false`), or the fault-injecting
-    /// link layer dropped it.
-    Dropped,
-}
-
-/// One protocol message, as an external observer positioned on the
-/// communication infrastructure would record it (endpoints and timing; the
-/// payload is encrypted). Used by the traffic-analysis experiments in
-/// `veil-privacy`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct MessageRecord {
-    /// Send instant.
-    pub time: SimTime,
-    /// Sending node.
-    pub from: u32,
-    /// Receiving node (the pseudonym service's resolution; an observer sees
-    /// only the anonymity-service entry point, but ground truth is logged
-    /// for evaluating inference attacks).
-    pub to: u32,
-    /// Request or response.
-    pub kind: MessageKind,
-    /// Whether the message travelled over a trusted link.
-    pub trusted_link: bool,
-}
+pub use crate::sim_exec::{MessageKind, MessageRecord};
 
 /// A running overlay simulation over a fixed trust graph.
 ///
@@ -157,47 +77,45 @@ pub struct MessageRecord {
 /// # }
 /// ```
 pub struct Simulation {
-    trust: Graph,
-    cfg: OverlayConfig,
-    churn_cfg: ChurnConfig,
-    engine: Engine<Event>,
-    nodes: Vec<Node>,
-    churn: Vec<ChurnProcess>,
-    online_since: Vec<Option<SimTime>>,
-    offline_since: Vec<Option<SimTime>>,
-    churn_generation: Vec<u32>,
-    ewma_offline: Vec<Option<f64>>,
-    stable_ticks: Vec<u32>,
-    last_sampler_activity: Vec<u64>,
-    node_rngs: Vec<StdRng>,
-    churn_rngs: Vec<StdRng>,
-    svc: PseudonymService,
-    current_time: SimTime,
-    message_log: Option<Vec<MessageRecord>>,
+    pub(crate) trust: Graph,
+    pub(crate) cfg: OverlayConfig,
+    pub(crate) churn_cfg: ChurnConfig,
+    /// The sequential executor's global engine (empty in sharded mode,
+    /// where each shard owns its own).
+    pub(crate) engine: Engine<Event>,
+    /// All per-node state, one contiguous cell per trust-graph vertex.
+    pub(crate) cells: Vec<NodeCell>,
+    pub(crate) svc: PseudonymService,
+    pub(crate) current_time: SimTime,
+    pub(crate) message_log: Option<Vec<MessageRecord>>,
     /// The fault model when the non-trivial faulty link layer is active;
     /// `None` runs the ideal code path (bit-identical to the paper setup).
-    fault: Option<FaultConfig>,
+    pub(crate) fault: Option<FaultConfig>,
     /// One-way latency of the ideal code path: `cfg.link_latency`, or the
     /// constant latency of a trivial faulty layer.
-    effective_latency: f64,
-    fault_rng: StdRng,
-    /// In-flight faulty-link exchanges keyed by exchange id. Only ever
-    /// accessed by key, so iteration order can never leak into results.
-    pending: HashMap<u64, PendingExchange>,
-    next_exchange: u64,
-    /// Until when each node is held dark by an injected blackout; prevents
-    /// overlapping blackouts from scheduling duplicate wake events or
-    /// truncating a longer outage.
-    blackout_until: Vec<Option<SimTime>>,
+    pub(crate) effective_latency: f64,
+    pub(crate) fault_rng: StdRng,
+    /// In-flight faulty-link exchanges keyed by exchange id (sequential
+    /// executor; shards keep their own maps). Only ever accessed by key,
+    /// so iteration order can never leak into results.
+    pub(crate) pending: HashMap<u64, PendingExchange>,
+    pub(crate) next_exchange: u64,
+    /// The master seed, kept for the sharded executor's stateless
+    /// per-message RNG derivation.
+    pub(crate) master_seed: u64,
+    /// The sharded runtime when `cfg.shards` is set *and* the event graph
+    /// has lookahead (fault model or positive latency); `None` runs the
+    /// sequential executor.
+    pub(crate) sharded: Option<ShardedRuntime>,
     /// Observability sink; disabled by default (a single branch per hook)
     /// and never a source of randomness, so enabling it cannot perturb the
     /// simulation.
-    recorder: Recorder,
+    pub(crate) recorder: Recorder,
     /// Rolling-window degradation detectors over the event stream; present
     /// only when [`OverlayConfig::health`] is enabled *and* a recorder is
     /// attached. Strictly read-only: its outputs are `HealthAlert` events
     /// and `health.*` gauges, never simulation state.
-    health: Option<HealthMonitor>,
+    pub(crate) health: Option<HealthMonitor>,
 }
 
 impl Simulation {
@@ -223,13 +141,25 @@ impl Simulation {
                 reason: "trust graph has no nodes".into(),
             });
         }
+        // The faulty link layer only takes over when it actually injects
+        // something; a trivial fault model routes through the ideal code
+        // path (with its constant latency), which keeps zero-fault runs
+        // byte-identical to the paper setup. The collapse is pure, so it
+        // can run first to pick the executor.
+        let (fault, effective_latency) = match &cfg.link {
+            LinkLayerConfig::Ideal => (None, cfg.link_latency),
+            LinkLayerConfig::Faulty(fc) if fc.is_trivial() => (None, fc.latency.mean()),
+            LinkLayerConfig::Faulty(fc) => (Some(fc.clone()), 0.0),
+        };
+        // Sharding needs lookahead: the zero-latency ideal path exchanges
+        // synchronously and stays sequential whatever `shards` says.
+        let use_sharded = cfg.shards.is_some() && (fault.is_some() || effective_latency > 0.0);
+        let mut sharded = use_sharded.then(|| {
+            let s = cfg.shards.expect("checked above").min(n);
+            ShardedRuntime::new(n, s, master_seed)
+        });
         let mut engine = Engine::new();
-        let mut nodes = Vec::with_capacity(n);
-        let mut churn = Vec::with_capacity(n);
-        let mut online_since = Vec::with_capacity(n);
-        let mut offline_since = Vec::with_capacity(n);
-        let mut node_rngs = Vec::with_capacity(n);
-        let mut churn_rngs = Vec::with_capacity(n);
+        let mut cells = Vec::with_capacity(n);
         let mut svc = PseudonymService::new(master_seed);
         let mut sched_rng = derive_rng(master_seed, Stream::Scheduler);
         let recorder = veil_obs::global();
@@ -247,54 +177,68 @@ impl Simulation {
                 // paper observes in Figure 9. (The adaptive lifetime policy
                 // has no availability observations yet and falls back to
                 // the global lifetime here.)
-                node.renew_pseudonym(&mut svc, SimTime::ZERO, cfg.pseudonym_lifetime);
+                match &mut sharded {
+                    Some(rt) => node.renew_pseudonym(
+                        &mut rt.shard_of_mut(v).minter,
+                        SimTime::ZERO,
+                        cfg.pseudonym_lifetime,
+                    ),
+                    None => node.renew_pseudonym(&mut svc, SimTime::ZERO, cfg.pseudonym_lifetime),
+                };
                 record(&recorder, &mut health, 0.0, Some(v as u32), || {
                     Obs::PseudonymMinted {
                         lifetime: cfg.pseudonym_lifetime,
                     }
                 });
-                online_since.push(Some(SimTime::ZERO));
-                offline_since.push(None);
-            } else {
-                online_since.push(None);
-                offline_since.push(Some(SimTime::ZERO));
             }
             if let Some(delay) = first_transition {
-                engine.schedule_at(
-                    SimTime::new(delay),
-                    Event::Churn {
-                        node: v as u32,
-                        generation: 0,
-                    },
-                );
+                let ev = Event::Churn {
+                    node: v as u32,
+                    generation: 0,
+                };
+                match &mut sharded {
+                    Some(rt) => rt
+                        .shard_of_mut(v)
+                        .engine
+                        .schedule_at(SimTime::new(delay), ev),
+                    None => engine.schedule_at(SimTime::new(delay), ev),
+                }
             }
             // Shuffle timers are desynchronised with a random phase in
             // [0, 1) shuffle periods; they keep firing while the node is
             // offline (the handler no-ops), matching the "rejoining node
             // resumes where it left off" semantics.
             let phase: f64 = sched_rng.gen_range(0.0..1.0);
-            engine.schedule_at(SimTime::new(phase), Event::Shuffle(v as u32));
-            nodes.push(node);
-            churn.push(process);
-            node_rngs.push(proto_rng);
-            churn_rngs.push(churn_rng);
+            let ev = Event::Shuffle(v as u32);
+            match &mut sharded {
+                Some(rt) => rt
+                    .shard_of_mut(v)
+                    .engine
+                    .schedule_at(SimTime::new(phase), ev),
+                None => engine.schedule_at(SimTime::new(phase), ev),
+            }
+            cells.push(NodeCell::new(node, process, proto_rng, churn_rng));
         }
 
-        // The faulty link layer only takes over when it actually injects
-        // something; a trivial fault model routes through the ideal code
-        // path (with its constant latency), which keeps zero-fault runs
-        // byte-identical to the paper setup.
-        let (fault, effective_latency) = match &cfg.link {
-            LinkLayerConfig::Ideal => (None, cfg.link_latency),
-            LinkLayerConfig::Faulty(fc) if fc.is_trivial() => (None, fc.latency.mean()),
-            LinkLayerConfig::Faulty(fc) => (Some(fc.clone()), 0.0),
-        };
         if let Some(fault) = &fault {
             // Partition and crash episodes are pure message-time filters;
-            // only blackouts need a simulation-side trigger.
+            // only blackouts need a simulation-side trigger. In sharded
+            // mode every shard gets the trigger and handles its own
+            // victims.
             for (i, ep) in fault.episodes.iter().enumerate() {
                 if matches!(ep.effect, EpisodeEffect::Blackout { .. }) {
-                    engine.schedule_at(SimTime::new(ep.start), Event::EpisodeStart(i as u32));
+                    match &mut sharded {
+                        Some(rt) => {
+                            for shard in rt.shards.iter_mut() {
+                                shard.engine.schedule_at(
+                                    SimTime::new(ep.start),
+                                    Event::EpisodeStart(i as u32),
+                                );
+                            }
+                        }
+                        None => engine
+                            .schedule_at(SimTime::new(ep.start), Event::EpisodeStart(i as u32)),
+                    }
                 }
             }
         }
@@ -304,16 +248,7 @@ impl Simulation {
             cfg,
             churn_cfg,
             engine,
-            nodes,
-            churn,
-            online_since,
-            offline_since,
-            churn_generation: vec![0; n],
-            ewma_offline: vec![None; n],
-            stable_ticks: vec![0; n],
-            last_sampler_activity: vec![0; n],
-            node_rngs,
-            churn_rngs,
+            cells,
             svc,
             current_time: SimTime::ZERO,
             message_log: None,
@@ -322,7 +257,8 @@ impl Simulation {
             fault_rng: derive_rng(master_seed, Stream::Fault),
             pending: HashMap::new(),
             next_exchange: 1,
-            blackout_until: vec![None; n],
+            master_seed,
+            sharded,
             recorder,
             health,
         })
@@ -339,38 +275,20 @@ impl Simulation {
         self.health = HealthMonitor::maybe_new(
             &self.cfg.health,
             &self.recorder,
-            self.nodes.len(),
+            self.cells.len(),
             self.current_time.as_f64(),
         );
-    }
-
-    /// Emits an observability event: feeds the health monitor's window
-    /// counters, then records the event. One branch when recording is off;
-    /// the payload closure is only built when it is on.
-    fn emit(&mut self, now: SimTime, node: Option<u32>, kind: impl FnOnce() -> Obs) {
-        record(&self.recorder, &mut self.health, now.as_f64(), node, kind);
-    }
-
-    /// Closes elapsed health-monitor windows before an event at `now` is
-    /// processed. Alerts are stamped at the window-grid boundary, so the
-    /// timeline is independent of which event happened to cross it.
-    fn health_tick(&mut self, now: SimTime) {
-        let due = self.health.as_ref().is_some_and(|h| h.due(now.as_f64()));
-        if !due {
-            return;
-        }
-        let online = self.online_mask();
-        let degrees: Vec<usize> = (0..self.nodes.len())
-            .map(|v| self.trust.neighbors(v).len() + self.nodes[v].sampler.link_count())
-            .collect();
-        if let Some(h) = self.health.as_mut() {
-            h.rotate(now.as_f64(), &online, &degrees);
-        }
     }
 
     /// The active observability sink.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Whether the sharded executor is active (requires both
+    /// [`OverlayConfig::shards`] and an event graph with lookahead).
+    pub fn is_sharded(&self) -> bool {
+        self.sharded.is_some()
     }
 
     /// Publishes end-of-run engine and protocol aggregates into the
@@ -386,25 +304,37 @@ impl Simulation {
         if !r.is_enabled() {
             return;
         }
-        r.gauge("engine.events_processed", self.engine.processed() as f64);
-        r.gauge(
-            "engine.queue_high_water",
-            self.engine.high_water_mark() as f64,
-        );
-        r.gauge("engine.pending_events", self.engine.pending() as f64);
-        r.gauge("sim.nodes", self.nodes.len() as f64);
+        match &self.sharded {
+            Some(rt) => {
+                r.gauge("engine.events_processed", rt.events_processed() as f64);
+                r.gauge("engine.queue_high_water", rt.queue_high_water() as f64);
+                r.gauge("engine.pending_events", rt.pending_events() as f64);
+            }
+            None => {
+                r.gauge("engine.events_processed", self.engine.processed() as f64);
+                r.gauge(
+                    "engine.queue_high_water",
+                    self.engine.high_water_mark() as f64,
+                );
+                r.gauge("engine.pending_events", self.engine.pending() as f64);
+            }
+        }
+        r.gauge("sim.nodes", self.cells.len() as f64);
         r.gauge("sim.online_nodes", self.online_count() as f64);
-        r.gauge("sim.stats_pseudonyms_minted", self.svc.minted() as f64);
+        r.gauge(
+            "sim.stats_pseudonyms_minted",
+            self.pseudonyms_minted() as f64,
+        );
         r.gauge(
             "sim.stats_churn_transitions",
-            self.churn
+            self.cells
                 .iter()
-                .map(ChurnProcess::transitions)
+                .map(|c| c.churn.transitions())
                 .sum::<u64>() as f64,
         );
         r.gauge("sim.stats_link_removals", self.total_link_removals() as f64);
         let mut agg = NodeStats::default();
-        for v in 0..self.nodes.len() {
+        for v in 0..self.cells.len() {
             let s = self.node_stats(v);
             agg.requests_sent += s.requests_sent;
             agg.responses_sent += s.responses_sent;
@@ -413,7 +343,7 @@ impl Simulation {
             agg.shuffle_failures += s.shuffle_failures;
             agg.shuffles_suppressed += s.shuffles_suppressed;
             agg.online_time += s.online_time;
-            r.observe("sim.node_links", self.nodes[v].sampler.link_count());
+            r.observe("sim.node_links", self.cells[v].node.sampler.link_count());
         }
         r.gauge("sim.stats_requests_sent", agg.requests_sent as f64);
         r.gauge("sim.stats_responses_sent", agg.responses_sent as f64);
@@ -460,24 +390,6 @@ impl Simulation {
         }
     }
 
-    fn log_message(&mut self, record: MessageRecord) {
-        if let Some(log) = &mut self.message_log {
-            log.push(record);
-        }
-    }
-
-    /// The lifetime node `v` would give a pseudonym minted right now, per
-    /// the configured [`LifetimePolicy`].
-    fn lifetime_for(&self, v: usize) -> Option<f64> {
-        match self.cfg.lifetime_policy {
-            LifetimePolicy::Global => self.cfg.pseudonym_lifetime,
-            LifetimePolicy::Adaptive { multiplier, floor } => match self.ewma_offline[v] {
-                Some(mean) => Some((multiplier * mean).max(floor)),
-                None => self.cfg.pseudonym_lifetime,
-            },
-        }
-    }
-
     /// The trust graph the overlay was bootstrapped from.
     pub fn trust_graph(&self) -> &Graph {
         &self.trust
@@ -495,7 +407,7 @@ impl Simulation {
 
     /// Number of participants.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.cells.len()
     }
 
     /// Number of `HealthAlert` events emitted so far, or `None` when the
@@ -511,22 +423,22 @@ impl Simulation {
 
     /// Whether node `v` is currently online.
     pub fn is_online(&self, v: usize) -> bool {
-        self.churn[v].is_online()
+        self.cells[v].churn.is_online()
     }
 
     /// Number of currently online nodes.
     pub fn online_count(&self) -> usize {
-        self.churn.iter().filter(|c| c.is_online()).count()
+        self.cells.iter().filter(|c| c.churn.is_online()).count()
     }
 
     /// Online mask indexed by node.
     pub fn online_mask(&self) -> Vec<bool> {
-        self.churn.iter().map(|c| c.is_online()).collect()
+        self.cells.iter().map(|c| c.churn.is_online()).collect()
     }
 
     /// Immutable access to a node's protocol state.
     pub fn node(&self, v: usize) -> &Node {
-        &self.nodes[v]
+        &self.cells[v].node
     }
 
     /// Mutable access to a node's protocol state.
@@ -535,7 +447,7 @@ impl Simulation {
     /// `veil-privacy` (e.g. an internal observer seeding a marked pseudonym
     /// into its own cache); it is not part of the protocol surface.
     pub fn node_mut(&mut self, v: usize) -> &mut Node {
-        &mut self.nodes[v]
+        &mut self.cells[v].node
     }
 
     /// Mints a pseudonym owned by `owner` at the current time with the
@@ -549,8 +461,8 @@ impl Simulation {
     /// Message/activity statistics of node `v`, with online time accounted
     /// up to the current instant.
     pub fn node_stats(&self, v: usize) -> NodeStats {
-        let mut stats = self.nodes[v].stats;
-        if let Some(since) = self.online_since[v] {
+        let mut stats = self.cells[v].node.stats;
+        if let Some(since) = self.cells[v].online_since {
             stats.online_time += self.current_time.since(since);
         }
         stats
@@ -558,13 +470,16 @@ impl Simulation {
 
     /// Total pseudonyms minted so far.
     pub fn pseudonyms_minted(&self) -> u64 {
-        self.svc.minted()
+        match &self.sharded {
+            Some(rt) => rt.pseudonyms_minted() + self.svc.minted(),
+            None => self.svc.minted(),
+        }
     }
 
     /// Cumulative pseudonym-link removals summed over all nodes — the raw
     /// counter behind the link-replacement metric of Figure 9.
     pub fn total_link_removals(&self) -> u64 {
-        self.nodes.iter().map(|n| n.sampler.removals()).sum()
+        self.cells.iter().map(|c| c.node.sampler.removals()).sum()
     }
 
     /// Advances the simulation until simulated time `t` (in shuffle
@@ -583,6 +498,10 @@ impl Simulation {
         let _span = self
             .recorder
             .span_with("sim.run_until", || format!("until={t}"));
+        if self.sharded.is_some() {
+            self.run_until_sharded(horizon);
+            return;
+        }
         while let Some((now, event)) = self.engine.pop_before(horizon) {
             self.handle(now, event);
         }
@@ -590,548 +509,20 @@ impl Simulation {
     }
 
     /// Processes a single event, if any is pending. Returns its time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the sharded executor, which has no single global event
+    /// order to step through — use [`Simulation::run_until`].
     pub fn step(&mut self) -> Option<SimTime> {
+        assert!(
+            self.sharded.is_none(),
+            "step() requires the sequential executor; sharded runs advance window-by-window via run_until"
+        );
         let (now, event) = self.engine.pop()?;
         self.handle(now, event);
         self.current_time = now;
         Some(now)
-    }
-
-    fn handle(&mut self, now: SimTime, event: Event) {
-        if self.health.is_some() {
-            self.health_tick(now);
-        }
-        match event {
-            Event::Shuffle(v) => self.handle_shuffle(now, v as usize),
-            Event::Churn { node, generation } => self.handle_churn(now, node as usize, generation),
-            Event::BlackoutEnd { node, generation } => {
-                self.handle_blackout_end(now, node as usize, generation)
-            }
-            Event::DeliverRequest(d) => self.handle_request_delivery(now, *d),
-            Event::DeliverResponse(d) => self.handle_response_delivery(now, *d),
-            Event::ShuffleTimeout { exchange } => self.handle_shuffle_timeout(now, exchange),
-            Event::EpisodeStart(idx) => self.handle_episode_start(now, idx as usize),
-        }
-    }
-
-    fn handle_shuffle(&mut self, now: SimTime, v: usize) {
-        // The timer always re-arms; offline nodes simply skip the round.
-        self.engine.schedule_at(now + 1.0, Event::Shuffle(v as u32));
-        if !self.churn[v].is_online() {
-            return;
-        }
-        // Lazy renewal: a node notices its own pseudonym expired at the
-        // next timer tick and mints a fresh one.
-        if self.nodes[v].needs_pseudonym(now) {
-            let lifetime = self.lifetime_for(v);
-            self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
-            self.emit(now, Some(v as u32), || Obs::PseudonymMinted { lifetime });
-        }
-        let purged = self.nodes[v].purge_expired(now);
-        if purged > 0 {
-            self.emit(now, Some(v as u32), || Obs::PseudonymsExpired {
-                count: purged as u64,
-            });
-        }
-        // Adaptive shuffle suppression: once the link set has been stable
-        // for the configured number of periods, skip initiating (responses
-        // still happen, and any change re-arms the node).
-        let activity = self.nodes[v].sampler.additions() + self.nodes[v].sampler.removals();
-        if activity == self.last_sampler_activity[v] {
-            self.stable_ticks[v] = self.stable_ticks[v].saturating_add(1);
-        } else {
-            self.stable_ticks[v] = 0;
-        }
-        self.last_sampler_activity[v] = activity;
-        if let Some(k) = self.cfg.stop_after_stable_periods {
-            if self.stable_ticks[v] >= k {
-                self.nodes[v].stats.shuffles_suppressed += 1;
-                return;
-            }
-        }
-        if self.fault.is_some() {
-            self.faulty_shuffle(now, v);
-            return;
-        }
-        let target = if self.cfg.skip_offline_peers {
-            // The ideal link layer reports deliverability, so the node
-            // shuffles with a uniformly random *online* link (this is what
-            // makes the paper's request/response count come out at exactly
-            // two messages per period).
-            let links = self.nodes[v].links(now);
-            let online: Vec<_> = links
-                .into_iter()
-                .filter(|l| self.churn[l.resolve() as usize].is_online())
-                .collect();
-            if online.is_empty() {
-                None
-            } else {
-                let rng = &mut self.node_rngs[v];
-                Some(online[rng.gen_range(0..online.len())])
-            }
-        } else {
-            let rng = &mut self.node_rngs[v];
-            self.nodes[v].pick_link(now, rng)
-        };
-        let Some(target) = target else {
-            return;
-        };
-        let dest = target.resolve() as usize;
-        debug_assert_ne!(dest, v, "nodes never link to themselves");
-        let trusted_link = target.is_trusted();
-        self.emit(now, Some(v as u32), || Obs::ShuffleStart {
-            target: dest as u64,
-            trusted: trusted_link,
-        });
-        if !self.churn[dest].is_online() {
-            // Request sent into the anonymity service but never delivered.
-            self.nodes[v].stats.requests_sent += 1;
-            self.nodes[v].stats.dropped_requests += 1;
-            self.emit(now, Some(v as u32), || Obs::MessageDropped {
-                exchange: 0,
-                response: false,
-            });
-            self.log_message(MessageRecord {
-                time: now,
-                from: v as u32,
-                to: dest as u32,
-                kind: MessageKind::Dropped,
-                trusted_link,
-            });
-            return;
-        }
-        if self.effective_latency > 0.0 {
-            // Asynchronous exchange: build the request offer now, deliver
-            // it after the link latency; the peer may churn in transit.
-            let offer = {
-                let rng = &mut self.node_rngs[v];
-                protocol::build_offer(&mut self.nodes[v], self.cfg.shuffle_length, now, rng)
-            };
-            self.nodes[v].stats.requests_sent += 1;
-            self.log_message(MessageRecord {
-                time: now,
-                from: v as u32,
-                to: dest as u32,
-                kind: MessageKind::Request,
-                trusted_link,
-            });
-            self.engine.schedule_in(
-                self.effective_latency,
-                Event::DeliverRequest(Box::new(Delivery {
-                    from: v as u32,
-                    to: dest as u32,
-                    offer: offer.entries,
-                    initiator_sent: offer.sent_from_cache,
-                    trusted_link,
-                    exchange: 0,
-                })),
-            );
-            return;
-        }
-        // Zero latency: run the exchange over the ideal link synchronously.
-        let mut rng = self.node_rngs[v].clone();
-        let (initiator, responder) = two_mut(&mut self.nodes, v, dest);
-        protocol::execute_shuffle(initiator, responder, self.cfg.shuffle_length, now, &mut rng);
-        self.node_rngs[v] = rng;
-        self.emit(now, Some(v as u32), || Obs::ShuffleComplete { exchange: 0 });
-        self.log_message(MessageRecord {
-            time: now,
-            from: v as u32,
-            to: dest as u32,
-            kind: MessageKind::Request,
-            trusted_link,
-        });
-        self.log_message(MessageRecord {
-            time: now,
-            from: dest as u32,
-            to: v as u32,
-            kind: MessageKind::Response,
-            trusted_link,
-        });
-    }
-
-    /// Initiates one shuffle round over the faulty link layer: pick a link
-    /// (over *all* links — a lossy layer cannot report deliverability, so
-    /// there is no `skip_offline_peers` shortcut), register a pending
-    /// exchange, and transmit the request guarded by a timeout.
-    fn faulty_shuffle(&mut self, now: SimTime, v: usize) {
-        let crashed = self
-            .fault
-            .as_ref()
-            .is_some_and(|f| f.crashed(v as u32, now.as_f64()));
-        if crashed {
-            return; // a silently crashed node initiates nothing
-        }
-        let target = {
-            let rng = &mut self.node_rngs[v];
-            self.nodes[v].pick_link(now, rng)
-        };
-        let Some(target) = target else {
-            return;
-        };
-        let dest = target.resolve();
-        debug_assert_ne!(dest as usize, v, "nodes never link to themselves");
-        let target_pseudonym = match target {
-            LinkTarget::Pseudonym(p) => Some(p.id()),
-            LinkTarget::Trusted(_) => None,
-        };
-        let offer = {
-            let rng = &mut self.node_rngs[v];
-            protocol::build_offer(&mut self.nodes[v], self.cfg.shuffle_length, now, rng)
-        };
-        let exchange = self.next_exchange;
-        self.next_exchange += 1;
-        self.emit(now, Some(v as u32), || Obs::ShuffleStart {
-            target: u64::from(dest),
-            trusted: target.is_trusted(),
-        });
-        self.pending.insert(
-            exchange,
-            PendingExchange {
-                initiator: v as u32,
-                dest,
-                target_pseudonym,
-                trusted_link: target.is_trusted(),
-                offer: offer.entries,
-                sent_from_cache: offer.sent_from_cache,
-                attempt: 0,
-            },
-        );
-        self.transmit_request(now, exchange);
-    }
-
-    /// Sends (or resends) the request of a pending exchange through the
-    /// fault model, and arms the exchange's timeout with exponential
-    /// backoff.
-    fn transmit_request(&mut self, now: SimTime, exchange: u64) {
-        let (initiator, dest, trusted_link, attempt) = {
-            let p = &self.pending[&exchange];
-            (p.initiator, p.dest, p.trusted_link, p.attempt)
-        };
-        let v = initiator as usize;
-        let dropped = self.fault.as_ref().expect("faulty path").is_dropped(
-            initiator,
-            dest,
-            now.as_f64(),
-            &mut self.fault_rng,
-        );
-        self.nodes[v].stats.requests_sent += 1;
-        if dropped {
-            self.nodes[v].stats.dropped_requests += 1;
-            self.emit(now, Some(initiator), || Obs::MessageDropped {
-                exchange,
-                response: false,
-            });
-        }
-        self.log_message(MessageRecord {
-            time: now,
-            from: initiator,
-            to: dest,
-            kind: if dropped {
-                MessageKind::Dropped
-            } else {
-                MessageKind::Request
-            },
-            trusted_link,
-        });
-        if !dropped {
-            let latency = self
-                .fault
-                .as_ref()
-                .expect("faulty path")
-                .sample_latency(&mut self.fault_rng);
-            let (offer, sent_from_cache) = {
-                let p = &self.pending[&exchange];
-                (p.offer.clone(), p.sent_from_cache.clone())
-            };
-            self.engine.schedule_in(
-                latency,
-                Event::DeliverRequest(Box::new(Delivery {
-                    from: initiator,
-                    to: dest,
-                    offer,
-                    initiator_sent: sent_from_cache,
-                    trusted_link,
-                    exchange,
-                })),
-            );
-        }
-        // Exponential backoff: timeout doubles with every retransmission.
-        let backoff = self.cfg.shuffle_timeout * f64::from(1u32 << attempt.min(16));
-        self.engine
-            .schedule_in(backoff, Event::ShuffleTimeout { exchange });
-    }
-
-    /// The timeout of a faulty-link exchange fired. If the response already
-    /// arrived this is a no-op; otherwise retry within budget, then give up
-    /// and apply Cyclon-style recovery.
-    fn handle_shuffle_timeout(&mut self, now: SimTime, exchange: u64) {
-        let (initiator, attempt) = match self.pending.get(&exchange) {
-            Some(p) => (p.initiator, p.attempt),
-            None => return, // completed: the response arrived in time
-        };
-        let v = initiator as usize;
-        let crashed = self
-            .fault
-            .as_ref()
-            .is_some_and(|f| f.crashed(initiator, now.as_f64()));
-        if !self.churn[v].is_online() || crashed {
-            // The initiator itself is gone; nobody is waiting any more.
-            self.pending.remove(&exchange);
-            return;
-        }
-        self.emit(now, Some(initiator), || Obs::ShuffleTimeout {
-            exchange,
-            attempt: u64::from(attempt),
-        });
-        if attempt < self.cfg.shuffle_retry_budget {
-            self.pending
-                .get_mut(&exchange)
-                .expect("checked above")
-                .attempt += 1;
-            self.nodes[v].stats.shuffle_retries += 1;
-            self.emit(now, Some(initiator), || Obs::ShuffleRetry {
-                exchange,
-                attempt: u64::from(attempt) + 1,
-            });
-            self.transmit_request(now, exchange);
-            return;
-        }
-        // Budget exhausted: count the failure and evict the unresponsive
-        // pseudonym so the sampler can replace it (trusted links are part
-        // of the social graph and are never evicted).
-        let p = self.pending.remove(&exchange).expect("checked above");
-        self.nodes[v].stats.shuffle_failures += 1;
-        self.emit(now, Some(initiator), || Obs::ShuffleFailure { exchange });
-        if let Some(id) = p.target_pseudonym {
-            self.nodes[v].cache.remove(id);
-            self.nodes[v].sampler.evict(id);
-            self.emit(now, Some(initiator), || Obs::PeerEvicted {
-                pseudonym: id.0,
-            });
-        }
-    }
-
-    /// A scripted episode with a simulation-side effect begins. Blackout
-    /// episodes reuse [`Simulation::inject_blackout`], so they compose with
-    /// natural churn and manual injections.
-    fn handle_episode_start(&mut self, now: SimTime, idx: usize) {
-        let Some(ep) = self
-            .fault
-            .as_ref()
-            .and_then(|f| f.episodes.get(idx))
-            .copied()
-        else {
-            return;
-        };
-        self.emit(now, None, || Obs::EpisodeStart {
-            index: idx as u64,
-            kind: ep.effect.kind_str().to_string(),
-        });
-        if let EpisodeEffect::Blackout { first, count } = ep.effect {
-            let n = self.nodes.len();
-            let lo = (first as usize).min(n);
-            let hi = (first as usize).saturating_add(count as usize).min(n);
-            let victims: Vec<usize> = (lo..hi).collect();
-            let duration = ep.end - ep.start;
-            if !victims.is_empty() && duration > 0.0 && duration.is_finite() {
-                self.inject_blackout_at(now, &victims, duration);
-            }
-        }
-    }
-
-    /// A delayed shuffle request reaches the responder.
-    fn handle_request_delivery(&mut self, now: SimTime, delivery: Delivery) {
-        let responder = delivery.to as usize;
-        let crashed = self
-            .fault
-            .as_ref()
-            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
-        if !self.churn[responder].is_online() || crashed {
-            // Lost in transit: the responder churned out (or sits silently
-            // crashed). The initiator's request produces no response; on
-            // the faulty path the exchange timeout will recover.
-            self.nodes[delivery.from as usize].stats.dropped_requests += 1;
-            self.emit(now, Some(delivery.from), || Obs::MessageDropped {
-                exchange: delivery.exchange,
-                response: false,
-            });
-            return;
-        }
-        // Mirror the synchronous order: build the response offer before
-        // absorbing the request (Cyclon semantics).
-        let response = {
-            let rng = &mut self.node_rngs[responder];
-            protocol::build_offer(
-                &mut self.nodes[responder],
-                self.cfg.shuffle_length,
-                now,
-                rng,
-            )
-        };
-        {
-            let rng = &mut self.node_rngs[responder];
-            protocol::receive_offer(
-                &mut self.nodes[responder],
-                &delivery.offer,
-                &response.sent_from_cache,
-                now,
-                rng,
-            );
-        }
-        self.nodes[responder].stats.responses_sent += 1;
-        if self.fault.is_some() {
-            // The response is itself subject to loss and sampled latency;
-            // a dropped response is recovered by the initiator's timeout.
-            let dropped = self.fault.as_ref().expect("faulty path").is_dropped(
-                delivery.to,
-                delivery.from,
-                now.as_f64(),
-                &mut self.fault_rng,
-            );
-            self.log_message(MessageRecord {
-                time: now,
-                from: delivery.to,
-                to: delivery.from,
-                kind: if dropped {
-                    MessageKind::Dropped
-                } else {
-                    MessageKind::Response
-                },
-                trusted_link: delivery.trusted_link,
-            });
-            if dropped {
-                self.nodes[responder].stats.dropped_requests += 1;
-                self.emit(now, Some(delivery.to), || Obs::MessageDropped {
-                    exchange: delivery.exchange,
-                    response: true,
-                });
-                return;
-            }
-            let latency = self
-                .fault
-                .as_ref()
-                .expect("faulty path")
-                .sample_latency(&mut self.fault_rng);
-            self.engine.schedule_in(
-                latency,
-                Event::DeliverResponse(Box::new(Delivery {
-                    from: delivery.to,
-                    to: delivery.from,
-                    offer: response.entries,
-                    initiator_sent: delivery.initiator_sent,
-                    trusted_link: delivery.trusted_link,
-                    exchange: delivery.exchange,
-                })),
-            );
-            return;
-        }
-        self.log_message(MessageRecord {
-            time: now,
-            from: delivery.to,
-            to: delivery.from,
-            kind: MessageKind::Response,
-            trusted_link: delivery.trusted_link,
-        });
-        self.engine.schedule_in(
-            self.effective_latency,
-            Event::DeliverResponse(Box::new(Delivery {
-                from: delivery.to,
-                to: delivery.from,
-                offer: response.entries,
-                initiator_sent: delivery.initiator_sent,
-                trusted_link: delivery.trusted_link,
-                exchange: 0,
-            })),
-        );
-    }
-
-    /// A delayed shuffle response reaches the original initiator.
-    fn handle_response_delivery(&mut self, now: SimTime, delivery: Delivery) {
-        if self.fault.is_some() && self.pending.remove(&delivery.exchange).is_none() {
-            // A duplicate answer to a retransmitted request whose exchange
-            // already completed or failed; ignore it.
-            return;
-        }
-        let initiator = delivery.to as usize;
-        let crashed = self
-            .fault
-            .as_ref()
-            .is_some_and(|f| f.crashed(delivery.to, now.as_f64()));
-        if !self.churn[initiator].is_online() || crashed {
-            return; // response lost; the initiator churned out
-        }
-        let rng = &mut self.node_rngs[initiator];
-        protocol::receive_offer(
-            &mut self.nodes[initiator],
-            &delivery.offer,
-            &delivery.initiator_sent,
-            now,
-            rng,
-        );
-        self.emit(now, Some(delivery.to), || Obs::ShuffleComplete {
-            exchange: delivery.exchange,
-        });
-    }
-
-    fn handle_churn(&mut self, now: SimTime, v: usize, generation: u32) {
-        if generation != self.churn_generation[v] {
-            return; // superseded by failure injection
-        }
-        let next = self.churn[v].transition(&mut self.churn_rngs[v]);
-        if let Some(delay) = next {
-            self.engine.schedule_at(
-                now + delay,
-                Event::Churn {
-                    node: v as u32,
-                    generation,
-                },
-            );
-        }
-        if self.churn[v].is_online() {
-            self.rejoin(now, v);
-        } else {
-            self.depart(now, v);
-        }
-    }
-
-    /// Bookkeeping for a node coming online: session tracking, adaptive
-    /// lifetime observation, expired-state purge and pseudonym renewal.
-    fn rejoin(&mut self, now: SimTime, v: usize) {
-        self.emit(now, Some(v as u32), || Obs::NodeOnline);
-        self.online_since[v] = Some(now);
-        if let Some(since) = self.offline_since[v].take() {
-            // Feed the adaptive lifetime policy with the node's own
-            // observed offline duration (EWMA, weight 0.2 on the new
-            // observation).
-            let duration = now.since(since);
-            self.ewma_offline[v] = Some(match self.ewma_offline[v] {
-                Some(prev) => 0.8 * prev + 0.2 * duration,
-                None => duration,
-            });
-        }
-        // Rejoining is a state change: re-arm suppressed shuffling.
-        self.stable_ticks[v] = 0;
-        let purged = self.nodes[v].purge_expired(now);
-        if purged > 0 {
-            self.emit(now, Some(v as u32), || Obs::PseudonymsExpired {
-                count: purged as u64,
-            });
-        }
-        if self.nodes[v].needs_pseudonym(now) {
-            let lifetime = self.lifetime_for(v);
-            self.nodes[v].renew_pseudonym(&mut self.svc, now, lifetime);
-            self.emit(now, Some(v as u32), || Obs::PseudonymMinted { lifetime });
-        }
-    }
-
-    /// Bookkeeping for a node going offline: close the online session.
-    fn depart(&mut self, now: SimTime, v: usize) {
-        self.emit(now, Some(v as u32), || Obs::NodeOffline);
-        self.offline_since[v] = Some(now);
-        if let Some(since) = self.online_since[v].take() {
-            self.nodes[v].stats.online_time += now.since(since);
-        }
     }
 
     /// Injects a correlated failure: every node in `nodes` goes offline now
@@ -1155,59 +546,6 @@ impl Simulation {
         self.inject_blackout_at(now, nodes, duration);
     }
 
-    fn inject_blackout_at(&mut self, now: SimTime, nodes: &[usize], duration: f64) {
-        assert!(duration > 0.0, "blackout duration must be positive");
-        for &v in nodes {
-            assert!(v < self.nodes.len(), "node {v} out of range");
-            let until = now + duration;
-            if let Some(existing) = self.blackout_until[v] {
-                if existing >= until {
-                    // Already dark at least that long: the pending wake
-                    // event stands; re-forcing would duplicate it.
-                    continue;
-                }
-            }
-            self.blackout_until[v] = Some(until);
-            self.emit(now, Some(v as u32), || Obs::BlackoutStart {
-                until: until.as_f64(),
-            });
-            self.churn_generation[v] = self.churn_generation[v].wrapping_add(1);
-            if self.churn[v].is_online() {
-                self.depart(now, v);
-            }
-            // Residence sample is discarded: the blackout end is forced.
-            let _ = self.churn[v]
-                .force_state(veil_sim::churn::NodeState::Offline, &mut self.churn_rngs[v]);
-            self.engine.schedule_at(
-                until,
-                Event::BlackoutEnd {
-                    node: v as u32,
-                    generation: self.churn_generation[v],
-                },
-            );
-        }
-    }
-
-    fn handle_blackout_end(&mut self, now: SimTime, v: usize, generation: u32) {
-        if generation != self.churn_generation[v] {
-            return; // a newer blackout supersedes this recovery
-        }
-        self.blackout_until[v] = None;
-        self.emit(now, Some(v as u32), || Obs::BlackoutEnd);
-        let next =
-            self.churn[v].force_state(veil_sim::churn::NodeState::Online, &mut self.churn_rngs[v]);
-        if let Some(delay) = next {
-            self.engine.schedule_at(
-                now + delay,
-                Event::Churn {
-                    node: v as u32,
-                    generation,
-                },
-            );
-        }
-        self.rejoin(now, v);
-    }
-
     /// Materializes the current overlay as an undirected graph: the union
     /// of all trusted links and all valid pseudonym links (an edge `{a,b}`
     /// exists if either side holds a link to the other).
@@ -1217,12 +555,12 @@ impl Simulation {
     /// removed"; they become operational again on rejoin).
     pub fn overlay_graph(&self) -> Graph {
         let now = self.current_time;
-        let mut g = Graph::new(self.nodes.len());
+        let mut g = Graph::new(self.cells.len());
         for (a, b) in self.trust.edges() {
             g.add_edge(a, b).expect("trust edge in range");
         }
-        for (v, node) in self.nodes.iter().enumerate() {
-            for link in node.links(now) {
+        for (v, cell) in self.cells.iter().enumerate() {
+            for link in cell.node.links(now) {
                 if let LinkTarget::Pseudonym(p) = link {
                     let owner = p.owner() as usize;
                     if owner != v {
@@ -1244,753 +582,9 @@ impl Simulation {
 impl std::fmt::Debug for Simulation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("nodes", &self.nodes.len())
+            .field("nodes", &self.cells.len())
             .field("now", &self.current_time)
             .field("online", &self.online_count())
             .finish()
-    }
-}
-
-/// Shared emission funnel for [`Simulation::emit`] and construction-time
-/// events (before `Self` exists): builds the payload once, feeds the health
-/// monitor, then records. Still a single branch when recording is off.
-fn record(
-    recorder: &Recorder,
-    health: &mut Option<HealthMonitor>,
-    t: f64,
-    node: Option<u32>,
-    kind: impl FnOnce() -> Obs,
-) {
-    if !recorder.is_enabled() {
-        return;
-    }
-    let kind = kind();
-    if let Some(h) = health {
-        h.observe(t, node, &kind);
-    }
-    recorder.event(t, node, move || kind);
-}
-
-/// Mutable references to two distinct vector elements.
-fn two_mut<T>(v: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
-    assert_ne!(a, b, "indices must differ");
-    if a < b {
-        let (left, right) = v.split_at_mut(b);
-        (&mut left[a], &mut right[0])
-    } else {
-        let (left, right) = v.split_at_mut(a);
-        (&mut right[0], &mut left[b])
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use veil_graph::generators;
-    use veil_graph::metrics as gm;
-
-    fn trust_graph(n: usize, seed: u64) -> Graph {
-        let mut rng = derive_rng(seed, Stream::Topology);
-        generators::social_graph(n, 3, &mut rng).unwrap()
-    }
-
-    fn small_sim(alpha: f64, seed: u64) -> Simulation {
-        let trust = trust_graph(60, seed);
-        let cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 12,
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(alpha, 10.0);
-        Simulation::new(trust, cfg, churn, seed).unwrap()
-    }
-
-    #[test]
-    fn rejects_empty_trust_graph() {
-        let churn = ChurnConfig::from_availability(1.0, 30.0);
-        let err = Simulation::new(Graph::new(0), OverlayConfig::default(), churn, 1).unwrap_err();
-        assert!(matches!(err, CoreError::InvalidTrustGraph { .. }));
-    }
-
-    #[test]
-    fn rejects_invalid_config() {
-        let churn = ChurnConfig::from_availability(1.0, 30.0);
-        let cfg = OverlayConfig {
-            cache_size: 0,
-            ..OverlayConfig::default()
-        };
-        assert!(Simulation::new(Graph::new(5), cfg, churn, 1).is_err());
-    }
-
-    #[test]
-    fn all_online_without_churn() {
-        let mut sim = small_sim(1.0, 1);
-        assert_eq!(sim.online_count(), 60);
-        sim.run_until(5.0);
-        assert_eq!(sim.online_count(), 60, "no churn at availability 1");
-    }
-
-    #[test]
-    fn overlay_contains_trust_edges() {
-        let mut sim = small_sim(1.0, 2);
-        sim.run_until(3.0);
-        let overlay = sim.overlay_graph();
-        for (a, b) in sim.trust_graph().edges() {
-            assert!(overlay.has_edge(a, b));
-        }
-    }
-
-    #[test]
-    fn overlay_grows_pseudonym_links() {
-        let mut sim = small_sim(1.0, 3);
-        let trust_edges = sim.trust_graph().edge_count();
-        sim.run_until(30.0);
-        let overlay = sim.overlay_graph();
-        assert!(
-            overlay.edge_count() > trust_edges + 60,
-            "overlay should gain many pseudonym links: {} vs {}",
-            overlay.edge_count(),
-            trust_edges
-        );
-    }
-
-    #[test]
-    fn overlay_approaches_target_degree() {
-        let mut sim = small_sim(1.0, 4);
-        sim.run_until(50.0);
-        // Average pseudonym link count should approach the slot budgets.
-        let mean_links: f64 = (0..sim.node_count())
-            .map(|v| sim.node(v).sampler.link_count() as f64)
-            .sum::<f64>()
-            / sim.node_count() as f64;
-        let mean_slots: f64 = (0..sim.node_count())
-            .map(|v| sim.node(v).sampler.slot_count() as f64)
-            .sum::<f64>()
-            / sim.node_count() as f64;
-        assert!(
-            mean_links > 0.5 * mean_slots.min(59.0),
-            "links {mean_links:.1} vs slots {mean_slots:.1}"
-        );
-    }
-
-    #[test]
-    fn churn_changes_online_set() {
-        let mut sim = small_sim(0.5, 5);
-        sim.run_until(50.0);
-        let online = sim.online_count();
-        assert!(online > 10 && online < 50, "online {online} of 60");
-    }
-
-    #[test]
-    fn online_time_accounting_sums_to_about_alpha() {
-        let mut sim = small_sim(0.5, 6);
-        sim.run_until(200.0);
-        let total_online: f64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).online_time)
-            .sum();
-        let expected = 0.5 * 200.0 * sim.node_count() as f64;
-        assert!(
-            (total_online - expected).abs() < 0.15 * expected,
-            "online time {total_online} vs expected {expected}"
-        );
-    }
-
-    #[test]
-    fn messages_average_about_two_per_period() {
-        // Paper: "the average number of messages sent per shuffle period
-        // per node across the whole overlay is 2" (no churn case).
-        let mut sim = small_sim(1.0, 7);
-        sim.run_until(60.0);
-        let mean_rate: f64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).messages_per_period())
-            .sum::<f64>()
-            / sim.node_count() as f64;
-        assert!(
-            (mean_rate - 2.0).abs() < 0.25,
-            "mean message rate {mean_rate}"
-        );
-    }
-
-    #[test]
-    fn deterministic_given_seed() {
-        let mut a = small_sim(0.5, 8);
-        let mut b = small_sim(0.5, 8);
-        a.run_until(40.0);
-        b.run_until(40.0);
-        assert_eq!(a.online_mask(), b.online_mask());
-        assert_eq!(a.overlay_graph(), b.overlay_graph());
-        assert_eq!(a.pseudonyms_minted(), b.pseudonyms_minted());
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let mut a = small_sim(0.5, 9);
-        let mut b = small_sim(0.5, 10);
-        a.run_until(40.0);
-        b.run_until(40.0);
-        assert_ne!(a.overlay_graph(), b.overlay_graph());
-    }
-
-    #[test]
-    fn expiry_drives_renewal() {
-        let trust = trust_graph(30, 11);
-        let cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 10,
-            pseudonym_lifetime: Some(5.0),
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(1.0, 10.0);
-        let mut sim = Simulation::new(trust, cfg, churn, 11).unwrap();
-        sim.run_until(26.0);
-        // Lifetime 5sp over 26sp: every node should have minted ~5 times.
-        assert!(
-            sim.pseudonyms_minted() >= 4 * 30,
-            "minted {}",
-            sim.pseudonyms_minted()
-        );
-        assert!(sim.total_link_removals() > 0, "expiry must remove links");
-    }
-
-    #[test]
-    fn no_expiry_no_removals_after_convergence() {
-        let trust = trust_graph(30, 12);
-        let cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 10,
-            pseudonym_lifetime: None,
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(1.0, 10.0);
-        let mut sim = Simulation::new(trust, cfg, churn, 12).unwrap();
-        sim.run_until(150.0);
-        let at_150 = sim.total_link_removals();
-        sim.run_until(200.0);
-        let at_200 = sim.total_link_removals();
-        // Convergence: the min-wise process settles; replacements dry up.
-        assert!(
-            at_200 - at_150 < 30,
-            "replacements kept happening: {at_150} -> {at_200}"
-        );
-    }
-
-    #[test]
-    fn overlay_beats_trust_graph_under_churn() {
-        let mut sim = small_sim(0.4, 13);
-        sim.run_until(120.0);
-        let online = sim.online_mask();
-        let overlay = sim.overlay_graph();
-        let frac_overlay = gm::fraction_disconnected(&overlay, &online);
-        let frac_trust = gm::fraction_disconnected(sim.trust_graph(), &online);
-        assert!(
-            frac_overlay < frac_trust,
-            "overlay {frac_overlay} should beat trust {frac_trust}"
-        );
-    }
-
-    #[test]
-    fn two_mut_returns_both_orders() {
-        let mut v = vec![1, 2, 3];
-        {
-            let (a, b) = two_mut(&mut v, 0, 2);
-            assert_eq!((*a, *b), (1, 3));
-        }
-        let (a, b) = two_mut(&mut v, 2, 0);
-        assert_eq!((*a, *b), (3, 1));
-    }
-
-    #[test]
-    #[should_panic(expected = "differ")]
-    fn two_mut_rejects_same_index() {
-        let mut v = vec![1, 2];
-        two_mut(&mut v, 1, 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "backwards")]
-    fn run_until_rejects_past() {
-        let mut sim = small_sim(1.0, 14);
-        sim.run_until(5.0);
-        sim.run_until(4.0);
-    }
-
-    #[test]
-    fn adaptive_stop_suppresses_shuffles_after_convergence() {
-        let trust = trust_graph(40, 15);
-        let cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 10,
-            pseudonym_lifetime: None, // stable regime: links converge
-            stop_after_stable_periods: Some(5),
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(1.0, 10.0);
-        let mut sim = Simulation::new(trust.clone(), cfg, churn, 15).unwrap();
-        sim.run_until(300.0);
-        let suppressed: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).shuffles_suppressed)
-            .sum();
-        assert!(suppressed > 0, "stability detector never fired");
-        // And the overlay is still healthy.
-        let frac =
-            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask());
-        assert_eq!(frac, 0.0);
-        // Late-window message traffic collapses relative to the always-on
-        // configuration.
-        let always_cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 10,
-            pseudonym_lifetime: None,
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(1.0, 10.0);
-        let mut always = Simulation::new(trust, always_cfg, churn, 15).unwrap();
-        always.run_until(300.0);
-        let requests = |sim: &Simulation| -> u64 {
-            (0..sim.node_count())
-                .map(|v| sim.node_stats(v).requests_sent)
-                .sum()
-        };
-        assert!(
-            requests(&sim) < requests(&always) / 2,
-            "suppression should at least halve request traffic: {} vs {}",
-            requests(&sim),
-            requests(&always)
-        );
-    }
-
-    #[test]
-    fn adaptive_lifetime_tracks_offline_durations() {
-        use crate::config::LifetimePolicy;
-        let trust = trust_graph(40, 16);
-        let cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 10,
-            pseudonym_lifetime: Some(90.0),
-            lifetime_policy: LifetimePolicy::Adaptive {
-                multiplier: 3.0,
-                floor: 5.0,
-            },
-            ..OverlayConfig::default()
-        };
-        // Mean offline time 10sp: adaptive lifetimes should settle near
-        // 3 x 10 = 30sp, well below the 90sp global fallback.
-        let churn = ChurnConfig::from_availability(0.5, 10.0);
-        let mut sim = Simulation::new(trust, cfg, churn, 16).unwrap();
-        sim.run_until(400.0);
-        // Inspect the actual lifetimes of current pseudonyms.
-        let now = sim.now();
-        let mut lifetimes = Vec::new();
-        for v in 0..sim.node_count() {
-            if let Some(p) = sim.node(v).own_pseudonym(now) {
-                if let Some(expiry) = p.expires() {
-                    // Upper bound on the minted lifetime.
-                    lifetimes.push(expiry - now);
-                }
-            }
-        }
-        assert!(!lifetimes.is_empty());
-        let mean_remaining: f64 = lifetimes.iter().sum::<f64>() / lifetimes.len() as f64;
-        // Remaining lifetime of an adaptive (~30sp) pseudonym is well below
-        // the global 90sp value.
-        assert!(
-            mean_remaining < 60.0,
-            "adaptive lifetimes look global: mean remaining {mean_remaining}"
-        );
-    }
-
-    #[test]
-    fn message_log_records_request_response_pairs() {
-        let mut sim = small_sim(1.0, 17);
-        sim.enable_message_log();
-        sim.run_until(5.0);
-        let log = sim.message_log().unwrap();
-        assert!(!log.is_empty());
-        let requests = log
-            .iter()
-            .filter(|m| m.kind == MessageKind::Request)
-            .count();
-        let responses = log
-            .iter()
-            .filter(|m| m.kind == MessageKind::Response)
-            .count();
-        assert_eq!(requests, responses, "every request gets a response");
-        for m in log {
-            assert_ne!(m.from, m.to);
-        }
-        // Draining works and keeps logging active.
-        let drained = sim.take_message_log();
-        assert_eq!(drained.len(), requests + responses);
-        sim.run_until(6.0);
-        assert!(!sim.message_log().unwrap().is_empty());
-        sim.disable_message_log();
-        assert!(sim.message_log().is_none());
-    }
-
-    #[test]
-    fn latency_one_round_trip_still_exchanges() {
-        let trust = trust_graph(30, 19);
-        let cfg = OverlayConfig {
-            cache_size: 40,
-            shuffle_length: 6,
-            target_links: 8,
-            link_latency: 0.2,
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(1.0, 10.0);
-        let mut sim = Simulation::new(trust, cfg, churn, 19).unwrap();
-        sim.run_until(30.0);
-        // Gossip still works: pseudonym links accumulate.
-        let total_links: usize = (0..sim.node_count())
-            .map(|v| sim.node(v).sampler.link_count())
-            .sum();
-        assert!(total_links > 30, "links {total_links}");
-        // Request/response accounting still pairs up (no churn => no loss).
-        let req: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).requests_sent)
-            .sum();
-        let resp: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).responses_sent)
-            .sum();
-        assert!(req > 0);
-        // In-flight messages at the horizon make resp lag req slightly.
-        assert!(resp <= req && req - resp <= sim.node_count() as u64);
-    }
-
-    #[test]
-    fn latency_with_churn_loses_in_transit_messages() {
-        let trust = trust_graph(40, 20);
-        let cfg = OverlayConfig {
-            cache_size: 40,
-            shuffle_length: 6,
-            target_links: 8,
-            link_latency: 0.5,
-            ..OverlayConfig::default()
-        };
-        // Short sessions: transit losses become likely.
-        let churn = ChurnConfig::from_availability(0.5, 2.0);
-        let mut sim = Simulation::new(trust, cfg, churn, 20).unwrap();
-        sim.run_until(100.0);
-        let lost: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).dropped_requests)
-            .sum();
-        assert!(lost > 0, "in-transit churn must lose some requests");
-    }
-
-    #[test]
-    fn moderate_latency_preserves_robustness() {
-        // The paper's §III-E5 claim: slow mixes do not break maintenance.
-        let trust = trust_graph(50, 21);
-        let make = |latency: f64| {
-            let cfg = OverlayConfig {
-                cache_size: 50,
-                shuffle_length: 8,
-                target_links: 12,
-                link_latency: latency,
-                ..OverlayConfig::default()
-            };
-            let churn = ChurnConfig::from_availability(0.5, 10.0);
-            let mut sim = Simulation::new(trust.clone(), cfg, churn, 21).unwrap();
-            sim.run_until(120.0);
-            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask())
-        };
-        let instant = make(0.0);
-        let slow = make(1.0);
-        assert!(
-            slow <= instant + 0.15,
-            "one-period latency should barely hurt: {slow} vs {instant}"
-        );
-    }
-
-    #[test]
-    fn blackout_forces_nodes_offline_and_back() {
-        let mut sim = small_sim(1.0, 22);
-        sim.run_until(10.0);
-        assert_eq!(sim.online_count(), 60);
-        let victims: Vec<usize> = (0..30).collect();
-        sim.inject_blackout(&victims, 5.0);
-        sim.run_until(12.0);
-        assert_eq!(sim.online_count(), 30, "half the network is dark");
-        for &v in &victims {
-            assert!(!sim.is_online(v));
-        }
-        sim.run_until(16.0);
-        assert_eq!(sim.online_count(), 60, "blackout over, everyone back");
-        // Permanently-online nodes stay online afterwards (no spurious
-        // churn events).
-        sim.run_until(60.0);
-        assert_eq!(sim.online_count(), 60);
-    }
-
-    #[test]
-    fn blackout_during_churn_is_superseded_cleanly() {
-        let mut sim = small_sim(0.5, 23);
-        sim.run_until(20.0);
-        let victims: Vec<usize> = (0..sim.node_count()).collect();
-        sim.inject_blackout(&victims, 3.0);
-        sim.run_until(21.0);
-        assert_eq!(sim.online_count(), 0, "total blackout");
-        sim.run_until(23.5);
-        // Everyone reconnected at t = 23; natural churn has had half a
-        // period to pull a few nodes back offline.
-        assert!(
-            sim.online_count() > sim.node_count() * 9 / 10,
-            "reconnect flash crowd: {} online",
-            sim.online_count()
-        );
-        // Natural churn resumes: some nodes drift offline again.
-        sim.run_until(60.0);
-        let online = sim.online_count();
-        assert!(
-            online < sim.node_count(),
-            "churn must resume, online={online}"
-        );
-        assert!(online > 0);
-    }
-
-    #[test]
-    fn overlay_survives_blackout_better_than_trust_graph() {
-        let mut sim = small_sim(1.0, 24);
-        sim.run_until(40.0); // converge
-                             // Blackout a random-ish half: every even node.
-        let victims: Vec<usize> = (0..sim.node_count()).filter(|v| v % 2 == 0).collect();
-        sim.inject_blackout(&victims, 10.0);
-        sim.run_until(41.0);
-        let online = sim.online_mask();
-        let overlay_frac =
-            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &online);
-        let trust_frac = veil_graph::metrics::fraction_disconnected(sim.trust_graph(), &online);
-        assert!(
-            overlay_frac <= trust_frac,
-            "overlay {overlay_frac} vs trust {trust_frac} during blackout"
-        );
-    }
-
-    #[test]
-    fn blackout_is_deterministic() {
-        let run = || {
-            let mut sim = small_sim(0.5, 25);
-            sim.run_until(15.0);
-            sim.inject_blackout(&[0, 1, 2, 3, 4], 4.0);
-            sim.run_until(40.0);
-            (sim.online_mask(), sim.overlay_graph())
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    #[should_panic(expected = "positive")]
-    fn blackout_rejects_zero_duration() {
-        let mut sim = small_sim(1.0, 26);
-        sim.inject_blackout(&[0], 0.0);
-    }
-
-    #[test]
-    fn message_log_off_by_default() {
-        let mut sim = small_sim(1.0, 18);
-        sim.run_until(5.0);
-        assert!(sim.message_log().is_none());
-        assert!(sim.take_message_log().is_empty());
-    }
-
-    fn faulty_sim(alpha: f64, seed: u64, fault: FaultConfig) -> Simulation {
-        let trust = trust_graph(60, seed);
-        let cfg = OverlayConfig {
-            cache_size: 50,
-            shuffle_length: 8,
-            target_links: 12,
-            link: LinkLayerConfig::Faulty(fault),
-            ..OverlayConfig::default()
-        };
-        let churn = ChurnConfig::from_availability(alpha, 10.0);
-        Simulation::new(trust, cfg, churn, seed).unwrap()
-    }
-
-    #[test]
-    fn overlapping_blackouts_do_not_duplicate_wake_events() {
-        let mut sim = small_sim(1.0, 27);
-        sim.run_until(10.0);
-        sim.inject_blackout(&[0, 1], 10.0); // dark until t = 20
-        sim.run_until(12.0);
-        // A shorter overlapping blackout must not truncate the outage (the
-        // old behaviour woke the nodes at its own, earlier, end).
-        sim.inject_blackout(&[0, 1], 3.0);
-        sim.run_until(16.0);
-        assert!(!sim.is_online(0), "shorter overlap truncated the blackout");
-        assert!(!sim.is_online(1));
-        sim.run_until(21.0);
-        assert_eq!(sim.online_count(), 60, "original wake still fires");
-        // A *longer* overlapping blackout extends the outage instead.
-        sim.inject_blackout(&[2], 5.0); // until t = 26
-        sim.run_until(22.0);
-        sim.inject_blackout(&[2], 10.0); // until t = 32
-        sim.run_until(27.0);
-        assert!(!sim.is_online(2), "extension supersedes the earlier wake");
-        sim.run_until(33.0);
-        assert!(sim.is_online(2));
-        // And afterwards the network is quiescent again: no stray events.
-        sim.run_until(80.0);
-        assert_eq!(sim.online_count(), 60);
-    }
-
-    #[test]
-    fn trivial_faulty_link_matches_ideal_exactly() {
-        let run = |link: LinkLayerConfig| {
-            let trust = trust_graph(60, 28);
-            let cfg = OverlayConfig {
-                cache_size: 50,
-                shuffle_length: 8,
-                target_links: 12,
-                link,
-                ..OverlayConfig::default()
-            };
-            let churn = ChurnConfig::from_availability(0.5, 10.0);
-            let mut sim = Simulation::new(trust, cfg, churn, 28).unwrap();
-            sim.enable_message_log();
-            sim.run_until(40.0);
-            (
-                sim.online_mask(),
-                sim.overlay_graph(),
-                sim.pseudonyms_minted(),
-                sim.take_message_log(),
-            )
-        };
-        let ideal = run(LinkLayerConfig::Ideal);
-        let faulty = run(LinkLayerConfig::Faulty(FaultConfig::none()));
-        assert_eq!(ideal, faulty, "zero-fault layer must be bit-identical");
-    }
-
-    #[test]
-    fn lossy_link_drops_and_retries_but_overlay_survives() {
-        let mut sim = faulty_sim(0.8, 29, FaultConfig::with_loss(0.2));
-        sim.run_until(80.0);
-        let sum = |f: &dyn Fn(&NodeStats) -> u64| -> u64 {
-            (0..sim.node_count()).map(|v| f(&sim.node_stats(v))).sum()
-        };
-        assert!(sum(&|s| s.dropped_requests) > 0, "losses must be observed");
-        assert!(sum(&|s| s.shuffle_retries) > 0, "timeouts must retry");
-        let links: usize = (0..sim.node_count())
-            .map(|v| sim.node(v).sampler.link_count())
-            .sum();
-        assert!(links > 60, "gossip still spreads under 20% loss: {links}");
-        let frac =
-            veil_graph::metrics::fraction_disconnected(&sim.overlay_graph(), &sim.online_mask());
-        assert!(frac < 0.1, "overlay fell apart under 20% loss: {frac}");
-    }
-
-    #[test]
-    fn total_loss_exhausts_retries_and_evicts() {
-        let mut sim = faulty_sim(1.0, 30, FaultConfig::with_loss(1.0));
-        sim.run_until(80.0);
-        let failures: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).shuffle_failures)
-            .sum();
-        assert!(failures > 0, "every exchange must eventually fail");
-        let responses: u64 = (0..sim.node_count())
-            .map(|v| sim.node_stats(v).responses_sent)
-            .sum();
-        assert_eq!(responses, 0, "nothing is ever delivered");
-    }
-
-    #[test]
-    fn faulty_link_is_deterministic() {
-        let run = || {
-            let fault = FaultConfig {
-                drop_probability: 0.15,
-                latency: veil_sim::fault::LatencyDist::Exponential { mean: 0.3 },
-                ..FaultConfig::none()
-            };
-            let mut sim = faulty_sim(0.5, 31, fault);
-            sim.run_until(50.0);
-            (
-                sim.online_mask(),
-                sim.overlay_graph(),
-                sim.pseudonyms_minted(),
-            )
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn partition_episode_blocks_cross_traffic_then_heals() {
-        let fault = FaultConfig {
-            episodes: vec![veil_sim::fault::FaultEpisode {
-                start: 10.0,
-                end: 30.0,
-                effect: EpisodeEffect::Partition { boundary: 30 },
-            }],
-            ..FaultConfig::none()
-        };
-        let mut sim = faulty_sim(1.0, 32, fault);
-        sim.enable_message_log();
-        sim.run_until(60.0);
-        let log = sim.take_message_log();
-        let crossings: Vec<_> = log
-            .iter()
-            .filter(|m| (m.from < 30) != (m.to < 30))
-            .collect();
-        assert!(
-            crossings
-                .iter()
-                .filter(|m| m.time.as_f64() >= 10.0 && m.time.as_f64() < 30.0)
-                .all(|m| m.kind == MessageKind::Dropped),
-            "every cross-boundary message during the partition is dropped"
-        );
-        assert!(
-            crossings
-                .iter()
-                .any(|m| m.time.as_f64() >= 30.0 && m.kind != MessageKind::Dropped),
-            "cross-boundary traffic resumes after the partition heals"
-        );
-    }
-
-    #[test]
-    fn blackout_episode_forces_region_offline() {
-        let fault = FaultConfig {
-            episodes: vec![veil_sim::fault::FaultEpisode {
-                start: 10.0,
-                end: 20.0,
-                effect: EpisodeEffect::Blackout {
-                    first: 0,
-                    count: 20,
-                },
-            }],
-            ..FaultConfig::none()
-        };
-        let mut sim = faulty_sim(1.0, 33, fault);
-        sim.run_until(15.0);
-        assert_eq!(sim.online_count(), 40, "region of 20 is dark");
-        sim.run_until(25.0);
-        assert_eq!(sim.online_count(), 60, "region reconnects at episode end");
-    }
-
-    #[test]
-    fn crashed_nodes_cause_failures_but_not_wedging() {
-        let fault = FaultConfig {
-            episodes: vec![veil_sim::fault::FaultEpisode {
-                start: 0.0,
-                end: f64::INFINITY,
-                effect: EpisodeEffect::Crash {
-                    first: 0,
-                    count: 15,
-                },
-            }],
-            ..FaultConfig::none()
-        };
-        let mut sim = faulty_sim(1.0, 34, fault);
-        sim.run_until(80.0);
-        let crashed_requests: u64 = (0..15).map(|v| sim.node_stats(v).requests_sent).sum();
-        assert_eq!(crashed_requests, 0, "crashed nodes initiate nothing");
-        let failures: u64 = (15..60).map(|v| sim.node_stats(v).shuffle_failures).sum();
-        assert!(failures > 0, "peers of crashed nodes time out");
-        let live: Vec<usize> = (15..60).collect();
-        let links: usize = live.iter().map(|&v| sim.node(v).sampler.link_count()).sum();
-        assert!(links > 45, "live nodes keep gossiping: {links}");
     }
 }

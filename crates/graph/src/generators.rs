@@ -224,6 +224,116 @@ pub fn holme_kim<R: Rng + ?Sized>(
     Ok(g)
 }
 
+/// Holme–Kim-style preferential attachment tuned to hit a *fractional*
+/// average degree.
+///
+/// `holme_kim` can only produce average degrees near `2m` for integer `m`;
+/// the paper's trust samples have fractional averages (11.3 for `f = 1.0`,
+/// 6.55 for `f = 0.5`, Section IV-A). Here each arriving node attaches
+/// `m_lo` or `m_lo + 1` edges, where `target_avg_degree / 2 = m_lo + frac`
+/// and the larger count is chosen with probability `frac` — so the expected
+/// attachment count (and therefore the asymptotic average degree) matches
+/// the target while keeping the power-law tail and triad-closure clustering
+/// of the Holme–Kim construction.
+///
+/// # Errors
+///
+/// Returns an error if `target_avg_degree < 2`, if it is not finite, if
+/// `p_triad` is outside `[0, 1]`, or if `n` is too small for the implied
+/// seed clique.
+pub fn degree_matched<R: Rng + ?Sized>(
+    n: usize,
+    target_avg_degree: f64,
+    p_triad: f64,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if !target_avg_degree.is_finite() || target_avg_degree < 2.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!(
+                "target average degree must be finite and >= 2, got {target_avg_degree}"
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&p_triad) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("triad probability {p_triad} not in [0, 1]"),
+        });
+    }
+    let half = target_avg_degree / 2.0;
+    let m_lo = half.floor() as usize;
+    let frac = half - m_lo as f64;
+    let m_hi = if frac > 0.0 { m_lo + 1 } else { m_lo };
+    if n <= m_hi + 1 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!(
+                "need more than {} nodes for avg degree {target_avg_degree}, got n={n}",
+                m_hi + 1
+            ),
+        });
+    }
+    let mut g = Graph::new(n);
+    let mut targets: Vec<usize> = Vec::with_capacity((target_avg_degree * n as f64) as usize);
+    // Seed clique on m_hi + 1 nodes so even a node attaching m_hi edges
+    // finds enough distinct neighbours.
+    for a in 0..=m_hi {
+        for b in (a + 1)..=m_hi {
+            g.add_edge(a, b).expect("seed clique edge");
+            targets.push(a);
+            targets.push(b);
+        }
+    }
+    for v in (m_hi + 1)..n {
+        // Bernoulli mixture: E[m] = m_lo + frac = target_avg_degree / 2.
+        let m = if frac > 0.0 && rng.gen_bool(frac) {
+            m_lo + 1
+        } else {
+            m_lo
+        };
+        let mut last_attached: Option<usize> = None;
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < m {
+            guard += 1;
+            if guard > 50 * m + 100 {
+                if let Some(u) = (0..v).find(|&u| !g.has_edge(v, u)) {
+                    g.add_edge(v, u).expect("fallback edge");
+                    targets.push(v);
+                    targets.push(u);
+                    last_attached = Some(u);
+                    added += 1;
+                    continue;
+                }
+                break;
+            }
+            if let Some(prev) = last_attached {
+                if p_triad > 0.0 && rng.gen_bool(p_triad) {
+                    let nbrs = g.neighbors(prev);
+                    if let Some(&w) = nbrs.choose(rng) {
+                        let w = w as usize;
+                        if w != v && !g.has_edge(v, w) {
+                            g.add_edge(v, w).expect("triad edge");
+                            targets.push(v);
+                            targets.push(w);
+                            last_attached = Some(w);
+                            added += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+            let &u = targets.choose(rng).expect("non-empty target list");
+            if u != v && !g.has_edge(v, u) {
+                g.add_edge(v, u).expect("pa edge");
+                targets.push(v);
+                targets.push(u);
+                last_attached = Some(u);
+                added += 1;
+            }
+        }
+    }
+    Ok(g)
+}
+
 /// Watts–Strogatz small-world graph: a ring lattice where each node connects
 /// to its `k` nearest neighbours (`k` even), each edge rewired with
 /// probability `beta`.
@@ -620,6 +730,33 @@ mod tests {
         assert!(holme_kim(10, 0, 0.5, &mut rng(7)).is_err());
         assert!(holme_kim(3, 3, 0.5, &mut rng(7)).is_err());
         assert!(holme_kim(10, 2, 1.5, &mut rng(7)).is_err());
+    }
+
+    #[test]
+    fn degree_matched_hits_fractional_targets() {
+        // The paper's trust-sample averages (Section IV-A).
+        for target in [11.3, 6.55] {
+            let g = degree_matched(4000, target, 0.6, &mut rng(21)).unwrap();
+            let got = g.average_degree();
+            assert!((got - target).abs() < 0.4, "target {target}, got {got:.2}");
+        }
+    }
+
+    #[test]
+    fn degree_matched_is_deterministic_and_heavy_tailed() {
+        let a = degree_matched(1500, 11.3, 0.6, &mut rng(22)).unwrap();
+        let b = degree_matched(1500, 11.3, 0.6, &mut rng(22)).unwrap();
+        assert_eq!(a, b);
+        let max_deg = *a.degrees().iter().max().unwrap();
+        assert!(max_deg > 40, "max degree {max_deg} not heavy-tailed");
+    }
+
+    #[test]
+    fn degree_matched_rejects_bad_parameters() {
+        assert!(degree_matched(100, 1.5, 0.5, &mut rng(23)).is_err());
+        assert!(degree_matched(100, f64::NAN, 0.5, &mut rng(23)).is_err());
+        assert!(degree_matched(100, 8.0, 1.5, &mut rng(23)).is_err());
+        assert!(degree_matched(5, 11.3, 0.5, &mut rng(23)).is_err());
     }
 
     #[test]

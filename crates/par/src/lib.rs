@@ -43,6 +43,24 @@ pub fn env_parallelism() -> Option<usize> {
     }
 }
 
+/// Reads the `VEIL_SHARDS` environment knob for the sharded simulation
+/// executor.
+///
+/// `0` or unset → `None` (sequential executor); `s > 0` → `Some(s)`.
+/// Unlike `VEIL_PARALLELISM`, this knob *selects an executor*: sharded
+/// runs use a window-quantized delivery schedule whose results differ
+/// from the sequential executor's (but are identical for every `s`).
+#[must_use]
+pub fn env_shards() -> Option<usize> {
+    match std::env::var("VEIL_SHARDS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => None,
+            Ok(s) => Some(s),
+        },
+        Err(_) => None,
+    }
+}
+
 /// Computes `f(0), f(1), …, f(n - 1)` and returns the results in index
 /// order, distributing the calls over up to `effective_parallelism`
 /// scoped threads.
@@ -101,6 +119,59 @@ where
                 .expect("worker filled every slot")
         })
         .collect()
+}
+
+/// Runs `f(index, &mut item)` over every item, mutating in place, with
+/// items distributed over up to `effective_parallelism` scoped threads in
+/// contiguous chunks. This is the window/barrier primitive of the sharded
+/// simulation executor: each shard is one item, the executor calls
+/// `fork_join_indexed` once per time window, and the implicit join at the
+/// end of the scope *is* the window barrier.
+///
+/// Items are partitioned contiguously (`ceil(n / threads)` per chunk), so
+/// with `threads >= n` every item gets its own thread. As with [`run`],
+/// `f` must be pure up to `(index, item)` — under that contract the item
+/// states after the call are identical for every `parallelism` value,
+/// including the serial path.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn fork_join_indexed<T, F>(items: &mut [T], parallelism: Option<usize>, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = effective_parallelism(parallelism).min(n.max(1));
+    let obs = veil_obs::global();
+    if threads <= 1 || n <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            let _span = obs.span_with("par.unit", || format!("unit={i}"));
+            f(i, item);
+        }
+        return;
+    }
+
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let (obs, f) = (&obs, &f);
+            scope.spawn(move || {
+                for (j, item) in head.iter_mut().enumerate() {
+                    let i = base + j;
+                    let _span = obs.span_with("par.unit", || format!("unit={i}"));
+                    f(i, item);
+                }
+            });
+            base += take;
+        }
+    });
 }
 
 /// Maps `f` over `items`, preserving order; parallel analogue of
@@ -164,6 +235,40 @@ mod tests {
         let items = vec!["a", "b", "c", "d"];
         let out = map_indexed(&items, Some(2), |i, s| format!("{i}{s}"));
         assert_eq!(out, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn fork_join_indexed_mutates_every_item_once() {
+        for parallelism in [Some(1), Some(2), Some(4), Some(16), None] {
+            let mut items: Vec<(usize, u32)> = (0..23).map(|i| (i, 0)).collect();
+            fork_join_indexed(&mut items, parallelism, |i, item| {
+                assert_eq!(item.0, i, "index must match the item's position");
+                item.1 += 1;
+            });
+            assert!(items.iter().all(|&(_, touched)| touched == 1));
+        }
+        // Degenerate sizes.
+        let mut empty: Vec<u8> = vec![];
+        fork_join_indexed(&mut empty, Some(4), |_, _| unreachable!());
+        let mut one = vec![0u8];
+        fork_join_indexed(&mut one, Some(4), |_, x| *x = 7);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn fork_join_indexed_is_parallelism_invariant() {
+        let work = |i: usize, slot: &mut u64| {
+            let mut h = i as u64 ^ 0x9E37_79B9_7F4A_7C15;
+            for _ in 0..500 {
+                h = h.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            *slot = h;
+        };
+        let mut serial = vec![0u64; 64];
+        fork_join_indexed(&mut serial, Some(1), work);
+        let mut parallel = vec![0u64; 64];
+        fork_join_indexed(&mut parallel, Some(8), work);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

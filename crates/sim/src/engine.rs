@@ -42,6 +42,22 @@ impl<E> PartialOrd for Scheduled<E> {
 /// Events at equal times are delivered in scheduling order. Scheduling into
 /// the past is rejected, so causality cannot be violated.
 ///
+/// # FIFO guarantee
+///
+/// The same-timestamp tie-break is a documented, load-bearing contract, not
+/// an implementation accident: events scheduled at equal [`SimTime`] keys
+/// are popped in exactly the order [`Engine::schedule_at`] inserted them,
+/// with no interleaving and no dependence on queue depth or on how the
+/// drain is split across [`Engine::pop`] / [`Engine::pop_before`] calls.
+/// The sharded simulation executor (`veil-core`'s `sim_exec`) relies on
+/// this: at every window barrier it injects cross-shard messages into each
+/// destination engine in a canonical `(time, src, seq)` order, and the FIFO
+/// tie-break is what turns that injection order into a deterministic
+/// delivery order for equal-time messages. Changing the tie-break silently
+/// changes every sharded trace. The guarantee is pinned by the
+/// `equal_time_keys_pop_in_insertion_order` property test in
+/// `tests/properties.rs`.
+///
 /// # Examples
 ///
 /// ```
@@ -103,6 +119,10 @@ impl<E> Engine<E> {
 
     /// Schedules `event` at absolute time `time`.
     ///
+    /// Among events sharing the same `time`, delivery order is insertion
+    /// order (see the [FIFO guarantee](Engine#fifo-guarantee)); each call
+    /// consumes one monotonic sequence number that serves as the tie-break.
+    ///
     /// # Panics
     ///
     /// Panics if `time` precedes the current clock.
@@ -136,6 +156,9 @@ impl<E> Engine<E> {
     }
 
     /// Removes and returns the earliest event, advancing the clock to it.
+    ///
+    /// Equal-time events come out in the order they were scheduled (see the
+    /// [FIFO guarantee](Engine#fifo-guarantee)).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let s = self.queue.pop()?;
         debug_assert!(s.time >= self.now, "queue produced an event in the past");
@@ -146,6 +169,12 @@ impl<E> Engine<E> {
 
     /// Removes and returns the earliest event only if it occurs strictly
     /// before `horizon`; the clock does not move past `horizon` otherwise.
+    ///
+    /// This is the window primitive of the sharded executor: draining with
+    /// `pop_before(window_end)` yields exactly the events of the current
+    /// window, in time order with FIFO ties, and leaves the rest queued.
+    /// Splitting a drain across several horizons never reorders equal-time
+    /// events relative to a single [`Engine::pop`] drain.
     pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         if self.peek_time()? < horizon {
             self.pop()

@@ -29,6 +29,40 @@ proptest! {
     }
 
     #[test]
+    fn equal_time_keys_pop_in_insertion_order(
+        slots in prop::collection::vec(0usize..4, 1..200),
+        horizon_split in 0usize..4,
+    ) {
+        // Deliberately collide timestamps: every event lands on one of four
+        // fixed SimTime keys, so almost every pop exercises the tie-break.
+        // The documented FIFO guarantee ("equal keys pop in schedule order,
+        // even when the drain is split across pop_before horizons") is what
+        // the sharded executor's canonical barrier merge leans on.
+        let grid = [0.0, 0.25, 1.0, 1.5];
+        let mut engine: Engine<usize> = Engine::new();
+        for (i, &s) in slots.iter().enumerate() {
+            engine.schedule_at(SimTime::new(grid[s]), i);
+        }
+        // Expected order: a stable sort of the insertion indices by time —
+        // exactly "time order with FIFO ties".
+        let mut expected: Vec<usize> = (0..slots.len()).collect();
+        expected.sort_by(|&a, &b| {
+            grid[slots[a]].partial_cmp(&grid[slots[b]]).expect("finite")
+        });
+        // Drain through pop_before up to a mid-grid horizon first, then pop
+        // the rest: splitting the drain must not perturb the order.
+        let mut got = Vec::new();
+        let h = SimTime::new(grid[horizon_split]);
+        while let Some((_, i)) = engine.pop_before(h) {
+            got.push(i);
+        }
+        while let Some((_, i)) = engine.pop() {
+            got.push(i);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
     fn engine_clock_is_monotone(
         schedule in prop::collection::vec((0.0f64..100.0, any::<bool>()), 1..100),
     ) {

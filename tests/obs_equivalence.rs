@@ -169,6 +169,68 @@ fn traced_run_exports_load_cleanly() {
 }
 
 #[test]
+fn sharded_traces_are_shard_count_invariant() {
+    // The trace content (what happened, when, to whom) must be identical
+    // for every shard count; only the capture metadata (`tid`, the
+    // per-thread `seq`) depends on the thread layout, so events are
+    // compared in canonical order with those fields stripped. Health
+    // alerts feed off the same stream and must agree too.
+    use veil_core::config::LinkLayerConfig;
+    use veil_core::experiment::build_simulation;
+    use veil_sim::fault::FaultConfig;
+    let _guard = GLOBAL_RECORDER_LOCK
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let canonical = |seed: u64, shards: usize| {
+        let mut p = params(seed, Some(1));
+        p.overlay.link = LinkLayerConfig::Faulty(FaultConfig::with_loss(0.2));
+        p.overlay.health.enabled = true;
+        p.overlay.shards = Some(shards);
+        let trust = build_trust_graph(&p).expect("trust graph");
+        let recorder = Recorder::full();
+        let prev = veil_obs::install_global(recorder.clone());
+        let sim = build_simulation(trust, &p, 0.5);
+        veil_obs::install_global(prev);
+        let mut sim = sim.expect("simulation");
+        assert!(sim.is_sharded(), "fault model must engage the executor");
+        sim.set_recorder(recorder.clone());
+        sim.run_until(40.0);
+        let mut events: Vec<(u64, Option<u32>, String)> = recorder
+            .events()
+            .iter()
+            .map(|e| {
+                (
+                    e.t.to_bits(),
+                    e.node,
+                    serde_json::to_string(&e.kind).expect("kind serializes"),
+                )
+            })
+            .collect();
+        events.sort();
+        (
+            events,
+            sim.health_alerts().expect("monitor is on"),
+            serde_json::to_string(&snapshot(&sim)).expect("snapshot serializes"),
+        )
+    };
+    for seed in [3, 11, 19] {
+        let reference = canonical(seed, 1);
+        for shards in [2, 8] {
+            let got = canonical(seed, shards);
+            assert_eq!(
+                got.0.len(),
+                reference.0.len(),
+                "event count diverged (seed {seed}, shards {shards})"
+            );
+            assert_eq!(
+                got, reference,
+                "trace/alerts/snapshot diverged (seed {seed}, shards {shards})"
+            );
+        }
+    }
+}
+
+#[test]
 fn flight_recorder_honors_its_capacity() {
     let cap = 32;
     let recorder = Recorder::flight_recorder(cap);

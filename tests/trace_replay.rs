@@ -90,6 +90,58 @@ fn replayed_trace_reconstructs_live_final_stats() {
 }
 
 #[test]
+fn sharded_trace_replays_to_live_stats_at_every_shard_count() {
+    // The sharded executor emits the same per-event story the sequential
+    // one does (different interleaving, same increments), so offline
+    // replay must still reconstruct the live stats — and the replayed
+    // report must be identical for every shard count.
+    let run = |shards: usize| {
+        let mut p = params(23, Some(1));
+        p.overlay.shards = Some(shards);
+        let trust = build_trust_graph(&p).expect("trust graph");
+        let recorder = Recorder::full();
+        let prev = veil_obs::install_global(recorder.clone());
+        let sim = build_simulation(trust, &p, 0.5);
+        veil_obs::install_global(prev);
+        let mut sim = sim.expect("simulation");
+        assert!(sim.is_sharded(), "fault model must engage the executor");
+        sim.run_until(40.0);
+        let live = snapshot(&sim);
+        let report = analyze_trace(&recorder.events_jsonl()).expect("trace analyzes");
+        assert_eq!(
+            report.dropped_requests + report.dropped_responses,
+            live.dropped_requests,
+            "dropped messages diverged (shards {shards})"
+        );
+        assert_eq!(
+            report.total("sim.shuffle_failures"),
+            live.shuffle_failures,
+            "shuffle failures diverged (shards {shards})"
+        );
+        assert_eq!(
+            report.total("sim.shuffle_retries"),
+            live.shuffle_retries,
+            "shuffle retries diverged (shards {shards})"
+        );
+        assert_eq!(
+            report.final_online, live.online_nodes as u64,
+            "reconstructed online set diverged (shards {shards})"
+        );
+        assert_eq!(
+            report.total("health.alerts"),
+            sim.health_alerts().expect("monitor is on"),
+            "alert count diverged (shards {shards})"
+        );
+        assert!(live.dropped_requests > 0, "no drops occurred");
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    let reference = run(1);
+    for shards in [2, 8] {
+        assert_eq!(run(shards), reference, "report diverged at {shards} shards");
+    }
+}
+
+#[test]
 fn serial_and_parallel_traces_reconstruct_identically() {
     // The parallelism knob must not change what the trace replays to.
     let reports: Vec<String> = [Some(1), Some(4)]

@@ -7,15 +7,20 @@
 //! available offline). Generated impls target the vendored `serde` crate's
 //! `Content` tree and reproduce serde's externally tagged representation.
 //!
-//! Supported field attribute: `#[serde(rename = "...")]`. Generics are not
-//! supported (nothing in the workspace derives on generic types).
+//! Supported field attributes: `#[serde(rename = "...")]` and
+//! `#[serde(skip_serializing_if = "path")]` (the path is called as
+//! `path(&self.field)`; absent map keys already deserialize as `Null`, so
+//! `Option` fields round-trip without an explicit `default`). Generics are
+//! not supported (nothing in the workspace derives on generic types).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A parsed field: Rust name plus the serialized (possibly renamed) name.
+/// A parsed field: Rust name plus the serialized (possibly renamed) name
+/// and an optional `skip_serializing_if` predicate path.
 struct Field {
     ident: String,
     wire_name: String,
+    skip_if: Option<String>,
 }
 
 enum Fields {
@@ -135,13 +140,13 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
     }
 }
 
-/// Extracts `rename = "..."` from the token stream of a `serde(...)` group.
-fn serde_rename(group: TokenStream) -> Option<String> {
+/// Extracts `<key> = "..."` from the token stream of a `serde(...)` group.
+fn serde_string_arg(group: TokenStream, key: &str) -> Option<String> {
     let tokens: Vec<TokenTree> = group.into_iter().collect();
     let mut i = 0;
     while i < tokens.len() {
         if let TokenTree::Ident(id) = &tokens[i] {
-            if id.to_string() == "rename" {
+            if id.to_string() == key {
                 if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
                     (tokens.get(i + 1), tokens.get(i + 2))
                 {
@@ -157,9 +162,11 @@ fn serde_rename(group: TokenStream) -> Option<String> {
     None
 }
 
-/// Consumes attributes at `pos`, returning any `serde(rename)` value.
-fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+/// Consumes attributes at `pos`, returning any `serde(rename)` and
+/// `serde(skip_serializing_if)` values.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> (Option<String>, Option<String>) {
     let mut rename = None;
+    let mut skip_if = None;
     while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *pos += 1;
         if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
@@ -168,13 +175,15 @@ fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
                 (inner.first(), inner.get(1))
             {
                 if name.to_string() == "serde" {
-                    rename = rename.or_else(|| serde_rename(args.stream()));
+                    rename = rename.or_else(|| serde_string_arg(args.stream(), "rename"));
+                    skip_if = skip_if
+                        .or_else(|| serde_string_arg(args.stream(), "skip_serializing_if"));
                 }
             }
             *pos += 1;
         }
     }
-    rename
+    (rename, skip_if)
 }
 
 /// Skips a type expression: consumes tokens until a top-level `,`,
@@ -199,7 +208,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut pos = 0usize;
     while pos < tokens.len() {
-        let rename = take_attrs(&tokens, &mut pos);
+        let (rename, skip_if) = take_attrs(&tokens, &mut pos);
         skip_attrs_and_vis(&tokens, &mut pos);
         let ident = match tokens.get(pos) {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -216,6 +225,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         fields.push(Field {
             wire_name: rename.unwrap_or_else(|| ident.clone()),
             ident,
+            skip_if,
         });
     }
     Ok(fields)
@@ -289,10 +299,17 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
 fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
     let mut code = String::from("{ let mut __m = ::std::vec::Vec::new(); ");
     for f in fields {
-        code.push_str(&format!(
+        let push = format!(
             "__m.push(({:?}.to_string(), ::serde::Serialize::to_content(&{}{}))); ",
             f.wire_name, access_prefix, f.ident
-        ));
+        );
+        match &f.skip_if {
+            Some(path) => code.push_str(&format!(
+                "if !{path}(&{}{}) {{ {push} }} ",
+                access_prefix, f.ident
+            )),
+            None => code.push_str(&push),
+        }
     }
     code.push_str("::serde::Content::Map(__m) }");
     code
