@@ -66,6 +66,7 @@ fn print_sweep(title: &str, x_label: &str, points: &[DegradationPoint]) {
 }
 
 fn main() {
+    veil_bench::refuse_single_core_baseline("faults");
     let params = paper_params();
     let trust = build_trust_graph(&params).expect("trust graph");
     eprintln!(

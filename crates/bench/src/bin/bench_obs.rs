@@ -89,6 +89,7 @@ fn calibrate(alpha: f64, horizon: f64) -> usize {
 }
 
 fn main() {
+    veil_bench::refuse_single_core_baseline("obs");
     let alpha = 0.5;
     let horizon = veil_bench::scaled_horizon(300.0, 30.0);
     eprintln!(

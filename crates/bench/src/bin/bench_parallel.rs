@@ -68,6 +68,7 @@ fn with_parallelism(params: &ExperimentParams, parallelism: Option<usize>) -> Ex
 }
 
 fn main() {
+    veil_bench::refuse_single_core_baseline("parallel");
     let params = paper_params();
     let trust = build_trust_graph(&params).expect("trust graph");
     eprintln!(

@@ -56,6 +56,7 @@ fn config(shards: usize) -> OverlayConfig {
 }
 
 fn main() {
+    veil_bench::refuse_single_core_baseline("shard");
     let nodes = (FULL_NODES / veil_bench::scale()).max(500);
     let horizon = veil_bench::scaled_horizon(20.0, 10.0);
     let mut rng = derive_rng(SEED, Stream::Topology);

@@ -144,6 +144,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
 /// benchmark-specific payload under `"report"`. Keeping the envelope in
 /// one place keeps the `BENCH_*.json` files mutually comparable.
 pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) {
+    refuse_single_core_baseline(name);
     let doc = serde::Content::Map(vec![
         ("bench".to_string(), serde::Content::Str(name.to_string())),
         ("scale".to_string(), serde::Content::U64(scale() as u64)),
@@ -154,6 +155,37 @@ pub fn write_bench_json<T: Serialize>(name: &str, payload: &T) {
         ("report".to_string(), payload.to_content()),
     ]);
     write_json(&format!("BENCH_{name}"), &doc);
+}
+
+/// Whether writing a `BENCH_*.json` report is permitted on this host.
+///
+/// The committed baselines under `benchmarks/baseline/` are timing
+/// references captured on multi-core hosts; a report produced with one
+/// available core has the same shape but meaningless speedup columns, and
+/// it is far too easy to copy one over a baseline by accident. Opt in
+/// explicitly with the `--allow-single-core` flag (any `bench_*` binary)
+/// or `VEIL_ALLOW_SINGLE_CORE=1` when a single-core report is wanted.
+pub fn single_core_allowed() -> bool {
+    std::env::args().any(|a| a == "--allow-single-core")
+        || std::env::var("VEIL_ALLOW_SINGLE_CORE").is_ok_and(|v| v == "1")
+}
+
+/// Aborts (exit code 1) instead of writing a baseline-shaped benchmark
+/// report when only one core is available and the caller did not opt in —
+/// see [`single_core_allowed`]. The `bench_*` binaries call this first
+/// thing in `main` so a refused run fails before the timing loops, and
+/// [`write_bench_json`] calls it again as the last-line guarantee.
+pub fn refuse_single_core_baseline(name: &str) {
+    if veil_par::effective_parallelism(None) == 1 && !single_core_allowed() {
+        eprintln!(
+            "error: refusing to write BENCH_{name}.json: only one core is available \
+             (VEIL_PARALLELISM or the machine), so the timing columns would be \
+             meaningless next to the committed multi-core baselines.\n\
+             Re-run with --allow-single-core (or VEIL_ALLOW_SINGLE_CORE=1) to \
+             write the report anyway."
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Observability artifacts requested through the environment, written when

@@ -3,6 +3,7 @@
 pub mod attack;
 pub mod graph;
 pub mod obs;
+pub mod scenario;
 pub mod simulate;
 
 /// Convenience alias for command results.
@@ -21,3 +22,19 @@ impl std::fmt::Display for Regression {
 }
 
 impl std::error::Error for Regression {}
+
+/// Raised by `veil scenario run/campaign/validate` when a scenario fails
+/// its assertions or a library file is invalid. Carries the rendered
+/// verdict or diagnostic; `main` prints it without the usage banner and
+/// exits with code 3 so CI can gate on scenario regressions separately
+/// from usage errors (1) and obs-diff regressions (2).
+#[derive(Debug)]
+pub struct ScenarioFailure(pub String);
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioFailure {}

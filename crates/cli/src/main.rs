@@ -84,6 +84,20 @@ COMMANDS:
     obs tail         follow a growing trace, printing health alerts live
                      <FILE> [--all] [--no-follow] [--poll-ms N]
                      [--timeout-s T]
+    scenario validate  parse + validate a scenario file or directory
+                     <FILE|DIR>          exits 3 with a caret diagnostic
+                                         when any file is invalid
+    scenario list    summarize a scenario library
+                     [DIR]               default: scenarios
+    scenario run     run one scenario and grade its assertions
+                     <FILE> [--seed S] [--shards K] [--json]
+                     [--trace-out FILE]  exits 3 if any assertion fails
+    scenario campaign  sweep seeds (× shard counts) in parallel
+                     <FILE> [--seeds N]  N seeds from the scenario's seed
+                     [--seed-list A,B,C] explicit seeds instead
+                     [--shard-list 0,1,8] shard counts; 0 = sequential
+                     [--parallelism K] [--report FILE.jsonl]
+                                         exits 3 if any run fails
     help             show this message
 ";
 
@@ -101,6 +115,12 @@ fn main() -> ExitCode {
             if let Some(regression) = e.downcast_ref::<commands::Regression>() {
                 println!("{regression}");
                 return ExitCode::from(2);
+            }
+            // Likewise for scenario assertion failures and invalid
+            // scenario files: the verdict/diagnostic is the output.
+            if let Some(failure) = e.downcast_ref::<commands::ScenarioFailure>() {
+                println!("{failure}");
+                return ExitCode::from(3);
             }
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
@@ -138,6 +158,13 @@ fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "obs: expected validate, schema, analyze, diff or tail, got {other:?}"
         )
         .into()),
+        (Some("scenario"), Some("validate")) => commands::scenario::validate(&args),
+        (Some("scenario"), Some("list")) => commands::scenario::list(&args),
+        (Some("scenario"), Some("run")) => commands::scenario::run(&args),
+        (Some("scenario"), Some("campaign")) => commands::scenario::campaign(&args),
+        (Some("scenario"), other) => {
+            Err(format!("scenario: expected validate, list, run or campaign, got {other:?}").into())
+        }
         (Some("help"), _) | (None, _) => Ok(USAGE.to_string()),
         (Some(other), _) => Err(format!("unknown command {other:?}").into()),
     }

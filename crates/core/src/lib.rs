@@ -61,6 +61,7 @@ pub mod node;
 pub mod protocol;
 pub mod pseudonym;
 pub mod sampler;
+pub mod scenario;
 mod sim_exec;
 pub mod simulation;
 

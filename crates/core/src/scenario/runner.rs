@@ -1,0 +1,570 @@
+//! Scenario execution: validate → lower → simulate → assert, plus the
+//! seed/shard campaign sweeper.
+//!
+//! A run records a full observability trace, takes the final overlay
+//! snapshot, floods from the best-connected online node for coverage,
+//! optionally audits an observer attack (via an injected evaluator —
+//! `veil-core` cannot depend on `veil-privacy`, which depends on it), and
+//! grades every assertion. Everything in a [`ScenarioOutcome`] is a pure
+//! function of (scenario, seed, shards): no wall-clock, no machine
+//! identity — campaign reports are byte-identical across serial and
+//! parallel sweeps, which the conformance suite pins.
+
+use super::lower::lower;
+use super::schema::{AttackSpec, Scenario};
+use super::ScenarioError;
+use crate::dissemination::flood_current_overlay;
+use crate::experiment::{build_simulation, build_trust_graph};
+use crate::metrics::{snapshot, OverlaySnapshot};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use veil_graph::Graph;
+use veil_obs::{analyze_trace, Recorder, TraceEvent};
+
+/// Per-run overrides a campaign (or `--seed`/`--shards` on the CLI)
+/// applies on top of the scenario file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOverrides {
+    /// Replaces the scenario's master seed.
+    pub seed: Option<u64>,
+    /// Runs the sharded executor with this many shards (`None` keeps the
+    /// scenario's sequential path).
+    pub shards: Option<usize>,
+}
+
+/// What an observer-attack audit found; produced by the injected
+/// evaluator (see [`run_scenario_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AttackFindings {
+    /// Fraction of trust-graph nodes the observers know.
+    pub node_fraction: f64,
+    /// Fraction of trust-graph edges the observers know.
+    pub edge_fraction: f64,
+    /// Whether the observer set is a vertex cut of the trust graph.
+    pub is_vertex_cut: bool,
+}
+
+/// Evaluator for the `[attack]` section: given the trust graph and the
+/// attack spec, report what the observers learn. `veil-privacy` provides
+/// the canonical implementation (`veil_privacy::evaluate_attack`); the
+/// indirection exists because the dependency points the other way.
+pub type AttackEval = dyn Fn(&Graph, &AttackSpec) -> AttackFindings + Sync;
+
+/// One graded assertion.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AssertionOutcome {
+    /// Assertion key as written in the scenario file.
+    pub key: String,
+    /// `observed vs bound`, human-readable.
+    pub detail: String,
+    /// Whether the assertion held.
+    pub passed: bool,
+}
+
+/// The deterministic verdict of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run used (after overrides).
+    pub seed: u64,
+    /// Shard count the run used (`None` = sequential executor).
+    pub shards: Option<usize>,
+    /// Final overlay snapshot at the horizon.
+    pub snapshot: OverlaySnapshot,
+    /// Coverage of a final flood from the highest-trust-degree online
+    /// node (0 when nobody is online).
+    pub coverage: f64,
+    /// Trace-wide shuffle success rate.
+    pub shuffle_success_rate: f64,
+    /// Total health alerts in the trace.
+    pub alerts_total: u64,
+    /// Critical-severity health alerts.
+    pub critical_alerts: u64,
+    /// Sorted, deduplicated names of detectors that fired.
+    pub detectors: Vec<String>,
+    /// Observer-audit findings, when the scenario has an `[attack]`
+    /// section.
+    pub attack: Option<AttackFindings>,
+    /// Every assertion, graded.
+    pub checks: Vec<AssertionOutcome>,
+    /// Whether all assertions held.
+    pub passed: bool,
+}
+
+/// A completed run: the verdict plus the raw trace it was graded on.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// The graded verdict.
+    pub outcome: ScenarioOutcome,
+    /// JSONL observability trace (feed to `veil obs analyze` / `diff`).
+    pub trace_jsonl: String,
+}
+
+/// `install_global` swaps a process-wide recorder; campaigns run
+/// scenarios in parallel, so the install → build → restore window must be
+/// exclusive or concurrent runs would cross-wire their traces.
+static OBS_GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `recorder` installed as the process-global observability
+/// sink, holding the same gate scenario runs hold. Hand-built comparison
+/// runs (the conformance suite's byte-identity checks) must use this
+/// instead of calling `veil_obs::install_global` directly, or a
+/// concurrent scenario run could cross-wire traces.
+pub fn with_global_recorder<T>(recorder: &Recorder, f: impl FnOnce() -> T) -> T {
+    let _gate = OBS_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = veil_obs::install_global(recorder.clone());
+    let out = f();
+    veil_obs::install_global(prev);
+    out
+}
+
+/// Serializes the recorder's events as canonical JSONL: a trace header
+/// followed by events sorted by `(t, node, kind)` with the capture
+/// metadata (`tid`, per-thread `seq`) rewritten to `(0, position)`.
+///
+/// Raw [`Recorder::events_jsonl`] output orders events by `(t, tid,
+/// seq)`, and `tid` depends on the thread layout — the sharded executor
+/// assigns it per worker — so raw bytes differ across shard counts and
+/// even across runs at the same shard count. The canonical form is
+/// byte-identical for every shard count (the event *content* is the
+/// executor's invariant; see `sharded_traces_are_shard_count_invariant`
+/// in the obs equivalence suite) and still replays through
+/// [`analyze_trace`], which re-sorts by the rewritten `(t, tid, seq)`.
+pub fn canonical_trace_jsonl(recorder: &Recorder) -> String {
+    let mut events: Vec<(u64, Option<u32>, String, TraceEvent)> = recorder
+        .events()
+        .into_iter()
+        .map(|e| {
+            let kind = serde_json::to_string(&e.kind).expect("event kind serializes");
+            (e.t.to_bits(), e.node, kind, e)
+        })
+        .collect();
+    events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut out = veil_obs::trace_header();
+    out.push('\n');
+    for (i, (_, _, _, mut ev)) in events.into_iter().enumerate() {
+        ev.tid = 0;
+        ev.seq = i as u64;
+        out.push_str(&serde_json::to_string(&ev).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs `scenario` with the default overrides and no attack evaluator.
+///
+/// # Errors
+///
+/// See [`run_scenario_with`].
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, ScenarioError> {
+    run_scenario_with(scenario, RunOverrides::default(), None)
+}
+
+/// Validates, lowers, and runs `scenario`, then grades its assertions.
+///
+/// `attack_eval` must be supplied when the scenario has an `[attack]`
+/// section (the CLI passes `veil_privacy::evaluate_attack`).
+///
+/// # Errors
+///
+/// Validation failures, simulation construction errors, trace analysis
+/// failures, and a missing attack evaluator.
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    overrides: RunOverrides,
+    attack_eval: Option<&AttackEval>,
+) -> Result<ScenarioRun, ScenarioError> {
+    scenario.validate()?;
+    let lowered = lower(scenario)?;
+    let mut params = lowered.params;
+    if let Some(seed) = overrides.seed {
+        params.seed = seed;
+    }
+    if let Some(shards) = overrides.shards {
+        params.overlay.shards = Some(shards);
+    }
+    let trust = build_trust_graph(&params)
+        .map_err(|e| ScenarioError::new(format!("building trust graph: {e}")))?;
+
+    let recorder = Recorder::full();
+    let mut sim = with_global_recorder(&recorder, || {
+        build_simulation(trust.clone(), &params, lowered.alpha)
+    })
+    .map_err(|e| ScenarioError::new(format!("building simulation: {e}")))?;
+    sim.set_recorder(recorder.clone());
+    sim.run_until(lowered.horizon);
+
+    let snap = snapshot(&sim);
+    let online = sim.online_mask();
+    let source = (0..sim.node_count())
+        .filter(|&v| online[v])
+        .max_by_key(|&v| trust.degree(v));
+    let coverage = match source {
+        Some(source) => flood_current_overlay(&sim, source).coverage(),
+        None => 0.0,
+    };
+
+    let trace_jsonl = canonical_trace_jsonl(&recorder);
+    let report = analyze_trace(&trace_jsonl)
+        .map_err(|e| ScenarioError::new(format!("analyzing trace: {e}")))?;
+
+    let attack = match &scenario.attack {
+        Some(spec) => match attack_eval {
+            Some(eval) => Some(eval(&trust, spec)),
+            None => {
+                return Err(ScenarioError::new(
+                    "scenario has an [attack] section but no attack evaluator was supplied \
+                     (run it through the veil CLI, or pass veil_privacy::evaluate_attack)",
+                ))
+            }
+        },
+        None => None,
+    };
+
+    let alerts_total = report.alerts.len() as u64;
+    let critical_alerts = report
+        .alerts
+        .iter()
+        .filter(|a| a.severity == "critical")
+        .count() as u64;
+    let detectors: Vec<String> = report
+        .alerts
+        .iter()
+        .map(|a| a.detector.clone())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut outcome = ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        seed: params.seed,
+        shards: params.overlay.shards,
+        snapshot: snap,
+        coverage,
+        shuffle_success_rate: report.shuffle_success_rate,
+        alerts_total,
+        critical_alerts,
+        detectors,
+        attack,
+        checks: Vec::new(),
+        passed: true,
+    };
+    grade(scenario, &mut outcome);
+    Ok(ScenarioRun {
+        outcome,
+        trace_jsonl,
+    })
+}
+
+/// Grades every assertion in the scenario against the measured outcome,
+/// filling `outcome.checks` and `outcome.passed`.
+fn grade(scenario: &Scenario, outcome: &mut ScenarioOutcome) {
+    let a = &scenario.assertions;
+    let mut checks = Vec::new();
+    let mut push = |key: &str, detail: String, passed: bool| {
+        checks.push(AssertionOutcome {
+            key: key.to_string(),
+            detail,
+            passed,
+        });
+    };
+    if let Some(bound) = a.max_disconnected {
+        let v = outcome.snapshot.fraction_disconnected;
+        push(
+            "max_disconnected",
+            format!("disconnected {v:.4} vs max {bound}"),
+            v <= bound,
+        );
+    }
+    if let Some(bound) = a.min_coverage {
+        let v = outcome.coverage;
+        push(
+            "min_coverage",
+            format!("coverage {v:.4} vs min {bound}"),
+            v >= bound,
+        );
+    }
+    if let Some(bound) = a.max_alerts {
+        let v = outcome.alerts_total;
+        push(
+            "max_alerts",
+            format!("{v} alerts vs max {bound}"),
+            v <= bound,
+        );
+    }
+    if let Some(bound) = a.min_alerts {
+        let v = outcome.alerts_total;
+        push(
+            "min_alerts",
+            format!("{v} alerts vs min {bound}"),
+            v >= bound,
+        );
+    }
+    if let Some(bound) = a.max_critical_alerts {
+        let v = outcome.critical_alerts;
+        push(
+            "max_critical_alerts",
+            format!("{v} critical vs max {bound}"),
+            v <= bound,
+        );
+    }
+    if let Some(bound) = a.min_shuffle_success_rate {
+        let v = outcome.shuffle_success_rate;
+        push(
+            "min_shuffle_success_rate",
+            format!("success rate {v:.4} vs min {bound}"),
+            v >= bound,
+        );
+    }
+    if let Some(bound) = a.max_shuffle_failures {
+        let v = outcome.snapshot.shuffle_failures;
+        push(
+            "max_shuffle_failures",
+            format!("{v} failures vs max {bound}"),
+            v <= bound,
+        );
+    }
+    for name in &a.require_detectors {
+        let fired = outcome.detectors.iter().any(|d| d == name);
+        push(
+            "require_detectors",
+            format!("`{name}` {}", if fired { "fired" } else { "never fired" }),
+            fired,
+        );
+    }
+    for name in &a.forbid_detectors {
+        let fired = outcome.detectors.iter().any(|d| d == name);
+        push(
+            "forbid_detectors",
+            format!("`{name}` {}", if fired { "fired" } else { "stayed quiet" }),
+            !fired,
+        );
+    }
+    if let Some(attack) = &outcome.attack {
+        if let Some(bound) = a.max_observed_node_fraction {
+            let v = attack.node_fraction;
+            push(
+                "max_observed_node_fraction",
+                format!("observers know {v:.4} of nodes vs max {bound}"),
+                v <= bound,
+            );
+        }
+        if let Some(bound) = a.max_observed_edge_fraction {
+            let v = attack.edge_fraction;
+            push(
+                "max_observed_edge_fraction",
+                format!("observers know {v:.4} of edges vs max {bound}"),
+                v <= bound,
+            );
+        }
+        if a.forbid_vertex_cut {
+            push(
+                "forbid_vertex_cut",
+                format!(
+                    "observer set {} a vertex cut",
+                    if attack.is_vertex_cut { "IS" } else { "is not" }
+                ),
+                !attack.is_vertex_cut,
+            );
+        }
+    }
+    outcome.passed = checks.iter().all(|c| c.passed);
+    outcome.checks = checks;
+}
+
+/// What a campaign sweeps: the cartesian product of seeds and shard
+/// counts, run in parallel via `veil-par`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Seeds to run (the CLI defaults to `scenario.seed .. + N`).
+    pub seeds: Vec<u64>,
+    /// Shard counts; `None` entries run the sequential executor.
+    pub shard_counts: Vec<Option<usize>>,
+    /// Worker threads for the sweep (`None` = all available cores).
+    pub parallelism: Option<usize>,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            seeds: Vec::new(),
+            shard_counts: vec![None],
+            parallelism: None,
+        }
+    }
+}
+
+/// All verdicts of a campaign sweep, in grid order (seeds outer, shard
+/// counts inner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// One verdict per (seed, shards) grid point.
+    pub runs: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// Whether every run passed every assertion.
+    pub fn all_passed(&self) -> bool {
+        self.runs.iter().all(|r| r.passed)
+    }
+
+    /// Number of passing runs.
+    pub fn passed_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.passed).count()
+    }
+
+    /// JSONL report: one line per run (a serialized [`ScenarioOutcome`])
+    /// followed by a summary line. Deterministic — serial and parallel
+    /// sweeps emit identical bytes.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for run in &self.runs {
+            let line = serde_json::to_string(run).expect("outcome serializes");
+            let _ = writeln!(out, "{line}");
+        }
+        let summary = format!(
+            "{{\"campaign\":\"{}\",\"runs\":{},\"passed\":{},\"failed\":{},\"ok\":{}}}",
+            self.scenario,
+            self.runs.len(),
+            self.passed_count(),
+            self.runs.len() - self.passed_count(),
+            self.all_passed(),
+        );
+        let _ = writeln!(out, "{summary}");
+        out
+    }
+}
+
+/// Sweeps `scenario` over the campaign grid in parallel, preserving grid
+/// order in the report.
+///
+/// # Errors
+///
+/// An empty seed list, plus everything [`run_scenario_with`] can return
+/// (the first failing grid point wins; assertion *failures* are verdicts,
+/// not errors).
+pub fn run_campaign(
+    scenario: &Scenario,
+    spec: &CampaignSpec,
+    attack_eval: Option<&AttackEval>,
+) -> Result<CampaignReport, ScenarioError> {
+    if spec.seeds.is_empty() {
+        return Err(ScenarioError::new("campaign needs at least one seed"));
+    }
+    let shard_counts = if spec.shard_counts.is_empty() {
+        vec![None]
+    } else {
+        spec.shard_counts.clone()
+    };
+    let mut grid: Vec<RunOverrides> = Vec::new();
+    for &seed in &spec.seeds {
+        for &shards in &shard_counts {
+            grid.push(RunOverrides {
+                seed: Some(seed),
+                shards,
+            });
+        }
+    }
+    let results = veil_par::map(&grid, spec.parallelism, |&overrides| {
+        run_scenario_with(scenario, overrides, attack_eval).map(|run| run.outcome)
+    });
+    let mut runs = Vec::with_capacity(results.len());
+    for result in results {
+        runs.push(result?);
+    }
+    Ok(CampaignReport {
+        scenario: scenario.name.clone(),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::schema::Phase;
+    use super::*;
+
+    fn quick() -> Scenario {
+        Scenario {
+            name: "quick".into(),
+            nodes: 60,
+            horizon: 12.0,
+            seed: 7,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let s = quick();
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&s).unwrap();
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.trace_jsonl, b.trace_jsonl);
+    }
+
+    #[test]
+    fn assertions_grade_pass_and_fail() {
+        let mut s = quick();
+        s.assertions.min_coverage = Some(0.5);
+        s.assertions.max_disconnected = Some(1.0);
+        let run = run_scenario(&s).unwrap();
+        assert_eq!(run.outcome.checks.len(), 2);
+        assert!(run.outcome.checks.iter().any(|c| c.key == "min_coverage"));
+
+        s.assertions.min_coverage = Some(1.1);
+        // 1.1 fails range validation; bypass validate by setting an
+        // impossible-but-valid bound instead.
+        s.assertions.min_coverage = Some(1.0);
+        s.assertions.max_disconnected = Some(0.0);
+        let run = run_scenario(&s).unwrap();
+        // Not asserting failure of a specific check (outcomes depend on
+        // dynamics), only that grading fills in a verdict consistently.
+        assert_eq!(
+            run.outcome.passed,
+            run.outcome.checks.iter().all(|c| c.passed)
+        );
+    }
+
+    #[test]
+    fn attack_without_evaluator_errors() {
+        let mut s = quick();
+        s.attack = Some(AttackSpec { observers: 3 });
+        let err = run_scenario(&s).unwrap_err();
+        assert!(err.message.contains("attack evaluator"), "{}", err.message);
+    }
+
+    #[test]
+    fn campaign_serial_and_parallel_reports_match() {
+        let mut s = quick();
+        s.phases.push(Phase::Blackout {
+            start: 4.0,
+            duration: 3.0,
+            fraction: 0.3,
+            from: 0.0,
+        });
+        let spec_serial = CampaignSpec {
+            seeds: vec![7, 8],
+            shard_counts: vec![None, Some(2)],
+            parallelism: Some(1),
+        };
+        let spec_par = CampaignSpec {
+            parallelism: Some(4),
+            ..spec_serial.clone()
+        };
+        let serial = run_campaign(&s, &spec_serial, None).unwrap();
+        let parallel = run_campaign(&s, &spec_par, None).unwrap();
+        assert_eq!(serial.jsonl(), parallel.jsonl());
+        assert_eq!(serial.runs.len(), 4);
+    }
+
+    #[test]
+    fn empty_seed_list_is_an_error() {
+        let err = run_campaign(&quick(), &CampaignSpec::default(), None).unwrap_err();
+        assert!(err.message.contains("seed"), "{}", err.message);
+    }
+}

@@ -1,0 +1,1335 @@
+//! Scenario schema: the typed description a scenario file parses into,
+//! plus the canonical TOML serializer (`Scenario::to_toml`) used by
+//! round-trip tests and `veil scenario list`.
+//!
+//! Building from the spanned value tree happens here so every "unknown
+//! key" / "wrong type" diagnostic can point at the offending character.
+//! Semantic rules that involve more than one field (phase ordering,
+//! overlapping blackouts, assertion/attack consistency) live in
+//! [`super::validate`].
+
+use super::parser::{Spanned, Table, Value};
+use super::{ScenarioError, Span};
+use std::fmt::Write as _;
+
+/// Names of the health detectors a scenario may require or forbid
+/// (mirrors `crate::health`; validated at parse time so a typo cannot
+/// silently never match).
+pub const DETECTOR_NAMES: [&str; 6] = [
+    "shuffle_failure_burst",
+    "eviction_storm",
+    "pseudonym_expiry_stampede",
+    "starved_nodes",
+    "isolated_nodes",
+    "indegree_skew",
+];
+
+/// A complete declarative scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (defaults to the file stem when omitted).
+    pub name: String,
+    /// Free-text description shown by `veil scenario list`.
+    pub description: String,
+    /// Master seed (campaigns sweep seeds starting here).
+    pub seed: u64,
+    /// Trust-graph size.
+    pub nodes: usize,
+    /// Run length in shuffle periods.
+    pub horizon: f64,
+    /// Node availability `alpha` of the churn model.
+    pub availability: f64,
+    /// Mean offline time `Toff` in shuffle periods.
+    pub mean_offline: f64,
+    /// Source social graph and sampling parameters.
+    pub graph: GraphSpec,
+    /// Overlay protocol overrides.
+    pub overlay: OverlaySpec,
+    /// Link-layer fault model (ambient loss/latency; episodes come from
+    /// phases).
+    pub link: LinkSpec,
+    /// Online health monitoring.
+    pub health: HealthSpec,
+    /// Workload phases, in start order.
+    pub phases: Vec<Phase>,
+    /// Optional observer-attack audit (evaluated by `veil-privacy`).
+    pub attack: Option<AttackSpec>,
+    /// Pass/fail assertions over the run.
+    pub assertions: Assertions,
+}
+
+/// Synthetic source-graph model and invitation-sampling parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSpec {
+    /// The generator standing in for the Facebook crawl.
+    pub model: GraphModel,
+    /// Invitation-model sampling parameter `f`.
+    pub trust_f: f64,
+    /// Source graph has `source_multiplier × nodes` vertices.
+    pub source_multiplier: usize,
+}
+
+/// Scenario counterpart of `experiment::SourceModel` (the community model
+/// is intentionally not exposed: it needs far larger node counts than
+/// scenario runs use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphModel {
+    /// Holme–Kim preferential attachment with triad closure.
+    HolmeKim {
+        /// Edges added per new node.
+        attach: usize,
+        /// Triangle-closure probability.
+        triad: f64,
+    },
+    /// Holme–Kim-style attachment tuned to a fractional average degree.
+    DegreeMatched {
+        /// Target average degree of the source graph.
+        avg_degree: f64,
+        /// Triangle-closure probability.
+        triad: f64,
+    },
+}
+
+/// Overlay-protocol overrides; every field has a scenario-scale default.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlaySpec {
+    /// Pseudonym cache capacity.
+    pub cache_size: usize,
+    /// Pseudonyms exchanged per shuffle (the paper's ℓ).
+    pub shuffle_length: usize,
+    /// Target overlay links per node.
+    pub target_links: usize,
+    /// Pseudonym lifetime as a ratio of `mean_offline`; `None` = never
+    /// expires (`lifetime_ratio = "inf"` in the file).
+    pub lifetime_ratio: Option<f64>,
+    /// Shuffle exchange timeout in shuffle periods (faulty link layer).
+    pub shuffle_timeout: f64,
+    /// Retransmissions before a shuffle is abandoned.
+    pub shuffle_retries: u32,
+}
+
+/// Ambient link-layer faults. Scripted episodes are derived from phases,
+/// not declared here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Independent per-message drop probability.
+    pub loss: f64,
+    /// One-way delivery latency.
+    pub latency: LatencySpec,
+}
+
+/// Scenario counterpart of `veil_sim::fault::LatencyDist`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySpec {
+    /// Distribution family.
+    pub dist: LatencyKind,
+    /// Mean one-way latency in shuffle periods (0 = instant).
+    pub mean: f64,
+    /// Pareto shape parameter (ignored by the other families).
+    pub shape: f64,
+}
+
+/// Latency distribution family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyKind {
+    /// Every message takes exactly `mean` periods.
+    Constant,
+    /// Exponentially distributed.
+    Exponential,
+    /// Pareto (heavy tail).
+    Pareto,
+}
+
+impl LatencyKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            LatencyKind::Constant => "constant",
+            LatencyKind::Exponential => "exponential",
+            LatencyKind::Pareto => "pareto",
+        }
+    }
+}
+
+/// Online health monitoring switch and window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSpec {
+    /// Whether the rolling-window detectors run (any alert assertion
+    /// needs this).
+    pub enabled: bool,
+    /// Detector window length in shuffle periods.
+    pub window: f64,
+}
+
+/// One workload phase. All node regions are expressed as fractions of the
+/// population; `from` offsets the start of the affected region (also a
+/// fraction), defaulting to 0.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// The region `[from, from + fraction)` is offline from t = 0 and
+    /// joins simultaneously at `at` — a flash crowd.
+    FlashCrowd {
+        /// Join time.
+        at: f64,
+        /// Fraction of nodes joining.
+        fraction: f64,
+        /// Region offset.
+        from: f64,
+    },
+    /// Regional blackout: the region loses power over
+    /// `[start, start + duration)` and reconnects together.
+    Blackout {
+        /// Outage start.
+        start: f64,
+        /// Outage length.
+        duration: f64,
+        /// Fraction of nodes affected.
+        fraction: f64,
+        /// Region offset.
+        from: f64,
+    },
+    /// Network partition along node-index order: the first `fraction` of
+    /// nodes cannot exchange messages with the rest while active.
+    Partition {
+        /// Partition start.
+        start: f64,
+        /// Partition length.
+        duration: f64,
+        /// Fraction of nodes on the small side.
+        fraction: f64,
+    },
+    /// Silent crashes: the region neither initiates nor answers shuffles,
+    /// with no failure signal — only timeouts reveal it.
+    Crash {
+        /// Crash start.
+        start: f64,
+        /// Crash length.
+        duration: f64,
+        /// Fraction of nodes crashed.
+        fraction: f64,
+        /// Region offset.
+        from: f64,
+    },
+    /// Diurnal churn: the same "night side" region goes dark for
+    /// `duty × period` at the start of each of `waves` periods.
+    ChurnWaves {
+        /// First wave start.
+        start: f64,
+        /// Wave period.
+        period: f64,
+        /// Fraction of each period spent dark.
+        duty: f64,
+        /// Fraction of nodes in the night-side region.
+        fraction: f64,
+        /// Number of waves.
+        waves: usize,
+    },
+    /// Creeping loss: a crash region that grows linearly from
+    /// `max_fraction / steps` to `max_fraction` over `steps` equal
+    /// sub-intervals of `[start, end)`, then recovers.
+    CreepingLoss {
+        /// Ladder start.
+        start: f64,
+        /// Ladder end (all nodes recover here).
+        end: f64,
+        /// Number of growth steps.
+        steps: usize,
+        /// Crashed fraction during the final step.
+        max_fraction: f64,
+    },
+    /// Eclipse pressure: the victim region (first `victims` fraction of
+    /// nodes) is cut off from the honest remainder while active — the
+    /// message-omission model of an eclipse on the overlay.
+    Eclipse {
+        /// Eclipse start.
+        start: f64,
+        /// Eclipse length.
+        duration: f64,
+        /// Fraction of nodes eclipsed.
+        victims: f64,
+    },
+}
+
+impl Phase {
+    /// Stable lower-case phase name (the `kind` key in files).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Phase::FlashCrowd { .. } => "flash-crowd",
+            Phase::Blackout { .. } => "blackout",
+            Phase::Partition { .. } => "partition",
+            Phase::Crash { .. } => "crash",
+            Phase::ChurnWaves { .. } => "churn-waves",
+            Phase::CreepingLoss { .. } => "creeping-loss",
+            Phase::Eclipse { .. } => "eclipse",
+        }
+    }
+
+    /// The time the phase's first effect begins, used for ordering
+    /// validation. A flash crowd's blackout starts at t = 0, but the
+    /// phase is *about* the join at `at`, so that is its ordering key.
+    pub fn start_key(&self) -> f64 {
+        match *self {
+            Phase::FlashCrowd { at, .. } => at,
+            Phase::Blackout { start, .. }
+            | Phase::Partition { start, .. }
+            | Phase::Crash { start, .. }
+            | Phase::ChurnWaves { start, .. }
+            | Phase::CreepingLoss { start, .. }
+            | Phase::Eclipse { start, .. } => start,
+        }
+    }
+}
+
+/// Observer-attack audit: the first `observers` nodes collude.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSpec {
+    /// Number of colluding internal observers (node ids `0..observers`).
+    pub observers: usize,
+}
+
+/// Pass/fail assertions evaluated after the run. Every field is optional;
+/// an empty table asserts nothing (the run still reports its outcome).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Assertions {
+    /// Final fraction of disconnected online overlay nodes must not
+    /// exceed this.
+    pub max_disconnected: Option<f64>,
+    /// Broadcast coverage of a final flood from the highest-degree online
+    /// node must reach this.
+    pub min_coverage: Option<f64>,
+    /// Total health alerts must not exceed this.
+    pub max_alerts: Option<u64>,
+    /// Total health alerts must reach this (for scenarios that *expect*
+    /// degradation to be detected).
+    pub min_alerts: Option<u64>,
+    /// Critical-severity health alerts must not exceed this.
+    pub max_critical_alerts: Option<u64>,
+    /// Trace-wide shuffle success rate (completes / starts) must reach
+    /// this.
+    pub min_shuffle_success_rate: Option<f64>,
+    /// Cumulative abandoned shuffles must not exceed this.
+    pub max_shuffle_failures: Option<u64>,
+    /// Each named detector must fire at least once.
+    pub require_detectors: Vec<String>,
+    /// None of the named detectors may fire.
+    pub forbid_detectors: Vec<String>,
+    /// Observer knowledge: fraction of nodes known must not exceed this
+    /// (needs `[attack]`).
+    pub max_observed_node_fraction: Option<f64>,
+    /// Observer knowledge: fraction of edges known must not exceed this
+    /// (needs `[attack]`).
+    pub max_observed_edge_fraction: Option<f64>,
+    /// The observer set must not be a vertex cut of the trust graph
+    /// (needs `[attack]`).
+    pub forbid_vertex_cut: bool,
+}
+
+impl Assertions {
+    /// Whether any assertion needs health alerts (and therefore the
+    /// monitor enabled).
+    pub fn needs_health(&self) -> bool {
+        self.max_alerts.is_some()
+            || self.min_alerts.is_some()
+            || self.max_critical_alerts.is_some()
+            || !self.require_detectors.is_empty()
+            || !self.forbid_detectors.is_empty()
+    }
+
+    /// Whether any assertion needs the `[attack]` audit.
+    pub fn needs_attack(&self) -> bool {
+        self.max_observed_node_fraction.is_some()
+            || self.max_observed_edge_fraction.is_some()
+            || self.forbid_vertex_cut
+    }
+}
+
+impl Default for GraphSpec {
+    fn default() -> Self {
+        Self {
+            // The scaled-down Holme–Kim parameterization used by every
+            // smoke-scale experiment in this repo.
+            model: GraphModel::HolmeKim {
+                attach: 4,
+                triad: 0.6,
+            },
+            trust_f: 0.5,
+            source_multiplier: 5,
+        }
+    }
+}
+
+impl Default for OverlaySpec {
+    fn default() -> Self {
+        Self {
+            cache_size: 100,
+            shuffle_length: 12,
+            target_links: 16,
+            lifetime_ratio: Some(3.0),
+            shuffle_timeout: 3.0,
+            shuffle_retries: 2,
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self {
+            loss: 0.0,
+            latency: LatencySpec::default(),
+        }
+    }
+}
+
+impl Default for LatencySpec {
+    fn default() -> Self {
+        Self {
+            dist: LatencyKind::Constant,
+            mean: 0.0,
+            shape: 2.5,
+        }
+    }
+}
+
+impl Default for HealthSpec {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            window: 5.0,
+        }
+    }
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Self {
+            name: "unnamed".to_string(),
+            description: String::new(),
+            seed: 42,
+            nodes: 150,
+            horizon: 60.0,
+            availability: 0.9,
+            mean_offline: 30.0,
+            graph: GraphSpec::default(),
+            overlay: OverlaySpec::default(),
+            link: LinkSpec::default(),
+            health: HealthSpec::default(),
+            phases: Vec::new(),
+            attack: None,
+            assertions: Assertions::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Building from the spanned value tree
+// ---------------------------------------------------------------------------
+
+fn err_at(span: Span, message: String) -> ScenarioError {
+    ScenarioError::at(span, message)
+}
+
+fn as_str<'a>(v: &'a Spanned<Value>, what: &str) -> Result<&'a str, ScenarioError> {
+    match &v.value {
+        Value::Str(s) => Ok(s),
+        other => Err(err_at(
+            v.span,
+            format!("{what}: expected a string, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_f64(v: &Spanned<Value>, what: &str) -> Result<f64, ScenarioError> {
+    match v.value {
+        Value::Float(f) => Ok(f),
+        Value::Int(n) => Ok(n as f64),
+        ref other => Err(err_at(
+            v.span,
+            format!("{what}: expected a number, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_usize(v: &Spanned<Value>, what: &str) -> Result<usize, ScenarioError> {
+    match v.value {
+        Value::Int(n) if n >= 0 => Ok(n as usize),
+        Value::Int(n) => Err(err_at(
+            v.span,
+            format!("{what}: must be non-negative, got {n}"),
+        )),
+        ref other => Err(err_at(
+            v.span,
+            format!("{what}: expected an integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_u64(v: &Spanned<Value>, what: &str) -> Result<u64, ScenarioError> {
+    as_usize(v, what).map(|n| n as u64)
+}
+
+fn as_bool(v: &Spanned<Value>, what: &str) -> Result<bool, ScenarioError> {
+    match v.value {
+        Value::Bool(b) => Ok(b),
+        ref other => Err(err_at(
+            v.span,
+            format!("{what}: expected true or false, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn as_table<'a>(v: &'a Spanned<Value>, what: &str) -> Result<&'a Table, ScenarioError> {
+    match &v.value {
+        Value::Table(t) => Ok(t),
+        other => Err(err_at(
+            v.span,
+            format!("{what}: expected a table, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Rejects keys outside `allowed`, pointing at the first offender and
+/// suggesting the closest allowed key when one is plausibly a typo.
+fn check_keys(table: &Table, section: &str, allowed: &[&str]) -> Result<(), ScenarioError> {
+    for (key, _) in table.entries() {
+        if !allowed.contains(&key.value.as_str()) {
+            let mut message = format!("unknown key `{}` in {section}", key.value);
+            if let Some(suggestion) = closest(&key.value, allowed) {
+                let _ = write!(message, " (did you mean `{suggestion}`?)");
+            }
+            return Err(err_at(key.span, message));
+        }
+    }
+    Ok(())
+}
+
+/// The allowed key within edit distance 2, if any.
+fn closest<'a>(key: &str, allowed: &[&'a str]) -> Option<&'a str> {
+    allowed
+        .iter()
+        .map(|&a| (edit_distance(key, a), a))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, a)| a)
+}
+
+/// Levenshtein distance (small strings only).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Spans recorded while building, so semantic validation (which runs on
+/// the plain [`Scenario`]) can still point diagnostics at the file.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSpans {
+    /// Span of each `[[phase]]` header, parallel to `Scenario::phases`.
+    pub phases: Vec<Span>,
+    /// Span of the `[assertions]` header, when present.
+    pub assertions: Option<Span>,
+}
+
+/// Builds a [`Scenario`] from a parsed document. `default_name` seeds the
+/// scenario name when the file omits one (callers pass the file stem).
+///
+/// # Errors
+///
+/// Returns the first structural error (unknown key, wrong type, unknown
+/// phase kind or detector) with its source span.
+pub fn build_scenario(
+    doc: &Table,
+    default_name: &str,
+) -> Result<(Scenario, ScenarioSpans), ScenarioError> {
+    check_keys(
+        doc,
+        "the scenario",
+        &[
+            "name",
+            "description",
+            "seed",
+            "nodes",
+            "horizon",
+            "availability",
+            "mean_offline",
+            "graph",
+            "overlay",
+            "link",
+            "health",
+            "phase",
+            "attack",
+            "assertions",
+        ],
+    )?;
+    let mut s = Scenario {
+        name: default_name.to_string(),
+        ..Scenario::default()
+    };
+    let mut spans = ScenarioSpans::default();
+    if let Some(v) = doc.get("name") {
+        s.name = as_str(v, "name")?.to_string();
+    }
+    if let Some(v) = doc.get("description") {
+        s.description = as_str(v, "description")?.to_string();
+    }
+    if let Some(v) = doc.get("seed") {
+        s.seed = as_u64(v, "seed")?;
+    }
+    if let Some(v) = doc.get("nodes") {
+        s.nodes = as_usize(v, "nodes")?;
+    }
+    if let Some(v) = doc.get("horizon") {
+        s.horizon = as_f64(v, "horizon")?;
+    }
+    if let Some(v) = doc.get("availability") {
+        s.availability = as_f64(v, "availability")?;
+    }
+    if let Some(v) = doc.get("mean_offline") {
+        s.mean_offline = as_f64(v, "mean_offline")?;
+    }
+    if let Some(v) = doc.get("graph") {
+        s.graph = build_graph(as_table(v, "[graph]")?)?;
+    }
+    if let Some(v) = doc.get("overlay") {
+        s.overlay = build_overlay(as_table(v, "[overlay]")?)?;
+    }
+    if let Some(v) = doc.get("link") {
+        s.link = build_link(as_table(v, "[link]")?)?;
+    }
+    if let Some(v) = doc.get("health") {
+        s.health = build_health(as_table(v, "[health]")?)?;
+    }
+    if let Some(v) = doc.get("phase") {
+        let items = match &v.value {
+            Value::Array(items) => items,
+            other => {
+                return Err(err_at(
+                    v.span,
+                    format!(
+                        "phase: expected [[phase]] entries, got {}",
+                        other.type_name()
+                    ),
+                ))
+            }
+        };
+        for item in items {
+            let table = as_table(item, "[[phase]]")?;
+            s.phases.push(build_phase(table, item.span)?);
+            spans.phases.push(item.span);
+        }
+    }
+    if let Some(v) = doc.get("attack") {
+        s.attack = Some(build_attack(as_table(v, "[attack]")?)?);
+    }
+    if let Some(v) = doc.get("assertions") {
+        s.assertions = build_assertions(as_table(v, "[assertions]")?)?;
+        spans.assertions = Some(v.span);
+    }
+    Ok((s, spans))
+}
+
+fn build_graph(t: &Table) -> Result<GraphSpec, ScenarioError> {
+    check_keys(
+        t,
+        "[graph]",
+        &[
+            "model",
+            "attach",
+            "triad",
+            "avg_degree",
+            "trust_f",
+            "source_multiplier",
+        ],
+    )?;
+    let mut g = GraphSpec::default();
+    let model = match t.get("model") {
+        None => "holme-kim".to_string(),
+        Some(v) => as_str(v, "model")?.to_string(),
+    };
+    g.model = match model.as_str() {
+        "holme-kim" | "hk" => {
+            let mut attach = 4;
+            let mut triad = 0.6;
+            if let Some(v) = t.get("attach") {
+                attach = as_usize(v, "attach")?;
+            }
+            if let Some(v) = t.get("triad") {
+                triad = as_f64(v, "triad")?;
+            }
+            GraphModel::HolmeKim { attach, triad }
+        }
+        "degree-matched" | "dm" => {
+            let mut avg_degree = 8.0;
+            let mut triad = 0.6;
+            if let Some(v) = t.get("avg_degree") {
+                avg_degree = as_f64(v, "avg_degree")?;
+            }
+            if let Some(v) = t.get("triad") {
+                triad = as_f64(v, "triad")?;
+            }
+            GraphModel::DegreeMatched { avg_degree, triad }
+        }
+        other => {
+            let span = t.get("model").map(|v| v.span).unwrap_or(Span::NONE);
+            return Err(err_at(
+                span,
+                format!("model: expected \"holme-kim\" or \"degree-matched\", got \"{other}\""),
+            ));
+        }
+    };
+    if let Some(v) = t.get("trust_f") {
+        g.trust_f = as_f64(v, "trust_f")?;
+    }
+    if let Some(v) = t.get("source_multiplier") {
+        g.source_multiplier = as_usize(v, "source_multiplier")?;
+    }
+    Ok(g)
+}
+
+fn build_overlay(t: &Table) -> Result<OverlaySpec, ScenarioError> {
+    check_keys(
+        t,
+        "[overlay]",
+        &[
+            "cache_size",
+            "shuffle_length",
+            "target_links",
+            "lifetime_ratio",
+            "shuffle_timeout",
+            "shuffle_retries",
+        ],
+    )?;
+    let mut o = OverlaySpec::default();
+    if let Some(v) = t.get("cache_size") {
+        o.cache_size = as_usize(v, "cache_size")?;
+    }
+    if let Some(v) = t.get("shuffle_length") {
+        o.shuffle_length = as_usize(v, "shuffle_length")?;
+    }
+    if let Some(v) = t.get("target_links") {
+        o.target_links = as_usize(v, "target_links")?;
+    }
+    if let Some(v) = t.get("lifetime_ratio") {
+        o.lifetime_ratio = match &v.value {
+            Value::Str(s) if s == "inf" => None,
+            Value::Str(s) => {
+                return Err(err_at(
+                    v.span,
+                    format!("lifetime_ratio: expected a number or \"inf\", got \"{s}\""),
+                ))
+            }
+            _ => Some(as_f64(v, "lifetime_ratio")?),
+        };
+    }
+    if let Some(v) = t.get("shuffle_timeout") {
+        o.shuffle_timeout = as_f64(v, "shuffle_timeout")?;
+    }
+    if let Some(v) = t.get("shuffle_retries") {
+        o.shuffle_retries = as_usize(v, "shuffle_retries")? as u32;
+    }
+    Ok(o)
+}
+
+fn build_link(t: &Table) -> Result<LinkSpec, ScenarioError> {
+    check_keys(t, "[link]", &["loss", "latency"])?;
+    let mut l = LinkSpec::default();
+    if let Some(v) = t.get("loss") {
+        l.loss = as_f64(v, "loss")?;
+    }
+    if let Some(v) = t.get("latency") {
+        let latency = as_table(v, "[link.latency]")?;
+        check_keys(latency, "[link.latency]", &["dist", "mean", "shape"])?;
+        if let Some(d) = latency.get("dist") {
+            l.latency.dist = match as_str(d, "dist")? {
+                "constant" => LatencyKind::Constant,
+                "exponential" | "exp" => LatencyKind::Exponential,
+                "pareto" => LatencyKind::Pareto,
+                other => {
+                    return Err(err_at(
+                        d.span,
+                        format!(
+                            "dist: expected \"constant\", \"exponential\" or \"pareto\", \
+                             got \"{other}\""
+                        ),
+                    ))
+                }
+            };
+        }
+        if let Some(m) = latency.get("mean") {
+            l.latency.mean = as_f64(m, "mean")?;
+        }
+        if let Some(sh) = latency.get("shape") {
+            l.latency.shape = as_f64(sh, "shape")?;
+        }
+    }
+    Ok(l)
+}
+
+fn build_health(t: &Table) -> Result<HealthSpec, ScenarioError> {
+    check_keys(t, "[health]", &["enabled", "window"])?;
+    let mut h = HealthSpec::default();
+    if let Some(v) = t.get("enabled") {
+        h.enabled = as_bool(v, "enabled")?;
+    }
+    if let Some(v) = t.get("window") {
+        h.window = as_f64(v, "window")?;
+    }
+    Ok(h)
+}
+
+fn build_phase(t: &Table, span: Span) -> Result<Phase, ScenarioError> {
+    let kind = match t.get("kind") {
+        Some(v) => as_str(v, "kind")?.to_string(),
+        None => return Err(err_at(span, "phase is missing its `kind`".to_string())),
+    };
+    let kind_span = t.key_span("kind").unwrap_or(span);
+    let f = |key: &str, default: f64| -> Result<f64, ScenarioError> {
+        match t.get(key) {
+            Some(v) => as_f64(v, key),
+            None => Ok(default),
+        }
+    };
+    let required = |key: &'static str| -> Result<f64, ScenarioError> {
+        match t.get(key) {
+            Some(v) => as_f64(v, key),
+            None => Err(err_at(span, format!("{kind} phase is missing `{key}`"))),
+        }
+    };
+    let phase = match kind.as_str() {
+        "flash-crowd" => {
+            check_keys(
+                t,
+                "[[phase]] flash-crowd",
+                &["kind", "at", "fraction", "from"],
+            )?;
+            Phase::FlashCrowd {
+                at: required("at")?,
+                fraction: required("fraction")?,
+                from: f("from", 0.0)?,
+            }
+        }
+        "blackout" => {
+            check_keys(
+                t,
+                "[[phase]] blackout",
+                &["kind", "start", "duration", "fraction", "from"],
+            )?;
+            Phase::Blackout {
+                start: required("start")?,
+                duration: required("duration")?,
+                fraction: required("fraction")?,
+                from: f("from", 0.0)?,
+            }
+        }
+        "partition" => {
+            check_keys(
+                t,
+                "[[phase]] partition",
+                &["kind", "start", "duration", "fraction"],
+            )?;
+            Phase::Partition {
+                start: required("start")?,
+                duration: required("duration")?,
+                fraction: required("fraction")?,
+            }
+        }
+        "crash" => {
+            check_keys(
+                t,
+                "[[phase]] crash",
+                &["kind", "start", "duration", "fraction", "from"],
+            )?;
+            Phase::Crash {
+                start: required("start")?,
+                duration: required("duration")?,
+                fraction: required("fraction")?,
+                from: f("from", 0.0)?,
+            }
+        }
+        "churn-waves" => {
+            check_keys(
+                t,
+                "[[phase]] churn-waves",
+                &["kind", "start", "period", "duty", "fraction", "waves"],
+            )?;
+            let waves = match t.get("waves") {
+                Some(v) => as_usize(v, "waves")?,
+                None => return Err(err_at(span, "churn-waves phase is missing `waves`".into())),
+            };
+            Phase::ChurnWaves {
+                start: required("start")?,
+                period: required("period")?,
+                duty: f("duty", 0.5)?,
+                fraction: required("fraction")?,
+                waves,
+            }
+        }
+        "creeping-loss" => {
+            check_keys(
+                t,
+                "[[phase]] creeping-loss",
+                &["kind", "start", "end", "steps", "max_fraction"],
+            )?;
+            let steps = match t.get("steps") {
+                Some(v) => as_usize(v, "steps")?,
+                None => 4,
+            };
+            Phase::CreepingLoss {
+                start: required("start")?,
+                end: required("end")?,
+                steps,
+                max_fraction: required("max_fraction")?,
+            }
+        }
+        "eclipse" => {
+            check_keys(
+                t,
+                "[[phase]] eclipse",
+                &["kind", "start", "duration", "victims"],
+            )?;
+            Phase::Eclipse {
+                start: required("start")?,
+                duration: required("duration")?,
+                victims: required("victims")?,
+            }
+        }
+        other => {
+            let mut message = format!("unknown phase kind \"{other}\"");
+            let kinds = [
+                "flash-crowd",
+                "blackout",
+                "partition",
+                "crash",
+                "churn-waves",
+                "creeping-loss",
+                "eclipse",
+            ];
+            if let Some(suggestion) = closest(other, &kinds) {
+                let _ = write!(message, " (did you mean \"{suggestion}\"?)");
+            }
+            return Err(err_at(kind_span, message));
+        }
+    };
+    Ok(phase)
+}
+
+fn build_attack(t: &Table) -> Result<AttackSpec, ScenarioError> {
+    check_keys(t, "[attack]", &["observers"])?;
+    let observers = match t.get("observers") {
+        Some(v) => as_usize(v, "observers")?,
+        None => 1,
+    };
+    Ok(AttackSpec { observers })
+}
+
+fn build_assertions(t: &Table) -> Result<Assertions, ScenarioError> {
+    check_keys(
+        t,
+        "[assertions]",
+        &[
+            "max_disconnected",
+            "min_coverage",
+            "max_alerts",
+            "min_alerts",
+            "max_critical_alerts",
+            "min_shuffle_success_rate",
+            "max_shuffle_failures",
+            "require_detectors",
+            "forbid_detectors",
+            "max_observed_node_fraction",
+            "max_observed_edge_fraction",
+            "forbid_vertex_cut",
+        ],
+    )?;
+    let mut a = Assertions::default();
+    if let Some(v) = t.get("max_disconnected") {
+        a.max_disconnected = Some(as_f64(v, "max_disconnected")?);
+    }
+    if let Some(v) = t.get("min_coverage") {
+        a.min_coverage = Some(as_f64(v, "min_coverage")?);
+    }
+    if let Some(v) = t.get("max_alerts") {
+        a.max_alerts = Some(as_u64(v, "max_alerts")?);
+    }
+    if let Some(v) = t.get("min_alerts") {
+        a.min_alerts = Some(as_u64(v, "min_alerts")?);
+    }
+    if let Some(v) = t.get("max_critical_alerts") {
+        a.max_critical_alerts = Some(as_u64(v, "max_critical_alerts")?);
+    }
+    if let Some(v) = t.get("min_shuffle_success_rate") {
+        a.min_shuffle_success_rate = Some(as_f64(v, "min_shuffle_success_rate")?);
+    }
+    if let Some(v) = t.get("max_shuffle_failures") {
+        a.max_shuffle_failures = Some(as_u64(v, "max_shuffle_failures")?);
+    }
+    for (key, target) in [
+        ("require_detectors", &mut a.require_detectors),
+        ("forbid_detectors", &mut a.forbid_detectors),
+    ] {
+        if let Some(v) = t.get(key) {
+            let items = match &v.value {
+                Value::Array(items) => items,
+                other => {
+                    return Err(err_at(
+                        v.span,
+                        format!(
+                            "{key}: expected an array of detector names, got {}",
+                            other.type_name()
+                        ),
+                    ))
+                }
+            };
+            for item in items {
+                let name = as_str(item, key)?;
+                if !DETECTOR_NAMES.contains(&name) {
+                    let mut message = format!("unknown detector `{name}`");
+                    if let Some(suggestion) = closest(name, &DETECTOR_NAMES) {
+                        let _ = write!(message, " (did you mean `{suggestion}`?)");
+                    }
+                    return Err(err_at(item.span, message));
+                }
+                target.push(name.to_string());
+            }
+        }
+    }
+    if let Some(v) = t.get("max_observed_node_fraction") {
+        a.max_observed_node_fraction = Some(as_f64(v, "max_observed_node_fraction")?);
+    }
+    if let Some(v) = t.get("max_observed_edge_fraction") {
+        a.max_observed_edge_fraction = Some(as_f64(v, "max_observed_edge_fraction")?);
+    }
+    if let Some(v) = t.get("forbid_vertex_cut") {
+        a.forbid_vertex_cut = as_bool(v, "forbid_vertex_cut")?;
+    }
+    Ok(a)
+}
+
+// ---------------------------------------------------------------------------
+// Canonical TOML serialization
+// ---------------------------------------------------------------------------
+
+/// Formats a float so it round-trips through the parser as a float
+/// (`10.0`, not `10`), using Rust's shortest-representation `{:?}`.
+fn toml_f64(x: f64) -> String {
+    if x.is_infinite() {
+        if x > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        }
+    } else {
+        format!("{x:?}")
+    }
+}
+
+fn toml_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Scenario {
+    /// Serializes the scenario as canonical TOML: every field is written
+    /// explicitly (defaults included), so `parse(to_toml(s)) == s` holds
+    /// for any scenario — the round-trip property the conformance and
+    /// property tests pin.
+    pub fn to_toml(&self) -> String {
+        let mut o = String::new();
+        let _ = writeln!(o, "name = {}", toml_str(&self.name));
+        let _ = writeln!(o, "description = {}", toml_str(&self.description));
+        let _ = writeln!(o, "seed = {}", self.seed);
+        let _ = writeln!(o, "nodes = {}", self.nodes);
+        let _ = writeln!(o, "horizon = {}", toml_f64(self.horizon));
+        let _ = writeln!(o, "availability = {}", toml_f64(self.availability));
+        let _ = writeln!(o, "mean_offline = {}", toml_f64(self.mean_offline));
+
+        let _ = writeln!(o, "\n[graph]");
+        match self.graph.model {
+            GraphModel::HolmeKim { attach, triad } => {
+                let _ = writeln!(o, "model = \"holme-kim\"");
+                let _ = writeln!(o, "attach = {attach}");
+                let _ = writeln!(o, "triad = {}", toml_f64(triad));
+            }
+            GraphModel::DegreeMatched { avg_degree, triad } => {
+                let _ = writeln!(o, "model = \"degree-matched\"");
+                let _ = writeln!(o, "avg_degree = {}", toml_f64(avg_degree));
+                let _ = writeln!(o, "triad = {}", toml_f64(triad));
+            }
+        }
+        let _ = writeln!(o, "trust_f = {}", toml_f64(self.graph.trust_f));
+        let _ = writeln!(o, "source_multiplier = {}", self.graph.source_multiplier);
+
+        let _ = writeln!(o, "\n[overlay]");
+        let _ = writeln!(o, "cache_size = {}", self.overlay.cache_size);
+        let _ = writeln!(o, "shuffle_length = {}", self.overlay.shuffle_length);
+        let _ = writeln!(o, "target_links = {}", self.overlay.target_links);
+        match self.overlay.lifetime_ratio {
+            Some(r) => {
+                let _ = writeln!(o, "lifetime_ratio = {}", toml_f64(r));
+            }
+            None => {
+                let _ = writeln!(o, "lifetime_ratio = \"inf\"");
+            }
+        }
+        let _ = writeln!(
+            o,
+            "shuffle_timeout = {}",
+            toml_f64(self.overlay.shuffle_timeout)
+        );
+        let _ = writeln!(o, "shuffle_retries = {}", self.overlay.shuffle_retries);
+
+        let _ = writeln!(o, "\n[link]");
+        let _ = writeln!(o, "loss = {}", toml_f64(self.link.loss));
+        let _ = writeln!(o, "\n[link.latency]");
+        let _ = writeln!(o, "dist = \"{}\"", self.link.latency.dist.as_str());
+        let _ = writeln!(o, "mean = {}", toml_f64(self.link.latency.mean));
+        let _ = writeln!(o, "shape = {}", toml_f64(self.link.latency.shape));
+
+        let _ = writeln!(o, "\n[health]");
+        let _ = writeln!(o, "enabled = {}", self.health.enabled);
+        let _ = writeln!(o, "window = {}", toml_f64(self.health.window));
+
+        for phase in &self.phases {
+            let _ = writeln!(o, "\n[[phase]]");
+            let _ = writeln!(o, "kind = \"{}\"", phase.kind_str());
+            match *phase {
+                Phase::FlashCrowd { at, fraction, from } => {
+                    let _ = writeln!(o, "at = {}", toml_f64(at));
+                    let _ = writeln!(o, "fraction = {}", toml_f64(fraction));
+                    let _ = writeln!(o, "from = {}", toml_f64(from));
+                }
+                Phase::Blackout {
+                    start,
+                    duration,
+                    fraction,
+                    from,
+                } => {
+                    let _ = writeln!(o, "start = {}", toml_f64(start));
+                    let _ = writeln!(o, "duration = {}", toml_f64(duration));
+                    let _ = writeln!(o, "fraction = {}", toml_f64(fraction));
+                    let _ = writeln!(o, "from = {}", toml_f64(from));
+                }
+                Phase::Partition {
+                    start,
+                    duration,
+                    fraction,
+                } => {
+                    let _ = writeln!(o, "start = {}", toml_f64(start));
+                    let _ = writeln!(o, "duration = {}", toml_f64(duration));
+                    let _ = writeln!(o, "fraction = {}", toml_f64(fraction));
+                }
+                Phase::Crash {
+                    start,
+                    duration,
+                    fraction,
+                    from,
+                } => {
+                    let _ = writeln!(o, "start = {}", toml_f64(start));
+                    let _ = writeln!(o, "duration = {}", toml_f64(duration));
+                    let _ = writeln!(o, "fraction = {}", toml_f64(fraction));
+                    let _ = writeln!(o, "from = {}", toml_f64(from));
+                }
+                Phase::ChurnWaves {
+                    start,
+                    period,
+                    duty,
+                    fraction,
+                    waves,
+                } => {
+                    let _ = writeln!(o, "start = {}", toml_f64(start));
+                    let _ = writeln!(o, "period = {}", toml_f64(period));
+                    let _ = writeln!(o, "duty = {}", toml_f64(duty));
+                    let _ = writeln!(o, "fraction = {}", toml_f64(fraction));
+                    let _ = writeln!(o, "waves = {waves}");
+                }
+                Phase::CreepingLoss {
+                    start,
+                    end,
+                    steps,
+                    max_fraction,
+                } => {
+                    let _ = writeln!(o, "start = {}", toml_f64(start));
+                    let _ = writeln!(o, "end = {}", toml_f64(end));
+                    let _ = writeln!(o, "steps = {steps}");
+                    let _ = writeln!(o, "max_fraction = {}", toml_f64(max_fraction));
+                }
+                Phase::Eclipse {
+                    start,
+                    duration,
+                    victims,
+                } => {
+                    let _ = writeln!(o, "start = {}", toml_f64(start));
+                    let _ = writeln!(o, "duration = {}", toml_f64(duration));
+                    let _ = writeln!(o, "victims = {}", toml_f64(victims));
+                }
+            }
+        }
+
+        if let Some(attack) = &self.attack {
+            let _ = writeln!(o, "\n[attack]");
+            let _ = writeln!(o, "observers = {}", attack.observers);
+        }
+
+        let _ = writeln!(o, "\n[assertions]");
+        let a = &self.assertions;
+        if let Some(v) = a.max_disconnected {
+            let _ = writeln!(o, "max_disconnected = {}", toml_f64(v));
+        }
+        if let Some(v) = a.min_coverage {
+            let _ = writeln!(o, "min_coverage = {}", toml_f64(v));
+        }
+        if let Some(v) = a.max_alerts {
+            let _ = writeln!(o, "max_alerts = {v}");
+        }
+        if let Some(v) = a.min_alerts {
+            let _ = writeln!(o, "min_alerts = {v}");
+        }
+        if let Some(v) = a.max_critical_alerts {
+            let _ = writeln!(o, "max_critical_alerts = {v}");
+        }
+        if let Some(v) = a.min_shuffle_success_rate {
+            let _ = writeln!(o, "min_shuffle_success_rate = {}", toml_f64(v));
+        }
+        if let Some(v) = a.max_shuffle_failures {
+            let _ = writeln!(o, "max_shuffle_failures = {v}");
+        }
+        let list = |names: &[String]| {
+            names
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if !a.require_detectors.is_empty() {
+            let _ = writeln!(o, "require_detectors = [{}]", list(&a.require_detectors));
+        }
+        if !a.forbid_detectors.is_empty() {
+            let _ = writeln!(o, "forbid_detectors = [{}]", list(&a.forbid_detectors));
+        }
+        if let Some(v) = a.max_observed_node_fraction {
+            let _ = writeln!(o, "max_observed_node_fraction = {}", toml_f64(v));
+        }
+        if let Some(v) = a.max_observed_edge_fraction {
+            let _ = writeln!(o, "max_observed_edge_fraction = {}", toml_f64(v));
+        }
+        if a.forbid_vertex_cut {
+            let _ = writeln!(o, "forbid_vertex_cut = true");
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse_document;
+    use super::*;
+
+    #[test]
+    fn defaults_fill_an_empty_document() {
+        let doc = parse_document("").unwrap();
+        let (s, _) = build_scenario(&doc, "empty").unwrap();
+        assert_eq!(s.name, "empty");
+        assert_eq!(s.nodes, 150);
+        assert_eq!(s.overlay.lifetime_ratio, Some(3.0));
+        assert!(s.phases.is_empty());
+        assert!(s.attack.is_none());
+    }
+
+    #[test]
+    fn unknown_key_suggests_closest() {
+        let doc = parse_document("[assertions]\nmax_critical_alert = 3\n").unwrap();
+        let err = build_scenario(&doc, "x").unwrap_err();
+        assert!(
+            err.message.contains("did you mean `max_critical_alerts`"),
+            "{}",
+            err.message
+        );
+        assert_eq!(err.span.unwrap().line, 2);
+    }
+
+    #[test]
+    fn unknown_detector_rejected() {
+        let doc =
+            parse_document("[assertions]\nrequire_detectors = [\"eviction_storms\"]\n").unwrap();
+        let err = build_scenario(&doc, "x").unwrap_err();
+        assert!(err.message.contains("unknown detector"), "{}", err.message);
+        assert!(err.message.contains("eviction_storm"), "{}", err.message);
+    }
+
+    #[test]
+    fn lifetime_ratio_inf() {
+        let doc = parse_document("[overlay]\nlifetime_ratio = \"inf\"\n").unwrap();
+        let (s, _) = build_scenario(&doc, "x").unwrap();
+        assert_eq!(s.overlay.lifetime_ratio, None);
+    }
+
+    #[test]
+    fn integers_coerce_to_floats() {
+        let doc = parse_document("horizon = 80\navailability = 1\n").unwrap();
+        let (s, _) = build_scenario(&doc, "x").unwrap();
+        assert_eq!(s.horizon, 80.0);
+        assert_eq!(s.availability, 1.0);
+    }
+
+    #[test]
+    fn to_toml_round_trips_defaults_and_phases() {
+        let mut s = Scenario {
+            name: "demo".into(),
+            description: "a \"quoted\" description".into(),
+            ..Scenario::default()
+        };
+        s.phases.push(Phase::Blackout {
+            start: 40.0,
+            duration: 15.0,
+            fraction: 0.5,
+            from: 0.0,
+        });
+        s.phases.push(Phase::ChurnWaves {
+            start: 10.0,
+            period: 20.0,
+            duty: 0.35,
+            fraction: 0.3,
+            waves: 3,
+        });
+        s.attack = Some(AttackSpec { observers: 8 });
+        s.assertions.min_coverage = Some(0.9);
+        s.assertions.require_detectors = vec!["eviction_storm".into()];
+        s.assertions.forbid_vertex_cut = true;
+        s.overlay.lifetime_ratio = None;
+        let text = s.to_toml();
+        let doc = parse_document(&text).unwrap();
+        let (back, _) = build_scenario(&doc, "demo").unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "ab"), 2);
+        assert_eq!(
+            closest("evictoin_storm", &DETECTOR_NAMES),
+            Some("eviction_storm")
+        );
+        assert_eq!(closest("zzz", &DETECTOR_NAMES), None);
+    }
+}

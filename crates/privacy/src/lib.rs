@@ -36,3 +36,21 @@ pub mod vertex_cut;
 
 pub use knowledge::{KnowledgeReport, ObserverSet};
 pub use timing_attack::{InjectionAttack, InjectionOutcome};
+
+/// The canonical scenario attack evaluator: audits what the first
+/// `spec.observers` nodes learn about `trust` by colluding, in the shape
+/// `veil-core`'s scenario runner expects. Pass it to
+/// [`veil_core::scenario::run_scenario_with`] (the dependency points from
+/// here to `veil-core`, so core takes this as a callback).
+pub fn evaluate_attack(
+    trust: &veil_graph::Graph,
+    spec: &veil_core::scenario::AttackSpec,
+) -> veil_core::scenario::AttackFindings {
+    let observers = ObserverSet::new(0..spec.observers);
+    let report = knowledge::audit(trust, &observers);
+    veil_core::scenario::AttackFindings {
+        node_fraction: report.node_fraction,
+        edge_fraction: report.edge_fraction,
+        is_vertex_cut: report.is_vertex_cut,
+    }
+}

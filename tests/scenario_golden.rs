@@ -1,0 +1,146 @@
+//! Golden-file tests for scenario parser/validator diagnostics.
+//!
+//! Each `tests/golden/scenario/<case>.toml` is a deliberately broken
+//! scenario; `<case>.err` holds the exact rendered diagnostic (message,
+//! `--> file:line:col` arrow, source line, caret). A diagnostic change —
+//! wording, position, or caret placement — fails these tests, so error
+//! quality cannot silently regress.
+//!
+//! To bless new output after an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p veil-bench --test scenario_golden
+//! ```
+
+use std::path::{Path, PathBuf};
+use veil_core::scenario::{parse_scenario_str, render_error, validate, Format};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/scenario")
+}
+
+/// The full diagnostic pipeline a CLI user sees: parse, then (if that
+/// succeeded) semantic validation, rendered against the source.
+fn diagnose(text: &str, label: &str) -> Option<String> {
+    let err = match parse_scenario_str(text, Format::Toml, "case") {
+        Err(e) => e,
+        Ok((s, spans)) => match veil_core::scenario::validate::validate_with_spans(&s, &spans) {
+            Err(e) => e,
+            Ok(()) => return None,
+        },
+    };
+    Some(render_error(&err, label, text))
+}
+
+fn check_case(name: &str) {
+    let toml_path = golden_dir().join(format!("{name}.toml"));
+    let err_path = golden_dir().join(format!("{name}.err"));
+    let text = std::fs::read_to_string(&toml_path)
+        .unwrap_or_else(|e| panic!("{}: {e}", toml_path.display()));
+    let label = format!("tests/golden/scenario/{name}.toml");
+    let actual = diagnose(&text, &label)
+        .unwrap_or_else(|| panic!("{name}: expected a diagnostic, but the scenario was accepted"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&err_path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&err_path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\n(run with UPDATE_GOLDEN=1 to create it; actual diagnostic:\n{actual})",
+            err_path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name}: diagnostic drifted from golden file \
+         (UPDATE_GOLDEN=1 re-blesses after intentional changes)"
+    );
+}
+
+#[test]
+fn golden_syntax_error() {
+    check_case("syntax");
+}
+
+#[test]
+fn golden_unknown_key_with_suggestion() {
+    check_case("unknown_assertion");
+}
+
+#[test]
+fn golden_unknown_detector() {
+    check_case("unknown_detector");
+}
+
+#[test]
+fn golden_wrong_type() {
+    check_case("bad_value");
+}
+
+#[test]
+fn golden_bad_phase_order() {
+    check_case("bad_phase_order");
+}
+
+#[test]
+fn golden_overlapping_blackouts() {
+    check_case("overlapping_blackouts");
+}
+
+#[test]
+fn golden_unknown_phase_kind() {
+    check_case("unknown_phase_kind");
+}
+
+#[test]
+fn golden_attack_assertion_without_attack() {
+    check_case("attack_without_section");
+}
+
+#[test]
+fn every_golden_toml_has_a_test() {
+    // Guards against fixtures silently going stale: every .toml in the
+    // golden directory must be exercised by one of the cases above.
+    let covered = [
+        "syntax",
+        "unknown_assertion",
+        "unknown_detector",
+        "bad_value",
+        "bad_phase_order",
+        "overlapping_blackouts",
+        "unknown_phase_kind",
+        "attack_without_section",
+    ];
+    for entry in std::fs::read_dir(golden_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|x| x.to_str()) != Some("toml") {
+            continue;
+        }
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        assert!(
+            covered.contains(&stem.as_str()),
+            "golden fixture {stem}.toml has no matching test case"
+        );
+    }
+}
+
+#[test]
+fn committed_library_produces_no_diagnostics() {
+    // The inverse guard: the real library must stay clean under the same
+    // pipeline the golden cases exercise.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|x| x.to_str()) != Some("toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let label = path.display().to_string();
+        if let Some(diag) = diagnose(&text, &label) {
+            panic!("{label} should be clean but produced:\n{diag}");
+        }
+        // Belt and braces: the spanless validate agrees.
+        let (s, _) = parse_scenario_str(&text, Format::Toml, "x").unwrap();
+        validate(&s).unwrap();
+    }
+}
