@@ -123,8 +123,12 @@ fn count_assertions(s: &Scenario) -> usize {
         a.forbid_vertex_cut,
         a.max_observed_node_fraction.is_some(),
         a.max_observed_edge_fraction.is_some(),
+        a.recovery_time_at_most.is_some(),
     ];
-    opts.iter().filter(|&&b| b).count() + a.require_detectors.len() + a.forbid_detectors.len()
+    opts.iter().filter(|&&b| b).count()
+        + a.require_detectors.len()
+        + a.forbid_detectors.len()
+        + a.reaction_fired.len()
 }
 
 fn render_outcome(outcome: &ScenarioOutcome) -> String {
@@ -159,6 +163,30 @@ fn render_outcome(outcome: &ScenarioOutcome) -> String {
             format!(" [{}]", outcome.detectors.join(", "))
         },
     );
+    if !outcome.reaction_counts.is_empty() {
+        let total: u64 = outcome.reaction_counts.values().sum();
+        let kinds: Vec<String> = outcome
+            .reaction_counts
+            .iter()
+            .map(|(k, v)| format!("{v} {k}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  healing: {} reaction(s) ({})",
+            total,
+            kinds.join(", ")
+        );
+    }
+    if let Some(measured) = outcome.recovery_time {
+        match measured {
+            Some(t) => {
+                let _ = writeln!(out, "  recovery: {t} period(s) after the outage");
+            }
+            None => {
+                let _ = writeln!(out, "  recovery: never, within the horizon");
+            }
+        }
+    }
     if let Some(attack) = &outcome.attack {
         let _ = writeln!(
             out,

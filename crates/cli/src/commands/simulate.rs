@@ -104,6 +104,10 @@ pub fn run(args: &Args) -> CmdResult {
         "chrome-trace",
         "flight-recorder",
         "health",
+        "self-heal",
+        "heal-backoff",
+        "heal-rebootstrap",
+        "heal-throttle",
     ])?;
     let nodes: usize = args.require("nodes", "integer")?;
     let alpha: f64 = args.get_or("alpha", 0.5, "float in (0,1]")?;
@@ -174,6 +178,29 @@ pub fn run(args: &Args) -> CmdResult {
         }
     };
 
+    // Self-healing: `--self-heal` switches every reaction on; each
+    // `--heal-*` flag enables just that reaction. Any of them implies the
+    // engine's master switch and health monitoring (there is nothing to
+    // react to without the detectors). With none given the remediation
+    // config stays at its default and the run is byte-identical to a build
+    // without the engine.
+    let self_heal = args.has("self-heal");
+    let heal_backoff = args.has("heal-backoff");
+    let heal_rebootstrap = args.has("heal-rebootstrap");
+    let heal_throttle = args.has("heal-throttle");
+    let any_heal = self_heal || heal_backoff || heal_rebootstrap || heal_throttle;
+    let remedy = if any_heal {
+        veil_core::config::RemedyConfig {
+            enabled: true,
+            backoff_on_eviction_storm: self_heal || heal_backoff,
+            rebootstrap_starved: self_heal || heal_rebootstrap,
+            throttle_indegree_skew: self_heal || heal_throttle,
+            ..veil_core::config::RemedyConfig::default()
+        }
+    } else {
+        veil_core::config::RemedyConfig::default()
+    };
+
     let params = ExperimentParams {
         nodes,
         seed,
@@ -188,9 +215,10 @@ pub fn run(args: &Args) -> CmdResult {
             shuffle_timeout,
             shuffle_retry_budget,
             health: veil_core::config::HealthConfig {
-                enabled: args.has("health"),
+                enabled: args.has("health") || any_heal,
                 ..veil_core::config::HealthConfig::default()
             },
+            remedy,
             ..veil_core::config::OverlayConfig::default()
         },
         ..ExperimentParams::default()
@@ -214,7 +242,8 @@ pub fn run(args: &Args) -> CmdResult {
         || metrics_out.is_some()
         || chrome_trace.is_some()
         || flight_recorder.is_some()
-        || args.has("health");
+        || args.has("health")
+        || any_heal;
     let recorder = match flight_recorder {
         _ if !obs_enabled => veil_obs::Recorder::disabled(),
         Some(capacity) => veil_obs::Recorder::flight_recorder(capacity),
@@ -261,6 +290,16 @@ pub fn run(args: &Args) -> CmdResult {
         sim.publish_metrics();
         if let Some(alerts) = sim.health_alerts() {
             writeln!(obs_note, "health monitor: {alerts} alert(s) emitted")?;
+        }
+        if let Some(counts) = sim.remedy_counts() {
+            writeln!(
+                obs_note,
+                "self-healing: {} reaction(s) ({} backoff, {} rebootstrap, {} throttle)",
+                counts.total(),
+                counts.backoffs,
+                counts.rebootstraps,
+                counts.throttles
+            )?;
         }
         if let Some(path) = &trace_out {
             std::fs::write(path, recorder.events_jsonl())

@@ -66,6 +66,13 @@ COMMANDS:
                                          trace_event JSON (chrome://tracing)
                      [--flight-recorder N] keep only the last N events per
                                          recording thread (flight recorder)
+                     [--self-heal]       enable the remediation engine with
+                                         every reaction (implies --health);
+                                         off is byte-identical to a build
+                                         without the engine
+                     [--heal-backoff] [--heal-rebootstrap] [--heal-throttle]
+                                         enable a single reaction instead
+                                         (each implies --health)
     attack           run the Section III-E threat models
                      --nodes N [--seed S]
                      [--health]          enable the online overlay health
@@ -486,6 +493,43 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("health monitor:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_self_heal_reports_reactions() {
+        let out = run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--self-heal",
+        ])
+        .unwrap();
+        assert!(out.contains("health monitor:"), "{out}");
+        assert!(out.contains("self-healing:"), "{out}");
+        // A single-reaction flag implies both the engine and the monitor.
+        let out = run_line(&[
+            "simulate",
+            "--nodes",
+            "60",
+            "--alpha",
+            "0.6",
+            "--horizon",
+            "30",
+            "--seed",
+            "5",
+            "--heal-rebootstrap",
+        ])
+        .unwrap();
+        assert!(out.contains("health monitor:"), "{out}");
+        assert!(out.contains("self-healing:"), "{out}");
+        assert!(out.contains("0 backoff"), "{out}");
+        assert!(out.contains("0 throttle"), "{out}");
     }
 
     #[test]

@@ -176,8 +176,122 @@ pub struct OverlayConfig {
     /// the observability event stream (see [`crate::health`]). Disabled by
     /// default; the monitor only ever *reads* events and emits
     /// `HealthAlert` trace events and `health.*` gauges, so enabling it
-    /// cannot perturb the simulation.
+    /// cannot perturb the simulation (unless [`OverlayConfig::remedy`]
+    /// explicitly closes the loop).
     pub health: HealthConfig,
+    /// Self-healing remediation: gated reactions to health alerts (see
+    /// [`crate::remedy`]). Disabled by default, and skipped during
+    /// serialization while at its default so existing experiment artifacts
+    /// keep their exact bytes.
+    #[serde(default, skip_serializing_if = "RemedyConfig::is_default")]
+    pub remedy: RemedyConfig,
+}
+
+/// Gated reactions of the self-healing remediation engine
+/// ([`crate::remedy::RemedyEngine`]), consuming the window alerts the
+/// health monitor raises and feeding deterministic corrective actions back
+/// into the overlay.
+///
+/// Every reaction sits behind its own flag *and* the master [`enabled`]
+/// switch; with the engine off the simulation is byte-identical to a build
+/// without it. Remediation requires health monitoring
+/// ([`HealthConfig::enabled`]) — there is nothing to react to otherwise.
+///
+/// [`enabled`]: RemedyConfig::enabled
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct RemedyConfig {
+    /// Master switch for the remediation engine. `false` (the default)
+    /// guarantees byte-identical output to a monitoring-only run.
+    pub enabled: bool,
+    /// React to `eviction_storm` alerts by suppressing shuffle initiation
+    /// for [`RemedyConfig::backoff_shuffles`] periods on every online node,
+    /// letting in-flight exchanges drain instead of compounding the storm.
+    pub backoff_on_eviction_storm: bool,
+    /// React to `starved_nodes` / `isolated_nodes` alerts by re-seeding the
+    /// implicated node's sampler with fresh pseudonyms from its online
+    /// trusted neighbors (a targeted re-bootstrap along trust edges).
+    pub rebootstrap_starved: bool,
+    /// React to `indegree_skew` alerts by withholding the over-represented
+    /// node's own pseudonym from its shuffle offers for
+    /// [`RemedyConfig::throttle_periods`], throttling further in-degree
+    /// growth at the hub.
+    pub throttle_indegree_skew: bool,
+    /// How many of its own shuffle initiations a node skips after an
+    /// eviction-storm backoff is applied. The counter decays by one per
+    /// skipped shuffle, so the reaction is self-limiting.
+    pub backoff_shuffles: u32,
+    /// Maximum trusted-neighbor pseudonyms offered to a starved node's
+    /// sampler per re-bootstrap.
+    pub rebootstrap_max_offers: usize,
+    /// Minimum spacing, in shuffle periods, between two re-bootstraps of
+    /// the same node (prevents thrashing a persistently isolated node).
+    pub rebootstrap_cooldown: f64,
+    /// How long, in shuffle periods, a skew-throttled node withholds its
+    /// own pseudonym from outgoing shuffle offers.
+    pub throttle_periods: f64,
+}
+
+impl Default for RemedyConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            backoff_on_eviction_storm: true,
+            rebootstrap_starved: true,
+            throttle_indegree_skew: true,
+            backoff_shuffles: 2,
+            rebootstrap_max_offers: 8,
+            rebootstrap_cooldown: 10.0,
+            throttle_periods: 10.0,
+        }
+    }
+}
+
+impl RemedyConfig {
+    /// `true` while every field still holds its default — the serde skip
+    /// predicate that keeps the knob off the wire for existing artifacts.
+    pub fn is_default(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// A config with the master switch and every reaction on (the CLI's
+    /// `--self-heal`).
+    pub fn all_on() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Checks internal consistency (validated even when disabled, so a
+    /// latent bad config cannot hide until someone switches healing on).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.backoff_shuffles == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "remedy.backoff_shuffles",
+                reason: "a backoff of zero shuffles would be a no-op reaction".into(),
+            });
+        }
+        if self.rebootstrap_max_offers == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "remedy.rebootstrap_max_offers",
+                reason: "a re-bootstrap offering zero pseudonyms would be a no-op".into(),
+            });
+        }
+        let positive = [
+            ("remedy.rebootstrap_cooldown", self.rebootstrap_cooldown),
+            ("remedy.throttle_periods", self.throttle_periods),
+        ];
+        for (field, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(CoreError::InvalidConfig {
+                    field,
+                    reason: format!("must be finite and positive, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Thresholds of the rolling-window health detectors in
@@ -186,9 +300,10 @@ pub struct OverlayConfig {
 /// detector's semantics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthConfig {
-    /// Master switch. Even when `true`, the monitor only runs while a
-    /// recorder is attached — alerts are trace events, so there is nowhere
-    /// to put them otherwise.
+    /// Master switch. The monitor runs recorder-free too: alerts are
+    /// always counted (and feed remediation when that is enabled), while
+    /// `HealthAlert` trace events and `health.*` gauges are emitted only if
+    /// a recorder happens to be attached.
     pub enabled: bool,
     /// Rolling window length in shuffle periods. Detector counters reset at
     /// every window boundary (boundaries lie on a fixed grid, so results do
@@ -294,6 +409,7 @@ impl Default for OverlayConfig {
             parallelism: None,
             shards: None,
             health: HealthConfig::default(),
+            remedy: RemedyConfig::default(),
         }
     }
 }
@@ -436,6 +552,15 @@ impl OverlayConfig {
             });
         }
         self.health.validate()?;
+        self.remedy.validate()?;
+        if self.remedy.enabled && !self.health.enabled {
+            return Err(CoreError::InvalidConfig {
+                field: "remedy.enabled",
+                reason: "self-healing requires health monitoring (health.enabled = true); \
+                         there are no alerts to react to otherwise"
+                    .into(),
+            });
+        }
         if let LifetimePolicy::Adaptive { multiplier, floor } = self.lifetime_policy {
             if !(multiplier.is_finite() && multiplier > 0.0) {
                 return Err(CoreError::InvalidConfig {
@@ -657,6 +782,59 @@ mod tests {
         assert!(json.contains("\"shards\""), "{json}");
         let back: OverlayConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sharded);
+    }
+
+    #[test]
+    fn remedy_knob_validates_and_stays_off_the_wire() {
+        // Healing without monitoring has nothing to react to.
+        let no_health = OverlayConfig {
+            remedy: RemedyConfig::all_on(),
+            ..OverlayConfig::default()
+        };
+        assert!(no_health.validate().is_err());
+        let healed = OverlayConfig {
+            health: HealthConfig {
+                enabled: true,
+                ..HealthConfig::default()
+            },
+            remedy: RemedyConfig::all_on(),
+            ..OverlayConfig::default()
+        };
+        healed.validate().unwrap();
+        // Degenerate tuning is rejected even while disabled.
+        for bad in [
+            RemedyConfig {
+                backoff_shuffles: 0,
+                ..RemedyConfig::default()
+            },
+            RemedyConfig {
+                rebootstrap_max_offers: 0,
+                ..RemedyConfig::default()
+            },
+            RemedyConfig {
+                rebootstrap_cooldown: 0.0,
+                ..RemedyConfig::default()
+            },
+            RemedyConfig {
+                throttle_periods: f64::NAN,
+                ..RemedyConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+        // The default is skipped entirely: the default config serializes to
+        // the exact same bytes as before the knob existed, keeping committed
+        // experiment artifacts byte-stable.
+        let json = serde_json::to_string(&OverlayConfig::default()).unwrap();
+        assert!(!json.contains("remedy"), "{json}");
+        // A pre-knob document (no `remedy` key) deserializes to the default.
+        let back: OverlayConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.remedy.is_default());
+        // And a non-default config round-trips.
+        let json = serde_json::to_string(&healed).unwrap();
+        assert!(json.contains("\"remedy\""), "{json}");
+        let back: OverlayConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, healed);
     }
 
     #[test]

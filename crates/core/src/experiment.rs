@@ -21,7 +21,7 @@
 //! synthetic Holme–Kim graph with power-law degrees and social-level
 //! clustering (see DESIGN.md for the substitution argument).
 
-use crate::config::{LinkLayerConfig, OverlayConfig};
+use crate::config::{LinkLayerConfig, OverlayConfig, RemedyConfig};
 use crate::error::CoreError;
 use crate::metrics::Collector;
 use crate::simulation::Simulation;
@@ -888,6 +888,202 @@ pub fn degradation_partition_sweep(
     })
     .into_iter()
     .collect()
+}
+
+/// The scripted outage the self-healing recovery sweep measures against.
+///
+/// The geometry matters: trusted links are node-addressed and never
+/// expire, so [`Simulation::overlay_graph`] connectivity and per-round
+/// shuffle throughput snap back the instant a blackout lifts, whatever the
+/// outage did. What a correlated outage *does* lastingly damage is the
+/// pseudonym overlay — the anonymous indirection layer the paper's privacy
+/// argument rests on ([`Simulation::pseudonym_graph`]). The default
+/// geometry is chosen so that damage is severe: the blackout outlasts the
+/// default 90-period pseudonym lifetime, so every pseudonym a victim held
+/// (and every pseudonym anyone held *of* a victim) expires while it is
+/// dark, and the victims return needing a full re-bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryScenario {
+    /// Fraction of the population taken dark (from node 0 up).
+    pub fraction: f64,
+    /// Blackout duration in shuffle periods.
+    pub duration: f64,
+    /// How long past the blackout's end to keep measuring before declaring
+    /// the run unrecovered.
+    pub horizon: f64,
+    /// How many one-period snapshots before the blackout form the
+    /// pre-blackout coverage baseline.
+    pub baseline_snapshots: usize,
+}
+
+impl Default for RecoveryScenario {
+    fn default() -> Self {
+        Self {
+            fraction: 0.8,
+            duration: 100.0,
+            horizon: 60.0,
+            baseline_snapshots: 10,
+        }
+    }
+}
+
+/// The recovery threshold: recovered once pseudonym-overlay coverage
+/// regains this fraction of its pre-blackout mean (the same 90% knee as
+/// the trace analytics' blackout recovery metric in [`veil_obs::replay`]).
+pub(crate) const RECOVERY_FRACTION: f64 = 0.9;
+
+/// One row of the self-healing recovery sweep
+/// ([`degradation_recovery_sweep`]): how fast the pseudonym overlay
+/// recovers from a correlated blackout, with the remediation engine on or
+/// off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPoint {
+    /// Master seed of this run.
+    pub seed: u64,
+    /// Whether the remediation engine was on for this run.
+    pub healing: bool,
+    /// Periods after the blackout lifted until pseudonym-overlay flood
+    /// coverage regained 90% of its pre-blackout mean; `None` if the run
+    /// ended without recovering.
+    pub time_to_recover: Option<f64>,
+    /// Health alerts raised over the whole run.
+    pub health_alerts: u64,
+    /// Remediation reactions applied (always 0 with healing off).
+    pub remedy_actions: u64,
+}
+
+/// Time-to-recover from a correlated blackout, healing on versus healing
+/// off, at several seeds: for each seed the sweep runs the identical
+/// scenario twice — `loss` per-message drop probability plus the default
+/// [`RecoveryScenario`] blackout right after warm-up — once with
+/// [`RemedyConfig`] disabled and once with every reaction enabled.
+/// Recovery is measured on the pseudonym overlay (see
+/// [`RecoveryScenario`] for why): periods after the blackout lifts until
+/// flood coverage over pseudonym links regains 90% of its pre-blackout
+/// mean. Both arms share the identical monitor configuration, so the only
+/// difference between them is whether alerts trigger reactions.
+///
+/// Returns two [`RecoveryPoint`]s per seed, healing-off first.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn degradation_recovery_sweep(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    loss: f64,
+    seeds: &[u64],
+) -> Result<Vec<RecoveryPoint>, CoreError> {
+    let _span = veil_obs::global().span_with("experiment.degradation_recovery_sweep", || {
+        format!("seeds={}", seeds.len())
+    });
+    let scenario = RecoveryScenario::default();
+    let arms: Vec<(u64, bool)> = seeds
+        .iter()
+        .flat_map(|&seed| [(seed, false), (seed, true)])
+        .collect();
+    veil_par::map(&arms, params.overlay.parallelism, |&(seed, healing)| {
+        recovery_point(trust, params, alpha, loss, seed, healing, &scenario)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// One arm of the recovery sweep: run the blackout scenario and measure
+/// pseudonym-overlay coverage period by period.
+///
+/// The health monitor runs with a 1-period window (reaction latency is the
+/// whole point of the measurement) and the eviction-storm threshold lifted
+/// out of reach: at 20% message loss, retry-exhausted evictions are
+/// routine, so a storm threshold calibrated for clean links would fire
+/// every window and the backoff reaction would suppress healthy gossip
+/// (measurably slowing recovery — the backoff path is exercised by unit
+/// and integration tests instead). Both arms share this monitor; the
+/// healing arm differs only in reacting to its alerts.
+///
+/// # Errors
+///
+/// Propagates simulation construction errors.
+pub fn recovery_point(
+    trust: &Graph,
+    params: &ExperimentParams,
+    alpha: f64,
+    loss: f64,
+    seed: u64,
+    healing: bool,
+    scenario: &RecoveryScenario,
+) -> Result<RecoveryPoint, CoreError> {
+    let n = trust.node_count();
+    let count = (n as f64 * scenario.fraction).round() as u32;
+    let start = params.warmup;
+    let end = start + scenario.duration;
+    let mut p = params.clone();
+    p.seed = seed;
+    p.overlay.link = LinkLayerConfig::Faulty(FaultConfig {
+        drop_probability: loss,
+        episodes: vec![FaultEpisode {
+            start,
+            end,
+            effect: EpisodeEffect::Blackout { first: 0, count },
+        }],
+        ..FaultConfig::none()
+    });
+    p.overlay.health.enabled = true;
+    p.overlay.health.window = 1.0;
+    p.overlay.health.eviction_storm_count = u64::MAX;
+    p.overlay.remedy = if healing {
+        RemedyConfig::all_on()
+    } else {
+        RemedyConfig::default()
+    };
+    let mut sim = build_simulation(trust.clone(), &p, alpha)?;
+
+    // Pre-blackout baseline: mean pseudonym-overlay coverage over the last
+    // `baseline_snapshots` periods of warm-up (the episode fires strictly
+    // after the `t == start` snapshot is taken).
+    let snaps = scenario.baseline_snapshots.max(1);
+    let mut baseline = 0.0;
+    for i in (0..snaps).rev() {
+        sim.run_until(start - i as f64);
+        baseline += pseudonym_coverage(&sim, trust);
+    }
+    let baseline = baseline / snaps as f64;
+    let target = RECOVERY_FRACTION * baseline;
+
+    // Run through the blackout, then probe coverage once per period.
+    sim.run_until(end);
+    let mut time_to_recover = None;
+    let mut t = end;
+    while t < end + scenario.horizon {
+        t += 1.0;
+        sim.run_until(t);
+        if pseudonym_coverage(&sim, trust) >= target {
+            time_to_recover = Some(t - end);
+            break;
+        }
+    }
+    Ok(RecoveryPoint {
+        seed,
+        healing,
+        time_to_recover,
+        health_alerts: sim.health_alerts().unwrap_or(0),
+        remedy_actions: sim.remedy_counts().map_or(0, |c| c.total()),
+    })
+}
+
+/// Flood coverage over the pseudonym overlay from the highest-trust-degree
+/// online node: the fraction of online nodes reachable through pseudonym
+/// links alone. `0` when nobody is online.
+pub(crate) fn pseudonym_coverage(sim: &Simulation, trust: &Graph) -> f64 {
+    let online = sim.online_mask();
+    let source = (0..sim.node_count())
+        .filter(|&v| online[v])
+        .max_by_key(|&v| trust.degree(v));
+    match source {
+        Some(s) => crate::dissemination::flood(&sim.pseudonym_graph(), &online, s).coverage(),
+        None => 0.0,
+    }
 }
 
 #[cfg(test)]

@@ -11,20 +11,29 @@
 //!   pseudonyms in one window (the synchronized-expiry transient);
 //! * `starved_nodes` — online nodes that have not completed a shuffle for
 //!   a configured number of periods;
-//! * `isolated_nodes` — online nodes with no overlay links at all
-//!   (partition onset);
+//! * `isolated_nodes` — online nodes with no *pseudonym* links. Trusted
+//!   links are node-addressed and survive any outage, so a node can be
+//!   perfectly reachable by its friends yet absent from the anonymous
+//!   indirection layer the paper's privacy argument rests on — exactly the
+//!   state a long blackout leaves its victims in, and exactly what the
+//!   remediation engine's re-bootstrap repairs;
 //! * `indegree_skew` — max/mean overlay degree over online nodes (hub
 //!   formation).
 //!
-//! # Alerts are events
+//! # Alerts are events — and decisions
 //!
 //! The monitor is strictly read-only with respect to the simulation: it
-//! never draws randomness, never touches protocol state, and its only
-//! outputs are `HealthAlert` events and `health.*` gauges pushed into the
-//! recorder it was built with. That keeps the `off == full == ring`
-//! byte-identity of `tests/obs_equivalence.rs` intact whether monitoring is
-//! enabled or not, and means disabling the recorder disables the monitor
-//! for free (there is nowhere to put an alert without a trace).
+//! never draws randomness and never touches protocol state. Each
+//! [`HealthMonitor::rotate`] returns the window's [`WindowAlert`]s (with
+//! the implicated node set) so the remediation engine
+//! ([`crate::remedy`]) can act on them; as a side effect it also pushes
+//! `HealthAlert` trace events and `health.*` gauges into the recorder it
+//! was built with. The recorder is *optional* plumbing: a disabled
+//! recorder silently swallows the events while alert counting and the
+//! returned decisions stay identical, so untraced runs monitor (and heal)
+//! exactly like traced ones. With remediation off this keeps the
+//! `off == full == ring` byte-identity of `tests/obs_equivalence.rs`
+//! intact whether monitoring is enabled or not.
 //!
 //! # Determinism
 //!
@@ -39,6 +48,30 @@ use veil_obs::{EventKind as Obs, Recorder};
 /// Severity threshold: a value at least this multiple of its threshold is
 /// reported as `critical` rather than `warning`.
 const CRITICAL_FACTOR: f64 = 2.0;
+
+/// One detector firing, as returned by [`HealthMonitor::rotate`].
+///
+/// This is the monitor's *decision* record — the same information as the
+/// emitted `HealthAlert` trace event, plus the set of implicated nodes so a
+/// consumer (the remediation engine) can target its reaction. Aggregate
+/// detectors (`shuffle_failure_burst`, `eviction_storm`,
+/// `pseudonym_expiry_stampede`) report an empty node set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAlert {
+    /// Window boundary the alert is stamped at.
+    pub t: f64,
+    /// Detector name, matching the trace event's `detector` field.
+    pub detector: &'static str,
+    /// Whether the value reached the critical multiple of its threshold.
+    pub critical: bool,
+    /// Observed value.
+    pub value: f64,
+    /// Configured threshold (0.0 for the always-critical isolation check).
+    pub threshold: f64,
+    /// Nodes the detector implicates, in ascending id order; empty for
+    /// population-aggregate detectors.
+    pub nodes: Vec<u32>,
+}
 
 /// Rolling-window health detector bank over the simulation event stream.
 ///
@@ -69,16 +102,18 @@ pub struct HealthMonitor {
 }
 
 impl HealthMonitor {
-    /// Builds a monitor when `cfg.enabled` and the recorder can actually
-    /// receive alerts; `None` otherwise. `now` seeds the window grid and
-    /// the per-node starvation clocks.
+    /// Builds a monitor when `cfg.enabled`; `None` otherwise. The recorder
+    /// may be disabled — alerts are still detected, counted, and returned
+    /// from [`HealthMonitor::rotate`]; only the trace events and gauges are
+    /// dropped. `now` seeds the window grid and the per-node starvation
+    /// clocks.
     pub fn maybe_new(
         cfg: &HealthConfig,
         recorder: &Recorder,
         nodes: usize,
         now: f64,
     ) -> Option<Self> {
-        if !cfg.enabled || !recorder.is_enabled() {
+        if !cfg.enabled {
             return None;
         }
         Some(Self {
@@ -137,18 +172,29 @@ impl HealthMonitor {
     /// Closes the elapsed window(s): runs every detector against the
     /// accumulated counts and the caller-supplied topology view, emits
     /// `HealthAlert` events stamped at the window boundary, refreshes the
-    /// `health.*` gauges, and resets the counters.
+    /// `health.*` gauges, resets the counters, and returns the window's
+    /// alerts (with implicated nodes) for the remediation engine.
     ///
     /// `online[v]` / `degrees[v]` describe the current node states and
-    /// total overlay degree (trusted + pseudonym links) per node.
-    pub fn rotate(&mut self, now: f64, online: &[bool], degrees: &[usize]) {
+    /// total overlay degree (trusted + pseudonym links) per node;
+    /// `pseudonym_degrees[v]` counts the pseudonym links alone, which is
+    /// what the isolation detector watches (see the module docs for why
+    /// trusted links don't count).
+    pub fn rotate(
+        &mut self,
+        now: f64,
+        online: &[bool],
+        degrees: &[usize],
+        pseudonym_degrees: &[usize],
+    ) -> Vec<WindowAlert> {
         let w = self.cfg.window;
+        let mut fired = Vec::new();
         // Jump straight to the grid point at or below `now`: an idle gap
         // spanning several windows is closed as one evaluation instead of
         // replaying empty windows one by one.
         let boundary = (now / w).floor() * w;
         if boundary <= self.window_start {
-            return;
+            return fired;
         }
 
         let online_count = online.iter().filter(|o| **o).count();
@@ -160,10 +206,12 @@ impl HealthMonitor {
             self.gauge("health.shuffle_failure_rate", rate);
             if rate > self.cfg.failure_burst_rate {
                 self.alert(
+                    &mut fired,
                     boundary,
                     "shuffle_failure_burst",
                     rate,
                     self.cfg.failure_burst_rate,
+                    Vec::new(),
                 );
             }
         } else if self.starts > 0 {
@@ -177,10 +225,12 @@ impl HealthMonitor {
         self.gauge("health.window_evictions", self.evictions as f64);
         if self.evictions > self.cfg.eviction_storm_count {
             self.alert(
+                &mut fired,
                 boundary,
                 "eviction_storm",
                 self.evictions as f64,
                 self.cfg.eviction_storm_count as f64,
+                Vec::new(),
             );
         }
 
@@ -189,43 +239,54 @@ impl HealthMonitor {
         self.gauge("health.window_expiry_fraction", expiry_fraction);
         if expiry_fraction > self.cfg.expiry_stampede_fraction {
             self.alert(
+                &mut fired,
                 boundary,
                 "pseudonym_expiry_stampede",
                 expiry_fraction,
                 self.cfg.expiry_stampede_fraction,
+                Vec::new(),
             );
         }
 
         // 4. Starved nodes: online but no completed shuffle for the
         // configured number of periods.
-        let starved = online
+        let starved: Vec<u32> = online
             .iter()
             .zip(self.last_progress.iter())
-            .filter(|(on, last)| **on && boundary - **last > self.cfg.starvation_periods)
-            .count();
-        self.gauge("health.starved_nodes", starved as f64);
+            .enumerate()
+            .filter(|(_, (on, last))| **on && boundary - **last > self.cfg.starvation_periods)
+            .map(|(v, _)| v as u32)
+            .collect();
+        self.gauge("health.starved_nodes", starved.len() as f64);
         if online_count > 0 {
-            let starved_fraction = starved as f64 / online_count as f64;
+            let starved_fraction = starved.len() as f64 / online_count as f64;
             if starved_fraction > self.cfg.starved_fraction {
                 self.alert(
+                    &mut fired,
                     boundary,
                     "starved_nodes",
                     starved_fraction,
                     self.cfg.starved_fraction,
+                    starved,
                 );
             }
         }
 
-        // 5. Isolated nodes: online with no overlay links at all. Any such
-        // node is a partition of size one — always critical.
-        let isolated = online
+        // 5. Isolated nodes: online with no pseudonym links — invisible to
+        // the anonymous overlay however healthy their trusted links are.
+        // Always critical: every such node is deanonymized-or-unreachable
+        // until re-bootstrapped.
+        let isolated: Vec<u32> = online
             .iter()
-            .zip(degrees.iter())
-            .filter(|(on, deg)| **on && **deg == 0)
-            .count();
-        self.gauge("health.isolated_nodes", isolated as f64);
-        if isolated > 0 {
-            self.alert(boundary, "isolated_nodes", isolated as f64, 0.0);
+            .zip(pseudonym_degrees.iter())
+            .enumerate()
+            .filter(|(_, (on, deg))| **on && **deg == 0)
+            .map(|(v, _)| v as u32)
+            .collect();
+        self.gauge("health.isolated_nodes", isolated.len() as f64);
+        if !isolated.is_empty() {
+            let count = isolated.len() as f64;
+            self.alert(&mut fired, boundary, "isolated_nodes", count, 0.0, isolated);
         }
 
         // 6. In-degree skew over online nodes.
@@ -240,11 +301,24 @@ impl HealthMonitor {
                 let skew = max as f64 / mean;
                 self.gauge("health.indegree_skew", skew);
                 if skew > self.cfg.indegree_skew_ratio {
+                    // Implicate every online node sitting above the
+                    // configured ratio (at least the max-degree node).
+                    let hubs: Vec<u32> = online
+                        .iter()
+                        .zip(degrees.iter())
+                        .enumerate()
+                        .filter(|(_, (on, deg))| {
+                            **on && **deg as f64 > self.cfg.indegree_skew_ratio * mean
+                        })
+                        .map(|(v, _)| v as u32)
+                        .collect();
                     self.alert(
+                        &mut fired,
                         boundary,
                         "indegree_skew",
                         skew,
                         self.cfg.indegree_skew_ratio,
+                        hubs,
                     );
                 }
             }
@@ -257,23 +331,39 @@ impl HealthMonitor {
         self.failures = 0;
         self.evictions = 0;
         self.expiry_purges = 0;
+        fired
     }
 
     fn gauge(&self, name: &'static str, value: f64) {
         self.recorder.gauge(name, value);
     }
 
-    fn alert(&mut self, t: f64, detector: &str, value: f64, threshold: f64) {
+    fn alert(
+        &mut self,
+        fired: &mut Vec<WindowAlert>,
+        t: f64,
+        detector: &'static str,
+        value: f64,
+        threshold: f64,
+        nodes: Vec<u32>,
+    ) {
         self.alerts_emitted += 1;
         // Zero-threshold detectors (isolated nodes) have no meaningful
         // ratio; any firing is critical.
         let critical = threshold <= 0.0 || value >= CRITICAL_FACTOR * threshold;
-        let detector = detector.to_string();
         self.recorder.event(t, None, || Obs::HealthAlert {
-            detector,
+            detector: detector.to_string(),
             severity: if critical { "critical" } else { "warning" }.to_string(),
             value,
             threshold,
+        });
+        fired.push(WindowAlert {
+            t,
+            detector,
+            critical,
+            value,
+            threshold,
+            nodes,
         });
     }
 }
@@ -305,12 +395,37 @@ mod tests {
     }
 
     #[test]
-    fn disabled_config_or_recorder_yields_no_monitor() {
+    fn only_the_config_gates_the_monitor() {
         let off = HealthConfig::default();
         assert!(HealthMonitor::maybe_new(&off, &Recorder::full(), 4, 0.0).is_none());
         let on = enabled_cfg();
-        assert!(HealthMonitor::maybe_new(&on, &Recorder::disabled(), 4, 0.0).is_none());
+        // A disabled recorder no longer disables monitoring: alerts are
+        // decisions first, trace events second.
+        assert!(HealthMonitor::maybe_new(&on, &Recorder::disabled(), 4, 0.0).is_some());
         assert!(HealthMonitor::maybe_new(&on, &Recorder::full(), 4, 0.0).is_some());
+    }
+
+    #[test]
+    fn recorder_free_monitor_counts_and_returns_alerts() {
+        let rec = Recorder::disabled();
+        let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 4, 0.0).unwrap();
+        // Starve everyone and isolate node 3; no recorder is attached, yet
+        // the decisions must match a traced run exactly.
+        let fired = hm.rotate(20.0, &[true; 4], &[2, 2, 2, 1], &[2, 2, 2, 0]);
+        assert!(
+            fired
+                .iter()
+                .any(|a| a.detector == "starved_nodes" && a.nodes == vec![0, 1, 2, 3]),
+            "{fired:?}"
+        );
+        assert!(
+            fired
+                .iter()
+                .any(|a| a.detector == "isolated_nodes" && a.critical && a.nodes == vec![3]),
+            "{fired:?}"
+        );
+        assert_eq!(hm.alerts_emitted(), fired.len() as u64);
+        assert!(rec.events().is_empty(), "disabled recorder stays empty");
     }
 
     #[test]
@@ -331,7 +446,7 @@ mod tests {
             hm.observe(1.0, Some(0), &Obs::ShuffleFailure { exchange: 1 });
         }
         assert!(hm.due(5.0));
-        hm.rotate(5.0, &[true; 4], &[3, 3, 3, 3]);
+        hm.rotate(5.0, &[true; 4], &[3, 3, 3, 3], &[1, 1, 1, 1]);
         let fired = alerts(&rec);
         // 0.6 failure rate >= 2 * 0.25 threshold: critical, stamped at the
         // window boundary.
@@ -358,7 +473,7 @@ mod tests {
             );
             hm.observe(0.6, Some(i % 4), &Obs::ShuffleComplete { exchange: 0 });
         }
-        hm.rotate(6.0, &[true; 4], &[3, 3, 3, 3]);
+        hm.rotate(6.0, &[true; 4], &[3, 3, 3, 3], &[1, 1, 1, 1]);
         assert!(alerts(&rec).is_empty());
         assert_eq!(hm.alerts_emitted(), 0);
     }
@@ -368,8 +483,15 @@ mod tests {
         let rec = Recorder::full();
         let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 4, 0.0).unwrap();
         // Nobody completes anything for 20 periods: everyone online is
-        // starved (> 15 periods) and node 3 is isolated.
-        hm.rotate(20.0, &[true, true, true, true], &[2, 2, 2, 0]);
+        // starved (> 15 periods) and node 3 is isolated — its surviving
+        // trusted link (total degree 1) does not rescue it, because
+        // isolation is measured on pseudonym links alone.
+        hm.rotate(
+            20.0,
+            &[true, true, true, true],
+            &[2, 2, 2, 1],
+            &[2, 2, 2, 0],
+        );
         let a = alerts(&rec);
         assert!(a.iter().any(|(_, d, _)| d == "starved_nodes"), "{a:?}");
         assert!(
@@ -387,7 +509,7 @@ mod tests {
         // online even later.
         hm.observe(18.0, Some(0), &Obs::ShuffleComplete { exchange: 0 });
         hm.observe(19.0, Some(1), &Obs::NodeOnline);
-        hm.rotate(20.0, &[true, true], &[1, 1]);
+        hm.rotate(20.0, &[true, true], &[1, 1], &[1, 1]);
         assert!(
             !alerts(&rec).iter().any(|(_, d, _)| d == "starved_nodes"),
             "progress and rejoin must reset the starvation clock"
@@ -407,7 +529,7 @@ mod tests {
         hm.observe(1.0, Some(2), &Obs::ShuffleComplete { exchange: 0 });
         // The offline node's degree (100) must not enter the mean; with
         // only 3 online nodes max/mean is bounded below 3, so no alert.
-        hm.rotate(5.0, &[true, true, true, false], &[30, 1, 1, 100]);
+        hm.rotate(5.0, &[true, true, true, false], &[30, 1, 1, 100], &[1; 4]);
         assert!(
             !alerts(&rec).iter().any(|(_, d, _)| d == "indegree_skew"),
             "3 online nodes bound the ratio below 3"
@@ -417,7 +539,7 @@ mod tests {
         for v in 0..5 {
             hm2.observe(1.0, Some(v), &Obs::ShuffleComplete { exchange: 0 });
         }
-        hm2.rotate(5.0, &[true; 5], &[80, 1, 1, 1, 1]);
+        hm2.rotate(5.0, &[true; 5], &[80, 1, 1, 1, 1], &[1; 5]);
         assert!(
             alerts(&rec2).iter().any(|(_, d, _)| d == "indegree_skew"),
             "80 vs mean 16.8 is a 4.8x skew"
@@ -438,7 +560,7 @@ mod tests {
             hm.observe(1.5, Some(v), &Obs::PseudonymsExpired { count: 2 });
             hm.observe(2.0, Some(v), &Obs::ShuffleComplete { exchange: 0 });
         }
-        hm.rotate(5.0, &[true; 4], &[3; 4]);
+        hm.rotate(5.0, &[true; 4], &[3; 4], &[1; 4]);
         let fired = alerts(&rec);
         assert!(fired.iter().any(|(_, d, _)| d == "eviction_storm"));
         assert!(
@@ -448,7 +570,7 @@ mod tests {
             "4/4 nodes purged"
         );
         // Counters reset: an immediately following quiet window is clean.
-        hm.rotate(10.0, &[true; 4], &[3; 4]);
+        hm.rotate(10.0, &[true; 4], &[3; 4], &[1; 4]);
         assert_eq!(alerts(&rec).len(), fired.len());
     }
 
@@ -457,13 +579,13 @@ mod tests {
         let rec = Recorder::full();
         let mut hm = HealthMonitor::maybe_new(&enabled_cfg(), &rec, 2, 0.0).unwrap();
         assert!(!hm.due(4.9));
-        hm.rotate(4.9, &[true, true], &[1, 1]); // not past the boundary: no-op
+        hm.rotate(4.9, &[true, true], &[1, 1], &[1, 1]); // not past the boundary: no-op
         assert!(hm.due(5.0));
-        hm.rotate(5.0, &[true, true], &[1, 1]);
+        hm.rotate(5.0, &[true, true], &[1, 1], &[1, 1]);
         assert!(!hm.due(9.9));
         // A long idle gap collapses into one evaluation at the last grid
         // point, not one per elapsed window.
-        hm.rotate(102.3, &[true, true], &[1, 1]);
+        hm.rotate(102.3, &[true, true], &[1, 1], &[1, 1]);
         assert!(!hm.due(102.4));
         assert!(hm.due(105.0));
     }

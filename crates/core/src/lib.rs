@@ -60,13 +60,15 @@ pub mod metrics;
 pub mod node;
 pub mod protocol;
 pub mod pseudonym;
+pub mod remedy;
 pub mod sampler;
 pub mod scenario;
 mod sim_exec;
 pub mod simulation;
 
-pub use config::{HealthConfig, LinkLayerConfig, OverlayConfig};
+pub use config::{HealthConfig, LinkLayerConfig, OverlayConfig, RemedyConfig};
 pub use error::CoreError;
 pub use health::HealthMonitor;
 pub use pseudonym::{Pseudonym, PseudonymId, PseudonymService};
+pub use remedy::RemedyEngine;
 pub use simulation::Simulation;

@@ -94,6 +94,10 @@ pub struct Node {
     /// Min-wise sampler deciding which pseudonyms become links.
     pub sampler: crate::sampler::Sampler,
     own: Option<Pseudonym>,
+    /// Until when the node withholds its own pseudonym from shuffle offers
+    /// (the remediation engine's in-degree-skew throttle); `-inf` when
+    /// never throttled.
+    throttle_until: f64,
     /// Activity statistics.
     pub stats: NodeStats,
 }
@@ -125,6 +129,7 @@ impl Node {
                 rng,
             ),
             own: None,
+            throttle_until: f64::NEG_INFINITY,
             stats: NodeStats::default(),
         }
     }
@@ -143,6 +148,19 @@ impl Node {
     /// Whether the node needs a fresh pseudonym at `now`.
     pub fn needs_pseudonym(&self, now: SimTime) -> bool {
         self.own_pseudonym(now).is_none()
+    }
+
+    /// Withholds the node's own pseudonym from outgoing shuffle offers
+    /// until `until` (the remediation engine's contribution throttle for
+    /// over-represented hubs). Extends but never shortens an active
+    /// throttle.
+    pub fn throttle_contribution(&mut self, until: SimTime) {
+        self.throttle_until = self.throttle_until.max(until.as_f64());
+    }
+
+    /// Whether the contribution throttle is active at `now`.
+    pub fn contribution_throttled(&self, now: SimTime) -> bool {
+        now.as_f64() < self.throttle_until
     }
 
     /// Mints and installs a fresh pseudonym ("every node creates a

@@ -29,7 +29,9 @@ pub struct Offer {
 /// Builds a node's offer: its own pseudonym (when valid) plus up to
 /// `shuffle_length − 1` random cache entries.
 ///
-/// Expired cache entries are purged first so they are never gossiped.
+/// Expired cache entries are purged first so they are never gossiped. A
+/// contribution-throttled node ([`Node::throttle_contribution`]) withholds
+/// its own pseudonym and fills the whole budget from its cache instead.
 pub fn build_offer<R: Rng + ?Sized>(
     node: &mut Node,
     shuffle_length: usize,
@@ -37,7 +39,11 @@ pub fn build_offer<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Offer {
     node.cache.purge_expired(now);
-    let own = node.own_pseudonym(now);
+    let own = if node.contribution_throttled(now) {
+        None
+    } else {
+        node.own_pseudonym(now)
+    };
     let budget = shuffle_length.saturating_sub(usize::from(own.is_some()));
     let picks = node.cache.select_offer(budget, rng);
     let sent_from_cache = picks.iter().map(|p| p.id()).collect();
@@ -183,6 +189,26 @@ mod tests {
         let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::ZERO, &mut rng);
         assert_eq!(offer.entries.len(), 4);
         assert_eq!(offer.sent_from_cache.len(), 4);
+    }
+
+    #[test]
+    fn throttled_node_withholds_own_pseudonym() {
+        let cfg = small_cfg();
+        let mut svc = PseudonymService::new(9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut node = node_with_pseudonym(0, &cfg, &mut svc, &mut rng);
+        let own = node.own_pseudonym(SimTime::ZERO).unwrap();
+        for i in 1..=9 {
+            node.cache
+                .insert(svc.mint(i, SimTime::ZERO, None), SimTime::ZERO);
+        }
+        node.throttle_contribution(SimTime::new(5.0));
+        let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::ZERO, &mut rng);
+        assert!(!offer.entries.contains(&own), "own pseudonym withheld");
+        assert_eq!(offer.entries.len(), 4, "full budget from the cache");
+        // The throttle expires: the own pseudonym leads the offer again.
+        let offer = build_offer(&mut node, cfg.shuffle_length, SimTime::new(5.0), &mut rng);
+        assert_eq!(offer.entries[0], own);
     }
 
     #[test]

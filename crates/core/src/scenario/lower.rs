@@ -25,7 +25,7 @@
 
 use super::schema::{GraphModel, LatencyKind, Phase, Scenario};
 use super::ScenarioError;
-use crate::config::{HealthConfig, LinkLayerConfig, OverlayConfig};
+use crate::config::{HealthConfig, LinkLayerConfig, OverlayConfig, RemedyConfig};
 use crate::experiment::{ExperimentParams, SourceModel};
 use veil_sim::fault::{EpisodeEffect, FaultConfig, FaultEpisode, LatencyDist};
 
@@ -161,6 +161,29 @@ pub fn phase_episodes(phase: &Phase, nodes: usize) -> Vec<FaultEpisode> {
     }
 }
 
+/// The `(first start, last end)` envelope of the scenario's
+/// blackout-effect episodes that begin after t = 0, or `None` when there
+/// are none. This is the outage the `recovery_time_at_most` assertion
+/// measures against: a baseline is sampled before the first start, and
+/// recovery probing begins at the last end. Flash crowds (blackouts from
+/// t = 0) are excluded — no pre-outage baseline exists for them.
+pub fn recovery_interval(s: &Scenario) -> Option<(f64, f64)> {
+    let mut envelope: Option<(f64, f64)> = None;
+    for phase in &s.phases {
+        for ep in phase_episodes(phase, s.nodes) {
+            if let EpisodeEffect::Blackout { .. } = ep.effect {
+                if ep.start > 0.0 {
+                    envelope = Some(match envelope {
+                        None => (ep.start, ep.end),
+                        Some((a, b)) => (a.min(ep.start), b.max(ep.end)),
+                    });
+                }
+            }
+        }
+    }
+    envelope
+}
+
 /// Lowers the link spec + phases into a link-layer config. Trivial fault
 /// configs collapse to `Ideal`, keeping the fast path for fault-free
 /// scenarios.
@@ -217,6 +240,16 @@ pub fn lower(s: &Scenario) -> Result<Lowered, ScenarioError> {
             enabled: s.health.enabled,
             window: s.health.window,
             ..HealthConfig::default()
+        },
+        remedy: RemedyConfig {
+            enabled: s.remediation.enabled,
+            backoff_on_eviction_storm: s.remediation.backoff,
+            rebootstrap_starved: s.remediation.rebootstrap,
+            throttle_indegree_skew: s.remediation.throttle,
+            backoff_shuffles: s.remediation.backoff_shuffles,
+            rebootstrap_max_offers: s.remediation.rebootstrap_max_offers,
+            rebootstrap_cooldown: s.remediation.rebootstrap_cooldown,
+            throttle_periods: s.remediation.throttle_periods,
         },
         ..OverlayConfig::default()
     };
@@ -375,6 +408,47 @@ mod tests {
             200,
         );
         assert_eq!(eps[0].effect, EpisodeEffect::Partition { boundary: 20 });
+    }
+
+    #[test]
+    fn remediation_lowers_onto_remedy_config() {
+        let mut s = base();
+        s.health.enabled = true;
+        s.remediation.enabled = true;
+        s.remediation.backoff = false;
+        s.remediation.rebootstrap_max_offers = 4;
+        let lowered = lower(&s).unwrap();
+        let remedy = &lowered.params.overlay.remedy;
+        assert!(remedy.enabled);
+        assert!(!remedy.backoff_on_eviction_storm);
+        assert!(remedy.rebootstrap_starved);
+        assert_eq!(remedy.rebootstrap_max_offers, 4);
+        lowered.params.overlay.validate().unwrap();
+
+        // Defaults lower to the default config — off stays byte-identical.
+        let lowered = lower(&base()).unwrap();
+        assert!(lowered.params.overlay.remedy.is_default());
+    }
+
+    #[test]
+    fn recovery_interval_spans_blackout_envelope() {
+        let mut s = base();
+        assert_eq!(recovery_interval(&s), None);
+        // A flash crowd alone gives no envelope (its blackout starts at 0).
+        s.phases.push(Phase::FlashCrowd {
+            at: 10.0,
+            fraction: 0.2,
+            from: 0.5,
+        });
+        assert_eq!(recovery_interval(&s), None);
+        s.phases.push(Phase::ChurnWaves {
+            start: 15.0,
+            period: 10.0,
+            duty: 0.5,
+            fraction: 0.3,
+            waves: 2,
+        });
+        assert_eq!(recovery_interval(&s), Some((15.0, 30.0)));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use runner::{
     AttackEval, AttackFindings, CampaignReport, CampaignSpec, RunOverrides, ScenarioOutcome,
     ScenarioRun,
 };
-pub use schema::{Assertions, AttackSpec, GraphModel, Phase, Scenario};
+pub use schema::{Assertions, AttackSpec, GraphModel, Phase, RemedySpec, Scenario};
 pub use validate::validate;
 
 use std::fmt;

@@ -10,14 +10,16 @@
 //! identity — campaign reports are byte-identical across serial and
 //! parallel sweeps, which the conformance suite pins.
 
-use super::lower::lower;
+use super::lower::{lower, recovery_interval};
 use super::schema::{AttackSpec, Scenario};
 use super::ScenarioError;
 use crate::dissemination::flood_current_overlay;
-use crate::experiment::{build_simulation, build_trust_graph};
+use crate::experiment::{
+    build_simulation, build_trust_graph, pseudonym_coverage, RECOVERY_FRACTION,
+};
 use crate::metrics::{snapshot, OverlaySnapshot};
 use serde::Serialize;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::Mutex;
 use veil_graph::Graph;
@@ -88,6 +90,17 @@ pub struct ScenarioOutcome {
     /// Observer-audit findings, when the scenario has an `[attack]`
     /// section.
     pub attack: Option<AttackFindings>,
+    /// Self-healing reactions by kind, from the trace. Empty (and skipped
+    /// in serialized reports, so pre-remediation outcomes keep their
+    /// bytes) unless the remediation engine ran.
+    #[serde(skip_serializing_if = "BTreeMap::is_empty")]
+    pub reaction_counts: BTreeMap<String, u64>,
+    /// Periods from the last blackout's end until pseudonym-overlay flood
+    /// coverage regained 90% of its pre-blackout mean. Measured only when
+    /// the scenario asserts `recovery_time_at_most` (absent otherwise);
+    /// the inner `None` means the overlay never recovered by the horizon.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub recovery_time: Option<Option<f64>>,
     /// Every assertion, graded.
     pub checks: Vec<AssertionOutcome>,
     /// Whether all assertions held.
@@ -195,7 +208,46 @@ pub fn run_scenario_with(
     })
     .map_err(|e| ScenarioError::new(format!("building simulation: {e}")))?;
     sim.set_recorder(recorder.clone());
-    sim.run_until(lowered.horizon);
+
+    // With a `recovery_time_at_most` assertion the run is stepped: a
+    // pre-outage coverage baseline, then one-period probes after the last
+    // blackout ends until coverage regains 90% of that baseline. Probes
+    // are read-only floods and `run_until` is stepping-invariant, so the
+    // trace stays byte-identical to an unstepped run; the probe grid is
+    // fixed, so the measurement is shard-layout-invariant too.
+    let recovery_time = match scenario
+        .assertions
+        .recovery_time_at_most
+        .and_then(|_| recovery_interval(scenario))
+    {
+        Some((outage_start, outage_end)) => {
+            let snaps = (outage_start.floor() as usize).clamp(1, 10);
+            let mut baseline = 0.0;
+            for i in (0..snaps).rev() {
+                sim.run_until(outage_start - i as f64);
+                baseline += pseudonym_coverage(&sim, &trust);
+            }
+            baseline /= snaps as f64;
+            let target = RECOVERY_FRACTION * baseline;
+            sim.run_until(outage_end);
+            let mut t = outage_end;
+            let mut recovered = None;
+            while t < lowered.horizon {
+                t = (t + 1.0).min(lowered.horizon);
+                sim.run_until(t);
+                if pseudonym_coverage(&sim, &trust) >= target {
+                    recovered = Some(t - outage_end);
+                    break;
+                }
+            }
+            sim.run_until(lowered.horizon);
+            Some(recovered)
+        }
+        None => {
+            sim.run_until(lowered.horizon);
+            None
+        }
+    };
 
     let snap = snapshot(&sim);
     let online = sim.online_mask();
@@ -249,6 +301,8 @@ pub fn run_scenario_with(
         critical_alerts,
         detectors,
         attack,
+        reaction_counts: report.reaction_counts,
+        recovery_time,
         checks: Vec::new(),
         passed: true,
     };
@@ -341,6 +395,43 @@ fn grade(scenario: &Scenario, outcome: &mut ScenarioOutcome) {
             "forbid_detectors",
             format!("`{name}` {}", if fired { "fired" } else { "stayed quiet" }),
             !fired,
+        );
+    }
+    if let Some(bound) = a.recovery_time_at_most {
+        match outcome.recovery_time {
+            Some(Some(t)) => push(
+                "recovery_time_at_most",
+                format!("recovered {t} period(s) after the outage vs max {bound}"),
+                t <= bound,
+            ),
+            Some(None) => push(
+                "recovery_time_at_most",
+                format!("never recovered by the horizon vs max {bound}"),
+                false,
+            ),
+            // Unmeasured: validation rejects the assertion without a
+            // blackout phase, so this arm is unreachable for validated
+            // scenarios — grade it as a failure rather than silence.
+            None => push(
+                "recovery_time_at_most",
+                "no blackout outage was measured".to_string(),
+                false,
+            ),
+        }
+    }
+    for name in &a.reaction_fired {
+        let count = outcome.reaction_counts.get(name).copied().unwrap_or(0);
+        push(
+            "reaction_fired",
+            format!(
+                "`{name}` {}",
+                if count > 0 {
+                    format!("fired {count} time(s)")
+                } else {
+                    "never fired".to_string()
+                }
+            ),
+            count > 0,
         );
     }
     if let Some(attack) = &outcome.attack {
@@ -527,6 +618,90 @@ mod tests {
         assert_eq!(
             run.outcome.passed,
             run.outcome.checks.iter().all(|c| c.passed)
+        );
+    }
+
+    #[test]
+    fn recovery_assertion_measures_and_grades() {
+        let mut s = quick();
+        s.horizon = 30.0;
+        s.phases.push(Phase::Blackout {
+            start: 12.0,
+            duration: 6.0,
+            fraction: 0.4,
+            from: 0.0,
+        });
+        s.assertions.recovery_time_at_most = Some(30.0);
+        let run = run_scenario(&s).unwrap();
+        let measured = run.outcome.recovery_time.expect("recovery was measured");
+        let check = run
+            .outcome
+            .checks
+            .iter()
+            .find(|c| c.key == "recovery_time_at_most")
+            .expect("recovery check graded");
+        match measured {
+            Some(t) => {
+                assert!(t > 0.0 && t <= 30.0, "recovery time {t} out of range");
+                assert!(check.passed, "{}", check.detail);
+            }
+            None => assert!(!check.passed, "{}", check.detail),
+        }
+        // Measurement itself is deterministic.
+        assert_eq!(run_scenario(&s).unwrap().outcome, run.outcome);
+    }
+
+    #[test]
+    fn recovery_probing_never_perturbs_the_trace() {
+        // The stepped run (baseline snapshots + probes) must emit the
+        // exact bytes of the unstepped run: probing is read-only.
+        let mut s = quick();
+        s.horizon = 30.0;
+        s.phases.push(Phase::Blackout {
+            start: 12.0,
+            duration: 6.0,
+            fraction: 0.4,
+            from: 0.0,
+        });
+        let plain = run_scenario(&s).unwrap();
+        s.assertions.recovery_time_at_most = Some(30.0);
+        let probed = run_scenario(&s).unwrap();
+        assert_eq!(plain.trace_jsonl, probed.trace_jsonl);
+        assert_eq!(plain.outcome.snapshot, probed.outcome.snapshot);
+        assert_eq!(plain.outcome.coverage, probed.outcome.coverage);
+    }
+
+    #[test]
+    fn reaction_fired_grades_from_the_trace() {
+        // No remediation: the reaction can't fire and the check fails.
+        // (Validation would reject this scenario; grade() is exercised
+        // directly through the unvalidated field to pin the failure path.)
+        let mut s = quick();
+        s.health.enabled = true;
+        s.assertions.reaction_fired = vec!["rebootstrap".into()];
+        let run = run_scenario_with(&s, RunOverrides::default(), None);
+        // `run_scenario_with` validates first — remediation off with a
+        // reaction_fired assertion is rejected up front.
+        assert!(run.is_err());
+
+        s.remediation.enabled = true;
+        let run = run_scenario(&s).unwrap();
+        let check = run
+            .outcome
+            .checks
+            .iter()
+            .find(|c| c.key == "reaction_fired")
+            .expect("reaction check graded");
+        assert_eq!(
+            check.passed,
+            run.outcome
+                .reaction_counts
+                .get("rebootstrap")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "{}",
+            check.detail
         );
     }
 

@@ -24,6 +24,10 @@ pub const DETECTOR_NAMES: [&str; 6] = [
     "indegree_skew",
 ];
 
+/// Names of the self-healing reactions a scenario may assert on
+/// (mirrors the `reaction` field of `RemedyAction` trace events).
+pub const REACTION_NAMES: [&str; 3] = ["backoff", "rebootstrap", "throttle"];
+
 /// A complete declarative scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -50,6 +54,8 @@ pub struct Scenario {
     pub link: LinkSpec,
     /// Online health monitoring.
     pub health: HealthSpec,
+    /// Self-healing remediation (requires `[health]` enabled).
+    pub remediation: RemedySpec,
     /// Workload phases, in start order.
     pub phases: Vec<Phase>,
     /// Optional observer-attack audit (evaluated by `veil-privacy`).
@@ -158,6 +164,30 @@ pub struct HealthSpec {
     pub enabled: bool,
     /// Detector window length in shuffle periods.
     pub window: f64,
+}
+
+/// Self-healing remediation switchboard (`[remediation]`); the scenario
+/// counterpart of `config::RemedyConfig`. The engine consumes the health
+/// monitor's window alerts, so enabling it requires `[health]` enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemedySpec {
+    /// Master switch for the remediation engine.
+    pub enabled: bool,
+    /// React to eviction storms with a shuffle-rate backoff.
+    pub backoff: bool,
+    /// React to starved/isolated nodes with a targeted re-bootstrap from
+    /// trusted neighbors.
+    pub rebootstrap: bool,
+    /// React to in-degree skew by throttling the hub's own pseudonym.
+    pub throttle: bool,
+    /// Shuffle initiations skipped per backoff (decays one per skip).
+    pub backoff_shuffles: u32,
+    /// Maximum trusted-neighbor pseudonyms offered per re-bootstrap.
+    pub rebootstrap_max_offers: usize,
+    /// Minimum periods between two re-bootstraps of the same node.
+    pub rebootstrap_cooldown: f64,
+    /// Periods a throttled node withholds its own pseudonym.
+    pub throttle_periods: f64,
 }
 
 /// One workload phase. All node regions are expressed as fractions of the
@@ -321,6 +351,13 @@ pub struct Assertions {
     /// The observer set must not be a vertex cut of the trust graph
     /// (needs `[attack]`).
     pub forbid_vertex_cut: bool,
+    /// Pseudonym-overlay flood coverage must regain 90% of its
+    /// pre-blackout mean within this many periods of the last blackout's
+    /// end (needs a blackout-style phase that starts after t = 0).
+    pub recovery_time_at_most: Option<f64>,
+    /// Each named self-healing reaction must fire at least once (needs
+    /// `[remediation]` enabled with that reaction on).
+    pub reaction_fired: Vec<String>,
 }
 
 impl Assertions {
@@ -398,6 +435,22 @@ impl Default for HealthSpec {
     }
 }
 
+impl Default for RemedySpec {
+    // Mirrors `RemedyConfig::default()`: engine off, every reaction armed.
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            backoff: true,
+            rebootstrap: true,
+            throttle: true,
+            backoff_shuffles: 2,
+            rebootstrap_max_offers: 8,
+            rebootstrap_cooldown: 10.0,
+            throttle_periods: 10.0,
+        }
+    }
+}
+
 impl Default for Scenario {
     fn default() -> Self {
         Self {
@@ -412,6 +465,7 @@ impl Default for Scenario {
             overlay: OverlaySpec::default(),
             link: LinkSpec::default(),
             health: HealthSpec::default(),
+            remediation: RemedySpec::default(),
             phases: Vec::new(),
             attack: None,
             assertions: Assertions::default(),
@@ -563,6 +617,7 @@ pub fn build_scenario(
             "overlay",
             "link",
             "health",
+            "remediation",
             "phase",
             "attack",
             "assertions",
@@ -605,6 +660,9 @@ pub fn build_scenario(
     }
     if let Some(v) = doc.get("health") {
         s.health = build_health(as_table(v, "[health]")?)?;
+    }
+    if let Some(v) = doc.get("remediation") {
+        s.remediation = build_remediation(as_table(v, "[remediation]")?)?;
     }
     if let Some(v) = doc.get("phase") {
         let items = match &v.value {
@@ -784,6 +842,49 @@ fn build_health(t: &Table) -> Result<HealthSpec, ScenarioError> {
     Ok(h)
 }
 
+fn build_remediation(t: &Table) -> Result<RemedySpec, ScenarioError> {
+    check_keys(
+        t,
+        "[remediation]",
+        &[
+            "enabled",
+            "backoff",
+            "rebootstrap",
+            "throttle",
+            "backoff_shuffles",
+            "rebootstrap_max_offers",
+            "rebootstrap_cooldown",
+            "throttle_periods",
+        ],
+    )?;
+    let mut r = RemedySpec::default();
+    if let Some(v) = t.get("enabled") {
+        r.enabled = as_bool(v, "enabled")?;
+    }
+    if let Some(v) = t.get("backoff") {
+        r.backoff = as_bool(v, "backoff")?;
+    }
+    if let Some(v) = t.get("rebootstrap") {
+        r.rebootstrap = as_bool(v, "rebootstrap")?;
+    }
+    if let Some(v) = t.get("throttle") {
+        r.throttle = as_bool(v, "throttle")?;
+    }
+    if let Some(v) = t.get("backoff_shuffles") {
+        r.backoff_shuffles = as_usize(v, "backoff_shuffles")? as u32;
+    }
+    if let Some(v) = t.get("rebootstrap_max_offers") {
+        r.rebootstrap_max_offers = as_usize(v, "rebootstrap_max_offers")?;
+    }
+    if let Some(v) = t.get("rebootstrap_cooldown") {
+        r.rebootstrap_cooldown = as_f64(v, "rebootstrap_cooldown")?;
+    }
+    if let Some(v) = t.get("throttle_periods") {
+        r.throttle_periods = as_f64(v, "throttle_periods")?;
+    }
+    Ok(r)
+}
+
 fn build_phase(t: &Table, span: Span) -> Result<Phase, ScenarioError> {
     let kind = match t.get("kind") {
         Some(v) => as_str(v, "kind")?.to_string(),
@@ -946,6 +1047,8 @@ fn build_assertions(t: &Table) -> Result<Assertions, ScenarioError> {
             "max_observed_node_fraction",
             "max_observed_edge_fraction",
             "forbid_vertex_cut",
+            "recovery_time_at_most",
+            "reaction_fired",
         ],
     )?;
     let mut a = Assertions::default();
@@ -1008,6 +1111,34 @@ fn build_assertions(t: &Table) -> Result<Assertions, ScenarioError> {
     }
     if let Some(v) = t.get("forbid_vertex_cut") {
         a.forbid_vertex_cut = as_bool(v, "forbid_vertex_cut")?;
+    }
+    if let Some(v) = t.get("recovery_time_at_most") {
+        a.recovery_time_at_most = Some(as_f64(v, "recovery_time_at_most")?);
+    }
+    if let Some(v) = t.get("reaction_fired") {
+        let items = match &v.value {
+            Value::Array(items) => items,
+            other => {
+                return Err(err_at(
+                    v.span,
+                    format!(
+                        "reaction_fired: expected an array of reaction names, got {}",
+                        other.type_name()
+                    ),
+                ))
+            }
+        };
+        for item in items {
+            let name = as_str(item, "reaction_fired")?;
+            if !REACTION_NAMES.contains(&name) {
+                let mut message = format!("unknown reaction `{name}`");
+                if let Some(suggestion) = closest(name, &REACTION_NAMES) {
+                    let _ = write!(message, " (did you mean `{suggestion}`?)");
+                }
+                return Err(err_at(item.span, message));
+            }
+            a.reaction_fired.push(name.to_string());
+        }
     }
     Ok(a)
 }
@@ -1107,6 +1238,21 @@ impl Scenario {
         let _ = writeln!(o, "\n[health]");
         let _ = writeln!(o, "enabled = {}", self.health.enabled);
         let _ = writeln!(o, "window = {}", toml_f64(self.health.window));
+
+        let _ = writeln!(o, "\n[remediation]");
+        let r = &self.remediation;
+        let _ = writeln!(o, "enabled = {}", r.enabled);
+        let _ = writeln!(o, "backoff = {}", r.backoff);
+        let _ = writeln!(o, "rebootstrap = {}", r.rebootstrap);
+        let _ = writeln!(o, "throttle = {}", r.throttle);
+        let _ = writeln!(o, "backoff_shuffles = {}", r.backoff_shuffles);
+        let _ = writeln!(o, "rebootstrap_max_offers = {}", r.rebootstrap_max_offers);
+        let _ = writeln!(
+            o,
+            "rebootstrap_cooldown = {}",
+            toml_f64(r.rebootstrap_cooldown)
+        );
+        let _ = writeln!(o, "throttle_periods = {}", toml_f64(r.throttle_periods));
 
         for phase in &self.phases {
             let _ = writeln!(o, "\n[[phase]]");
@@ -1234,6 +1380,12 @@ impl Scenario {
         if a.forbid_vertex_cut {
             let _ = writeln!(o, "forbid_vertex_cut = true");
         }
+        if let Some(v) = a.recovery_time_at_most {
+            let _ = writeln!(o, "recovery_time_at_most = {}", toml_f64(v));
+        }
+        if !a.reaction_fired.is_empty() {
+            let _ = writeln!(o, "reaction_fired = [{}]", list(&a.reaction_fired));
+        }
         o
     }
 }
@@ -1314,11 +1466,50 @@ mod tests {
         s.assertions.min_coverage = Some(0.9);
         s.assertions.require_detectors = vec!["eviction_storm".into()];
         s.assertions.forbid_vertex_cut = true;
+        s.assertions.recovery_time_at_most = Some(12.0);
+        s.assertions.reaction_fired = vec!["rebootstrap".into(), "backoff".into()];
+        s.health.enabled = true;
+        s.remediation.enabled = true;
+        s.remediation.throttle = false;
+        s.remediation.rebootstrap_cooldown = 6.0;
         s.overlay.lifetime_ratio = None;
         let text = s.to_toml();
         let doc = parse_document(&text).unwrap();
         let (back, _) = build_scenario(&doc, "demo").unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn remediation_section_parses_and_suggests_on_typos() {
+        let doc = parse_document(
+            "[remediation]\nenabled = true\nbackoff = false\nrebootstrap_max_offers = 4\n",
+        )
+        .unwrap();
+        let (s, _) = build_scenario(&doc, "x").unwrap();
+        assert!(s.remediation.enabled);
+        assert!(!s.remediation.backoff);
+        assert!(s.remediation.rebootstrap);
+        assert_eq!(s.remediation.rebootstrap_max_offers, 4);
+
+        let doc = parse_document("[remediation]\nrebotstrap = true\n").unwrap();
+        let err = build_scenario(&doc, "x").unwrap_err();
+        assert!(
+            err.message.contains("did you mean `rebootstrap`"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn unknown_reaction_rejected() {
+        let doc = parse_document("[assertions]\nreaction_fired = [\"rebootstrp\"]\n").unwrap();
+        let err = build_scenario(&doc, "x").unwrap_err();
+        assert!(err.message.contains("unknown reaction"), "{}", err.message);
+        assert!(
+            err.message.contains("did you mean `rebootstrap`"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

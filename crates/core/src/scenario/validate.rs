@@ -200,6 +200,34 @@ fn check_globals(s: &Scenario) -> Result<(), Issue> {
     }
 
     finite_positive("health.window", s.health.window)?;
+
+    let r = &s.remediation;
+    if r.enabled && !s.health.enabled {
+        return Err(Issue::global(
+            "[remediation] requires `enabled = true` in [health] — the engine reacts to \
+             health alerts and has nothing to consume without the monitor"
+                .into(),
+        ));
+    }
+    // Tuning is checked even while the engine is off, mirroring
+    // `RemedyConfig::validate`: a latent bad value must not hide until
+    // someone flips the switch.
+    if r.backoff_shuffles == 0 {
+        return Err(Issue::global(
+            "remediation.backoff_shuffles must be at least 1 (zero would be a no-op \
+             reaction)"
+                .into(),
+        ));
+    }
+    if r.rebootstrap_max_offers == 0 {
+        return Err(Issue::global(
+            "remediation.rebootstrap_max_offers must be at least 1 (zero would be a \
+             no-op reaction)"
+                .into(),
+        ));
+    }
+    finite_positive("remediation.rebootstrap_cooldown", r.rebootstrap_cooldown)?;
+    finite_positive("remediation.throttle_periods", r.throttle_periods)?;
     Ok(())
 }
 
@@ -502,6 +530,48 @@ fn check_attack_and_assertions(s: &Scenario) -> Result<(), Issue> {
             )));
         }
     }
+    if let Some(bound) = a.recovery_time_at_most {
+        if !(bound.is_finite() && bound > 0.0) {
+            return Err(Issue::assertions(format!(
+                "recovery_time_at_most must be finite and positive, got {bound}"
+            )));
+        }
+        match super::lower::recovery_interval(s) {
+            None => {
+                return Err(Issue::assertions(
+                    "recovery_time_at_most needs a blackout-style phase starting after \
+                     t = 0 — there is no outage to recover from"
+                        .into(),
+                ))
+            }
+            Some((_, end)) if end >= s.horizon => {
+                return Err(Issue::assertions(format!(
+                    "recovery_time_at_most: the last blackout ends at t = {end}, at or \
+                     past the horizon {} — recovery could never be observed",
+                    s.horizon
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    if !a.reaction_fired.is_empty() && !s.remediation.enabled {
+        return Err(Issue::assertions(
+            "reaction_fired requires `enabled = true` in [remediation]".into(),
+        ));
+    }
+    for name in &a.reaction_fired {
+        let armed = match name.as_str() {
+            "backoff" => s.remediation.backoff,
+            "rebootstrap" => s.remediation.rebootstrap,
+            "throttle" => s.remediation.throttle,
+            _ => true, // unknown names are rejected at parse time
+        };
+        if !armed {
+            return Err(Issue::assertions(format!(
+                "reaction `{name}` is asserted to fire but its [remediation] flag is off"
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -618,6 +688,71 @@ mod tests {
         assert!(issue.message.contains("[health]"), "{}", issue.message);
         s.health.enabled = true;
         check(&s).unwrap();
+    }
+
+    #[test]
+    fn remediation_needs_health_enabled() {
+        let mut s = base();
+        s.remediation.enabled = true;
+        let issue = check(&s).unwrap_err();
+        assert!(issue.message.contains("[health]"), "{}", issue.message);
+        s.health.enabled = true;
+        check(&s).unwrap();
+    }
+
+    #[test]
+    fn remediation_tuning_checked_even_when_disabled() {
+        let mut s = base();
+        s.remediation.backoff_shuffles = 0;
+        let issue = check(&s).unwrap_err();
+        assert!(
+            issue.message.contains("backoff_shuffles"),
+            "{}",
+            issue.message
+        );
+    }
+
+    #[test]
+    fn recovery_assertion_needs_a_blackout_phase() {
+        let mut s = base();
+        s.assertions.recovery_time_at_most = Some(10.0);
+        let issue = check(&s).unwrap_err();
+        assert_eq!(issue.at, Where::Assertions);
+        assert!(issue.message.contains("blackout"), "{}", issue.message);
+
+        s.phases = vec![Phase::Blackout {
+            start: 20.0,
+            duration: 40.0,
+            fraction: 0.5,
+            from: 0.0,
+        }];
+        // Ends at 60 > horizon 50: recovery unobservable.
+        let issue = check(&s).unwrap_err();
+        assert!(issue.message.contains("horizon"), "{}", issue.message);
+
+        s.phases = vec![Phase::Blackout {
+            start: 20.0,
+            duration: 10.0,
+            fraction: 0.5,
+            from: 0.0,
+        }];
+        check(&s).unwrap();
+    }
+
+    #[test]
+    fn reaction_fired_needs_remediation_and_armed_flag() {
+        let mut s = base();
+        s.assertions.reaction_fired = vec!["rebootstrap".into()];
+        let issue = check(&s).unwrap_err();
+        assert!(issue.message.contains("[remediation]"), "{}", issue.message);
+
+        s.health.enabled = true;
+        s.remediation.enabled = true;
+        check(&s).unwrap();
+
+        s.remediation.rebootstrap = false;
+        let issue = check(&s).unwrap_err();
+        assert!(issue.message.contains("flag is off"), "{}", issue.message);
     }
 
     #[test]

@@ -30,18 +30,32 @@ impl Simulation {
 
     /// Closes elapsed health-monitor windows before an event at `now` is
     /// processed. Alerts are stamped at the window-grid boundary, so the
-    /// timeline is independent of which event happened to cross it.
+    /// timeline is independent of which event happened to cross it. When
+    /// remediation is enabled, the window's alerts are handed straight to
+    /// the engine and applied before the event runs.
     pub(crate) fn health_tick(&mut self, now: SimTime) {
         let due = self.health.as_ref().is_some_and(|h| h.due(now.as_f64()));
         if !due {
             return;
         }
         let online = self.online_mask();
-        let degrees: Vec<usize> = (0..self.cells.len())
-            .map(|v| self.trust.neighbors(v).len() + self.cells[v].node.sampler.link_count())
+        let pseudonym_degrees: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|c| c.node.sampler.link_count())
             .collect();
-        if let Some(h) = self.health.as_mut() {
-            h.rotate(now.as_f64(), &online, &degrees);
+        let degrees: Vec<usize> = pseudonym_degrees
+            .iter()
+            .enumerate()
+            .map(|(v, p)| self.trust.neighbors(v).len() + p)
+            .collect();
+        let alerts = match self.health.as_mut() {
+            Some(h) => h.rotate(now.as_f64(), &online, &degrees, &pseudonym_degrees),
+            None => return,
+        };
+        if let Some(rm) = self.remedy.as_mut() {
+            let decisions = rm.decide(&alerts, &online);
+            rm.apply(&decisions, &mut self.cells, &self.trust, &self.recorder);
         }
     }
 
@@ -105,6 +119,12 @@ impl Simulation {
                 self.cells[v].node.stats.shuffles_suppressed += 1;
                 return;
             }
+        }
+        // Remediation backoff: sit out this round and decay the counter.
+        if self.cells[v].shuffle_backoff > 0 {
+            self.cells[v].shuffle_backoff -= 1;
+            self.cells[v].node.stats.shuffles_suppressed += 1;
+            return;
         }
         if self.fault.is_some() {
             self.faulty_shuffle(now, v);

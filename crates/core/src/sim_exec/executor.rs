@@ -124,6 +124,7 @@ impl Simulation {
             recorder,
             message_log,
             health,
+            remedy,
             ..
         } = self;
         let rt = sharded.as_mut().expect("sharded runtime");
@@ -200,6 +201,12 @@ impl Simulation {
         // equal-time events, so a stable sort by time alone fixes the
         // monitor's state; rotations interleave where they fall due, with
         // online/degree masks read from the barrier-time cells.
+        //
+        // Barrier step 5 (when self-healing is on): feed every alert the
+        // replay fired into the remediation engine and apply its reactions
+        // against the barrier-time cells. Alerts, masks and cells are all
+        // pure functions of set-of-shard-outputs, so the reactions — like
+        // everything else here — are invariant in the shard count.
         if let Some(h) = health.as_mut() {
             let mut obs: Vec<HealthObs> = Vec::new();
             for shard in rt.shards.iter_mut() {
@@ -207,19 +214,25 @@ impl Simulation {
             }
             obs.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite event times"));
             let online_now: Vec<bool> = cells.iter().map(|c| c.churn.is_online()).collect();
-            let degrees_now: Vec<usize> = cells
+            let pdeg_now: Vec<usize> = cells.iter().map(|c| c.node.sampler.link_count()).collect();
+            let degrees_now: Vec<usize> = pdeg_now
                 .iter()
                 .enumerate()
-                .map(|(v, c)| trust.neighbors(v).len() + c.node.sampler.link_count())
+                .map(|(v, p)| trust.neighbors(v).len() + p)
                 .collect();
+            let mut alerts = Vec::new();
             for o in obs {
                 if h.due(o.t) {
-                    h.rotate(o.t, &online_now, &degrees_now);
+                    alerts.extend(h.rotate(o.t, &online_now, &degrees_now, &pdeg_now));
                 }
                 h.observe(o.t, o.node, &o.kind);
             }
             if h.due(cap.as_f64()) {
-                h.rotate(cap.as_f64(), &online_now, &degrees_now);
+                alerts.extend(h.rotate(cap.as_f64(), &online_now, &degrees_now, &pdeg_now));
+            }
+            if let Some(rm) = remedy.as_mut() {
+                let decisions = rm.decide(&alerts, &online_now);
+                rm.apply(&decisions, cells, trust, recorder);
             }
         } else {
             for shard in rt.shards.iter_mut() {

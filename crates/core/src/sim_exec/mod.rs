@@ -161,8 +161,9 @@ pub struct MessageRecord {
 
 /// Shared emission funnel for the sequential executor and construction-time
 /// events (before `Simulation` exists): builds the payload once, feeds the
-/// health monitor, then records. Still a single branch when recording is
-/// off.
+/// health monitor, then records. The monitor observes even when recording
+/// is off — untraced runs must monitor (and heal) exactly like traced
+/// ones; with neither consumer present this stays a single branch.
 pub(crate) fn record(
     recorder: &Recorder,
     health: &mut Option<HealthMonitor>,
@@ -170,7 +171,7 @@ pub(crate) fn record(
     node: Option<u32>,
     kind: impl FnOnce() -> Obs,
 ) {
-    if !recorder.is_enabled() {
+    if health.is_none() && !recorder.is_enabled() {
         return;
     }
     let kind = kind();

@@ -126,7 +126,9 @@ impl Shard {
     }
 
     /// Records an observability event and mirrors it into the health
-    /// buffer for the coordinator's deterministic barrier replay.
+    /// buffer for the coordinator's deterministic barrier replay. The
+    /// buffer fills whenever a monitor exists, recorder or not — untraced
+    /// runs must monitor (and heal) exactly like traced ones.
     pub(super) fn emit(
         &mut self,
         ctx: &WindowCtx<'_>,
@@ -134,7 +136,7 @@ impl Shard {
         node: Option<u32>,
         kind: impl FnOnce() -> Obs,
     ) {
-        if !ctx.recorder.is_enabled() {
+        if !ctx.buffer_health && !ctx.recorder.is_enabled() {
             return;
         }
         let kind = kind();
@@ -220,6 +222,12 @@ impl Shard {
                 cell.node.stats.shuffles_suppressed += 1;
                 return;
             }
+        }
+        // Remediation backoff: sit out this round and decay the counter.
+        if cell.shuffle_backoff > 0 {
+            cell.shuffle_backoff -= 1;
+            cell.node.stats.shuffles_suppressed += 1;
+            return;
         }
         if ctx.fault.is_some() {
             self.faulty_shuffle(now, v, cells, ctx);

@@ -42,6 +42,9 @@ pub(crate) struct NodeCell {
     pub churn_rng: StdRng,
     /// Until when the node is held dark by an injected blackout.
     pub blackout_until: Option<SimTime>,
+    /// Remaining shuffle initiations to skip (the remediation engine's
+    /// eviction-storm backoff); decays by one per skipped shuffle.
+    pub shuffle_backoff: u32,
     /// Sharded executor: per-source sequence number of outbox messages;
     /// part of the canonical `(deliver_at, src, seq)` merge key.
     pub outbox_seq: u64,
@@ -73,6 +76,7 @@ impl NodeCell {
             proto_rng,
             churn_rng,
             blackout_until: None,
+            shuffle_backoff: 0,
             outbox_seq: 0,
             exchange_seq: 0,
         }

@@ -133,6 +133,50 @@ fn blackout_episode_is_shard_invariant() {
 }
 
 #[test]
+fn self_healing_blackout_is_shard_invariant() {
+    // The remediation engine decides and applies reactions at barrier
+    // boundaries against barrier-time state, so a healing run — monitor
+    // on, every reaction armed, with a blackout to provoke rebootstraps —
+    // must be byte-identical at every shard count, not just a passive one.
+    use crate::config::{HealthConfig, RemedyConfig};
+    let cfg = OverlayConfig {
+        link: LinkLayerConfig::Faulty(FaultConfig {
+            drop_probability: 0.1,
+            latency: LatencyDist::Exponential { mean: 0.2 },
+            episodes: vec![FaultEpisode {
+                start: 8.0,
+                end: 14.0,
+                effect: EpisodeEffect::Blackout {
+                    first: 10,
+                    count: 25,
+                },
+            }],
+        }),
+        health: HealthConfig {
+            enabled: true,
+            ..HealthConfig::default()
+        },
+        remedy: RemedyConfig::all_on(),
+        ..base_cfg()
+    };
+    for seed in [54, 55] {
+        assert_shard_invariant(&cfg, 0.8, seed, 25.0);
+        // The run must actually exercise the engine, or the invariance
+        // claim is vacuous.
+        let trust = trust_graph(60, seed);
+        let sharded = OverlayConfig {
+            shards: Some(2),
+            ..cfg.clone()
+        };
+        let churn = ChurnConfig::from_availability(0.8, 10.0);
+        let mut sim = Simulation::new(trust, sharded, churn, seed).unwrap();
+        sim.run_until(25.0);
+        let counts = sim.remedy_counts().expect("self-healing is on");
+        assert!(counts.total() > 0, "no reactions fired (seed {seed})");
+    }
+}
+
+#[test]
 fn total_loss_is_shard_invariant() {
     // Exhausted retries, evictions and timeout bookkeeping, all windowed.
     let cfg = OverlayConfig {

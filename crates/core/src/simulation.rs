@@ -39,6 +39,7 @@ use crate::error::CoreError;
 use crate::health::HealthMonitor;
 use crate::node::{LinkTarget, Node, NodeStats};
 use crate::pseudonym::PseudonymService;
+use crate::remedy::{RemedyCounts, RemedyEngine};
 use crate::sim_exec::executor::ShardedRuntime;
 use crate::sim_exec::state::NodeCell;
 use crate::sim_exec::{record, Event, PendingExchange};
@@ -112,10 +113,17 @@ pub struct Simulation {
     /// simulation.
     pub(crate) recorder: Recorder,
     /// Rolling-window degradation detectors over the event stream; present
-    /// only when [`OverlayConfig::health`] is enabled *and* a recorder is
-    /// attached. Strictly read-only: its outputs are `HealthAlert` events
-    /// and `health.*` gauges, never simulation state.
+    /// only when [`OverlayConfig::health`] is enabled. The monitor itself is
+    /// read-only — its outputs are window-boundary alert records (plus
+    /// `HealthAlert` events and `health.*` gauges when a recorder is
+    /// attached); only the remediation engine ever turns them into state
+    /// changes.
     pub(crate) health: Option<HealthMonitor>,
+    /// The self-healing reaction engine; present only when
+    /// [`OverlayConfig::remedy`] is enabled (which validation ties to the
+    /// health monitor being on). `None` means alerts stay purely
+    /// observational — the byte-identical default.
+    pub(crate) remedy: Option<RemedyEngine>,
 }
 
 impl Simulation {
@@ -164,6 +172,7 @@ impl Simulation {
         let mut sched_rng = derive_rng(master_seed, Stream::Scheduler);
         let recorder = veil_obs::global();
         let mut health = HealthMonitor::maybe_new(&cfg.health, &recorder, n, 0.0);
+        let remedy = RemedyEngine::maybe_new(&cfg.remedy, n);
 
         for v in 0..n {
             let trusted: Vec<u32> = trust.neighbors(v).to_vec();
@@ -261,6 +270,7 @@ impl Simulation {
             sharded,
             recorder,
             health,
+            remedy,
         })
     }
 
@@ -269,7 +279,9 @@ impl Simulation {
     ///
     /// The health monitor follows the recorder: it is rebuilt against the
     /// new sink (when [`OverlayConfig::health`] is enabled) with fresh
-    /// window state starting at the current time.
+    /// window state starting at the current time. The remediation engine is
+    /// *not* rebuilt — reaction counts and cooldown stamps survive, since
+    /// healing must behave identically whether or not anyone is recording.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
         self.health = HealthMonitor::maybe_new(
@@ -362,6 +374,12 @@ impl Simulation {
         if let Some(h) = &self.health {
             r.gauge("health.alerts_emitted", h.alerts_emitted() as f64);
         }
+        if let Some(rm) = &self.remedy {
+            let c = rm.counts();
+            r.gauge("remedy.backoffs", c.backoffs as f64);
+            r.gauge("remedy.rebootstraps", c.rebootstraps as f64);
+            r.gauge("remedy.throttles", c.throttles as f64);
+        }
     }
 
     /// Starts recording every protocol message into an in-memory log
@@ -411,9 +429,15 @@ impl Simulation {
     }
 
     /// Number of `HealthAlert` events emitted so far, or `None` when the
-    /// health monitor is off (disabled in config or no recorder attached).
+    /// health monitor is off (disabled in config).
     pub fn health_alerts(&self) -> Option<u64> {
         self.health.as_ref().map(|h| h.alerts_emitted())
+    }
+
+    /// Per-reaction counts of remediation actions applied so far, or `None`
+    /// when self-healing is off.
+    pub fn remedy_counts(&self) -> Option<RemedyCounts> {
+        self.remedy.as_ref().map(|rm| rm.counts())
     }
 
     /// Current simulation time.
@@ -576,6 +600,29 @@ impl Simulation {
     /// paper compares against).
     pub fn trust_only_graph(&self) -> &Graph {
         &self.trust
+    }
+
+    /// The overlay restricted to *pseudonym* links only — the anonymous
+    /// indirection layer the paper's privacy argument rests on, without the
+    /// trusted-link substrate. This is the graph a correlated outage
+    /// actually damages: trusted links are node-addressed and never expire,
+    /// so [`Simulation::overlay_graph`] heals the moment power returns,
+    /// while pseudonym edges must be re-gossiped (or re-bootstrapped by the
+    /// remediation engine) before a node is reachable anonymously again.
+    pub fn pseudonym_graph(&self) -> Graph {
+        let now = self.current_time;
+        let mut g = Graph::new(self.cells.len());
+        for (v, cell) in self.cells.iter().enumerate() {
+            for link in cell.node.links(now) {
+                if let LinkTarget::Pseudonym(p) = link {
+                    let owner = p.owner() as usize;
+                    if owner != v {
+                        let _ = g.add_edge(v, owner).expect("pseudonym edge in range");
+                    }
+                }
+            }
+        }
+        g
     }
 }
 

@@ -118,10 +118,23 @@ pub enum EventKind {
         /// Configured threshold the value crossed.
         threshold: f64,
     },
+    /// The self-healing remediation engine (see `veil_core::remedy`)
+    /// applied a reaction to a health alert. Only emitted when remediation
+    /// is explicitly enabled — with it off, traces are byte-identical to a
+    /// monitoring-only run.
+    RemedyAction {
+        /// Reaction kind (`"backoff"`, `"rebootstrap"`, `"throttle"`).
+        reaction: String,
+        /// The detector whose alert triggered the reaction.
+        detector: String,
+        /// Reaction-specific magnitude: nodes backed off, sampler links
+        /// refreshed by a re-bootstrap, or 1 for a throttle.
+        affected: u64,
+    },
 }
 
 /// Number of [`EventKind`] variants; the range of [`EventKind::index`].
-pub(crate) const KIND_COUNT: usize = 17;
+pub(crate) const KIND_COUNT: usize = 18;
 
 /// Version of the JSONL trace format. Bumped whenever the event schema
 /// changes incompatibly; the header line produced by [`trace_header`]
@@ -162,6 +175,7 @@ pub(crate) const COUNTER_NAMES: [Option<&str>; KIND_COUNT] = [
     Some("broadcast.published"),
     Some("broadcast.delivered"),
     Some("health.alerts"),
+    Some("remedy.actions"),
 ];
 
 impl EventKind {
@@ -185,6 +199,7 @@ impl EventKind {
             EventKind::BroadcastPublish { .. } => 14,
             EventKind::BroadcastDeliver { .. } => 15,
             EventKind::HealthAlert { .. } => 16,
+            EventKind::RemedyAction { .. } => 17,
         }
     }
 
@@ -222,6 +237,7 @@ impl EventKind {
             EventKind::BroadcastPublish { .. } => "BroadcastPublish",
             EventKind::BroadcastDeliver { .. } => "BroadcastDeliver",
             EventKind::HealthAlert { .. } => "HealthAlert",
+            EventKind::RemedyAction { .. } => "RemedyAction",
         }
     }
 }
@@ -287,6 +303,10 @@ pub fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldType)]
                 ("value", F64),
                 ("threshold", F64),
             ],
+        ),
+        (
+            "RemedyAction",
+            &[("reaction", Str), ("detector", Str), ("affected", U64)],
         ),
     ]
 }
@@ -492,6 +512,11 @@ mod tests {
                 value: 0.4,
                 threshold: 0.25,
             },
+            EventKind::RemedyAction {
+                reaction: "rebootstrap".to_string(),
+                detector: "starved_nodes".to_string(),
+                affected: 6,
+            },
         ];
         assert_eq!(kinds.len(), schema().len() + 1); // PseudonymMinted twice
         for kind in kinds {
@@ -546,6 +571,11 @@ mod tests {
                 severity: String::new(),
                 value: 0.0,
                 threshold: 0.0,
+            },
+            EventKind::RemedyAction {
+                reaction: String::new(),
+                detector: String::new(),
+                affected: 0,
             },
         ];
         assert_eq!(kinds.len(), KIND_COUNT);

@@ -16,6 +16,8 @@
 //!   nodes) tracked through `NodeOnline`/`NodeOffline` transitions;
 //! * **alert timeline** — every `HealthAlert` with its detector, severity
 //!   and window boundary;
+//! * **reaction timeline** — every `RemedyAction` the self-healing engine
+//!   applied, with per-kind counts;
 //! * **blackout episodes** — grouped `BlackoutStart` bursts with
 //!   time-to-recover, measured as the delay until per-round shuffle
 //!   completions regain 90% of their pre-blackout mean.
@@ -88,6 +90,22 @@ pub struct AlertRecord {
     pub threshold: f64,
 }
 
+/// One `RemedyAction` event from the trace — a reaction the self-healing
+/// engine applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReactionRecord {
+    /// Window boundary the reaction was applied at.
+    pub t: f64,
+    /// Reaction kind (`"backoff"`, `"rebootstrap"` or `"throttle"`).
+    pub reaction: String,
+    /// Detector whose alert triggered it.
+    pub detector: String,
+    /// The targeted node, when the reaction is per-node.
+    pub node: Option<u32>,
+    /// Nodes backed off / pseudonyms accepted / throttles applied.
+    pub affected: u64,
+}
+
 /// A correlated blackout episode reconstructed from `BlackoutStart`
 /// bursts sharing one injection instant.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -136,6 +154,16 @@ pub struct TraceReport {
     pub rounds: Vec<RoundStats>,
     /// Every health alert in the trace, in time order.
     pub alerts: Vec<AlertRecord>,
+    /// Every self-healing reaction in the trace, in time order. Defaulted
+    /// on deserialization so reports written before the remediation engine
+    /// existed still load, and skipped when empty so reaction-free reports
+    /// stay byte-identical to pre-remediation ones (committed baselines
+    /// diff clean either way).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub reactions: Vec<ReactionRecord>,
+    /// Reactions by kind (`"backoff"` / `"rebootstrap"` / `"throttle"`).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub reaction_counts: BTreeMap<String, u64>,
     /// Reconstructed blackout episodes with recovery times.
     pub blackouts: Vec<BlackoutRecord>,
 }
@@ -207,6 +235,32 @@ impl TraceReport {
                     out,
                     "  [t={:>7.1}] {:<26} {:<8} value {:.3} vs threshold {:.3}",
                     a.t, a.detector, a.severity, a.value, a.threshold
+                );
+            }
+        }
+        // Traces without self-healing keep their exact pre-remediation
+        // rendering; the section only appears once reactions exist.
+        if !self.reactions.is_empty() {
+            let by_kind: Vec<String> = self
+                .reaction_counts
+                .iter()
+                .map(|(k, n)| format!("{n} {k}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "remediation: {} reactions ({})",
+                self.reactions.len(),
+                by_kind.join(", ")
+            );
+            for x in &self.reactions {
+                let node = match x.node {
+                    Some(v) => format!("node {v}"),
+                    None => "overlay-wide".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  [t={:>7.1}] {:<12} on {:<26} {} (affected {})",
+                    x.t, x.reaction, x.detector, node, x.affected
                 );
             }
         }
@@ -315,6 +369,8 @@ fn replay(version: u32, events: &[TraceEvent]) -> TraceReport {
     let mut totals: BTreeMap<String, u64> = BTreeMap::new();
     let mut rounds: Vec<RoundStats> = Vec::new();
     let mut alerts = Vec::new();
+    let mut reactions: Vec<ReactionRecord> = Vec::new();
+    let mut reaction_counts: BTreeMap<String, u64> = BTreeMap::new();
     let mut nodes = NodeModel::new();
     let mut dropped_requests = 0u64;
     let mut dropped_responses = 0u64;
@@ -394,6 +450,20 @@ fn replay(version: u32, events: &[TraceEvent]) -> TraceReport {
                     threshold: *threshold,
                 });
             }
+            EventKind::RemedyAction {
+                reaction,
+                detector,
+                affected,
+            } => {
+                *reaction_counts.entry(reaction.clone()).or_insert(0) += 1;
+                reactions.push(ReactionRecord {
+                    t: ev.t,
+                    reaction: reaction.clone(),
+                    detector: detector.clone(),
+                    node: ev.node,
+                    affected: *affected,
+                });
+            }
             _ => {}
         }
     }
@@ -428,6 +498,8 @@ fn replay(version: u32, events: &[TraceEvent]) -> TraceReport {
         totals,
         rounds,
         alerts,
+        reactions,
+        reaction_counts,
         blackouts,
     }
 }
@@ -595,6 +667,59 @@ mod tests {
         assert_eq!(report.alerts[0].detector, "eviction_storm");
         assert_eq!(report.total("health.alerts"), 1);
         assert!(report.render_text().contains("eviction_storm"));
+    }
+
+    #[test]
+    fn reaction_timeline_and_counts_extracted() {
+        let lines = [
+            ev(
+                5.0,
+                None,
+                EventKind::RemedyAction {
+                    reaction: "backoff".into(),
+                    detector: "eviction_storm".into(),
+                    affected: 40,
+                },
+            ),
+            ev(
+                10.0,
+                Some(7),
+                EventKind::RemedyAction {
+                    reaction: "rebootstrap".into(),
+                    detector: "starved_nodes".into(),
+                    affected: 3,
+                },
+            ),
+            ev(
+                10.0,
+                Some(9),
+                EventKind::RemedyAction {
+                    reaction: "rebootstrap".into(),
+                    detector: "isolated_nodes".into(),
+                    affected: 2,
+                },
+            ),
+        ];
+        let report = analyze_trace(&lines.join("\n")).unwrap();
+        assert_eq!(report.reactions.len(), 3);
+        assert_eq!(report.total("remedy.actions"), 3);
+        assert_eq!(report.reaction_counts.get("backoff"), Some(&1));
+        assert_eq!(report.reaction_counts.get("rebootstrap"), Some(&2));
+        assert_eq!(report.reactions[1].node, Some(7));
+        assert_eq!(report.reactions[1].affected, 3);
+        let text = report.render_text();
+        assert!(text.contains("remediation: 3 reactions"), "{text}");
+        assert!(text.contains("1 backoff, 2 rebootstrap"), "{text}");
+        // A reaction-free report keeps the pre-remediation rendering.
+        let quiet = analyze_trace(&ev(0.0, Some(0), EventKind::NodeOnline)).unwrap();
+        assert!(!quiet.render_text().contains("remediation"));
+        // And a pre-remediation serialized report still loads.
+        let mut json = serde_json::to_string(&quiet).unwrap();
+        json = json.replace(",\"reactions\":[]", "");
+        json = json.replace(",\"reaction_counts\":{}", "");
+        assert!(!json.contains("reaction"), "{json}");
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, quiet);
     }
 
     #[test]

@@ -75,11 +75,40 @@ fn health_monitor_never_changes_simulation_output() {
             "health monitor perturbed the run (seed {seed})"
         );
     }
-    // A health-enabled config with no recorder keeps the monitor off and
-    // still matches.
+    // The monitor is recorder-free: a health-enabled config with a
+    // disabled recorder still runs the detectors (and still matches).
     let off = witness(3, Recorder::disabled());
-    let disabled_monitor = witness_health(3, Recorder::disabled(), true);
-    assert_eq!(off, disabled_monitor);
+    let disabled_recorder = witness_health(3, Recorder::disabled(), true);
+    assert_eq!(off, disabled_recorder);
+}
+
+#[test]
+fn recorder_free_monitor_counts_alerts_without_perturbing_the_run() {
+    // Satellite witness for the recorder-free monitor refactor: with no
+    // recorder installed at all, the monitor still observes the run and
+    // counts alerts via `Simulation::health_alerts`, while the simulation
+    // output stays byte-identical to a monitor-off run.
+    let run = |health: bool| {
+        let mut p = params(11, Some(1));
+        p.overlay.health.enabled = health;
+        let trust = build_trust_graph(&p).expect("trust graph");
+        let mut sim = build_simulation(trust, &p, 0.5).expect("simulation");
+        sim.run_until(40.0);
+        let alerts = sim.health_alerts();
+        (
+            serde_json::to_string(&snapshot(&sim)).expect("snapshot serializes"),
+            alerts,
+        )
+    };
+    let (plain, no_monitor) = run(false);
+    let (monitored, alerts) = run(true);
+    assert_eq!(no_monitor, None, "monitor-off run must report no counter");
+    let alerts = alerts.expect("health-enabled run must expose the counter");
+    assert!(alerts > 0, "the lossy churny workload must raise alerts");
+    assert_eq!(
+        plain, monitored,
+        "recorder-free monitor perturbed the simulation"
+    );
 }
 
 #[test]
@@ -174,17 +203,23 @@ fn sharded_traces_are_shard_count_invariant() {
     // for every shard count; only the capture metadata (`tid`, the
     // per-thread `seq`) depends on the thread layout, so events are
     // compared in canonical order with those fields stripped. Health
-    // alerts feed off the same stream and must agree too.
-    use veil_core::config::LinkLayerConfig;
+    // alerts feed off the same stream and must agree too — and so must
+    // the remediation engine's reactions when self-healing is on, since
+    // its decisions are made against barrier-time state that every shard
+    // layout reconstructs identically.
+    use veil_core::config::{LinkLayerConfig, RemedyConfig};
     use veil_core::experiment::build_simulation;
     use veil_sim::fault::FaultConfig;
     let _guard = GLOBAL_RECORDER_LOCK
         .lock()
         .unwrap_or_else(|e| e.into_inner());
-    let canonical = |seed: u64, shards: usize| {
+    let canonical = |seed: u64, shards: usize, healing: bool| {
         let mut p = params(seed, Some(1));
         p.overlay.link = LinkLayerConfig::Faulty(FaultConfig::with_loss(0.2));
         p.overlay.health.enabled = true;
+        if healing {
+            p.overlay.remedy = RemedyConfig::all_on();
+        }
         p.overlay.shards = Some(shards);
         let trust = build_trust_graph(&p).expect("trust graph");
         let recorder = Recorder::full();
@@ -210,22 +245,33 @@ fn sharded_traces_are_shard_count_invariant() {
         (
             events,
             sim.health_alerts().expect("monitor is on"),
+            sim.remedy_counts(),
             serde_json::to_string(&snapshot(&sim)).expect("snapshot serializes"),
         )
     };
-    for seed in [3, 11, 19] {
-        let reference = canonical(seed, 1);
-        for shards in [2, 8] {
-            let got = canonical(seed, shards);
-            assert_eq!(
-                got.0.len(),
-                reference.0.len(),
-                "event count diverged (seed {seed}, shards {shards})"
-            );
-            assert_eq!(
-                got, reference,
-                "trace/alerts/snapshot diverged (seed {seed}, shards {shards})"
-            );
+    for healing in [false, true] {
+        for seed in [3, 11, 19] {
+            let reference = canonical(seed, 1, healing);
+            if healing {
+                let counts = reference.2.as_ref().expect("self-healing is on");
+                assert!(
+                    counts.total() > 0,
+                    "healing-on reference run must actually react (seed {seed})"
+                );
+            }
+            for shards in [2, 8] {
+                let got = canonical(seed, shards, healing);
+                assert_eq!(
+                    got.0.len(),
+                    reference.0.len(),
+                    "event count diverged (seed {seed}, shards {shards}, healing {healing})"
+                );
+                assert_eq!(
+                    got, reference,
+                    "trace/alerts/reactions/snapshot diverged \
+                     (seed {seed}, shards {shards}, healing {healing})"
+                );
+            }
         }
     }
 }

@@ -98,6 +98,16 @@ fn golden_attack_assertion_without_attack() {
 }
 
 #[test]
+fn golden_unknown_remediation_key_with_suggestion() {
+    check_case("unknown_remediation_key");
+}
+
+#[test]
+fn golden_remediation_without_health() {
+    check_case("remediation_without_health");
+}
+
+#[test]
 fn every_golden_toml_has_a_test() {
     // Guards against fixtures silently going stale: every .toml in the
     // golden directory must be exercised by one of the cases above.
@@ -110,6 +120,8 @@ fn every_golden_toml_has_a_test() {
         "overlapping_blackouts",
         "unknown_phase_kind",
         "attack_without_section",
+        "unknown_remediation_key",
+        "remediation_without_health",
     ];
     for entry in std::fs::read_dir(golden_dir()).unwrap() {
         let path = entry.unwrap().path();

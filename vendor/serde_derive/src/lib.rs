@@ -7,20 +7,25 @@
 //! available offline). Generated impls target the vendored `serde` crate's
 //! `Content` tree and reproduce serde's externally tagged representation.
 //!
-//! Supported field attributes: `#[serde(rename = "...")]` and
+//! Supported field attributes: `#[serde(rename = "...")]`,
 //! `#[serde(skip_serializing_if = "path")]` (the path is called as
 //! `path(&self.field)`; absent map keys already deserialize as `Null`, so
-//! `Option` fields round-trip without an explicit `default`). Generics are
-//! not supported (nothing in the workspace derives on generic types).
+//! `Option` fields round-trip without an explicit `default`) and the bare
+//! `#[serde(default)]` flag (an absent — `Null` — map key deserializes as
+//! `Default::default()`, which non-`Option` struct-typed fields need).
+//! Generics are not supported (nothing in the workspace derives on generic
+//! types).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// A parsed field: Rust name plus the serialized (possibly renamed) name
-/// and an optional `skip_serializing_if` predicate path.
+/// A parsed field: Rust name plus the serialized (possibly renamed) name,
+/// an optional `skip_serializing_if` predicate path, and whether an absent
+/// key falls back to `Default::default()`.
 struct Field {
     ident: String,
     wire_name: String,
     skip_if: Option<String>,
+    use_default: bool,
 }
 
 enum Fields {
@@ -162,11 +167,28 @@ fn serde_string_arg(group: TokenStream, key: &str) -> Option<String> {
     None
 }
 
+/// Checks for a bare `<key>` flag (an ident *not* followed by `=`) in the
+/// token stream of a `serde(...)` group.
+fn serde_flag(group: TokenStream, key: &str) -> bool {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    for (i, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = tok {
+            if id.to_string() == key
+                && !matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Consumes attributes at `pos`, returning any `serde(rename)` and
-/// `serde(skip_serializing_if)` values.
-fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> (Option<String>, Option<String>) {
+/// `serde(skip_serializing_if)` values plus the `serde(default)` flag.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> (Option<String>, Option<String>, bool) {
     let mut rename = None;
     let mut skip_if = None;
+    let mut use_default = false;
     while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *pos += 1;
         if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
@@ -178,12 +200,13 @@ fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> (Option<String>, Option<
                     rename = rename.or_else(|| serde_string_arg(args.stream(), "rename"));
                     skip_if = skip_if
                         .or_else(|| serde_string_arg(args.stream(), "skip_serializing_if"));
+                    use_default = use_default || serde_flag(args.stream(), "default");
                 }
             }
             *pos += 1;
         }
     }
-    (rename, skip_if)
+    (rename, skip_if, use_default)
 }
 
 /// Skips a type expression: consumes tokens until a top-level `,`,
@@ -208,7 +231,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut pos = 0usize;
     while pos < tokens.len() {
-        let (rename, skip_if) = take_attrs(&tokens, &mut pos);
+        let (rename, skip_if, use_default) = take_attrs(&tokens, &mut pos);
         skip_attrs_and_vis(&tokens, &mut pos);
         let ident = match tokens.get(pos) {
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -226,6 +249,7 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             wire_name: rename.unwrap_or_else(|| ident.clone()),
             ident,
             skip_if,
+            use_default,
         });
     }
     Ok(fields)
@@ -378,11 +402,21 @@ fn gen_serialize(item: &Item) -> String {
 fn de_named_fields(fields: &[Field], map_expr: &str, constructor: &str) -> String {
     let mut inits = String::new();
     for f in fields {
-        inits.push_str(&format!(
-            "{}: ::serde::Deserialize::from_content(::serde::map_get({map_expr}, {:?})) \
-               .map_err(|e| e.field({:?}))?, ",
-            f.ident, f.wire_name, f.wire_name
-        ));
+        if f.use_default {
+            inits.push_str(&format!(
+                "{}: {{ let __c = ::serde::map_get({map_expr}, {:?}); \
+                   if __c.is_null() {{ ::std::default::Default::default() }} \
+                   else {{ ::serde::Deserialize::from_content(__c) \
+                     .map_err(|e| e.field({:?}))? }} }}, ",
+                f.ident, f.wire_name, f.wire_name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{}: ::serde::Deserialize::from_content(::serde::map_get({map_expr}, {:?})) \
+                   .map_err(|e| e.field({:?}))?, ",
+                f.ident, f.wire_name, f.wire_name
+            ));
+        }
     }
     format!("{constructor} {{ {inits} }}")
 }
